@@ -1,0 +1,80 @@
+// Shared helpers for the benchmark/reproduction harnesses. Every bench
+// binary first prints its paper-reproduction report, then runs its
+// google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "pipeline/ingest.hpp"
+#include "pipeline/minisim.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace tacc::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// A paper-vs-measured comparison table builder.
+class ReproTable {
+ public:
+  ReproTable() {
+    table_.header({"Quantity", "Paper", "Measured", "Note"});
+  }
+  void row(const std::string& quantity, const std::string& paper,
+           const std::string& measured, const std::string& note = "") {
+    table_.row({quantity, paper, measured, note});
+  }
+  void print() { std::fputs(table_.render().c_str(), stdout); }
+
+ private:
+  util::TextTable table_;
+};
+
+/// The standard scaled-down population used by the section V harnesses:
+/// jobs are scaled ~1:20 versus Stampede's quarter while the storm cohort
+/// keeps its absolute size (105 jobs), per DESIGN.md.
+inline workload::PopulationConfig population_config(int num_jobs = 3000) {
+  workload::PopulationConfig config;
+  config.num_jobs = num_jobs;
+  config.storm_jobs = 105;
+  config.seed = 2015;
+  return config;
+}
+
+/// Generates + mini-simulates + ingests a population; returns the jobs.
+inline std::vector<workload::JobSpec> build_population_db(
+    db::Database& database, int num_jobs = 3000, int samples = 3) {
+  auto jobs = workload::generate_population(population_config(num_jobs));
+  pipeline::MiniSimOptions opts;
+  opts.samples = samples;
+  pipeline::ingest_population(database, jobs, opts);
+  return jobs;
+}
+
+inline std::string num(double v, int prec = 4) {
+  return util::TextTable::num(v, prec);
+}
+
+inline std::string pct(double frac, int prec = 3) {
+  return util::TextTable::num(100.0 * frac, prec) + "%";
+}
+
+/// Runs the report then google-benchmark.
+#define TS_BENCH_MAIN(report_fn)                                 \
+  int main(int argc, char** argv) {                              \
+    report_fn();                                                 \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    return 0;                                                    \
+  }
+
+}  // namespace tacc::bench

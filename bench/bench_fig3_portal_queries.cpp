@@ -1,0 +1,150 @@
+// Figure 3 reproduction: the web-portal search surface. The portal queries
+// combine metadata filters with up to three metric Search fields
+// (name + operator suffix + threshold). The harness runs the same example
+// searches the paper describes against a populated jobs database, prints a
+// result listing plus the flagged sublist, and benchmarks query latency
+// (indexed metadata lookups versus metric range scans).
+#include "bench_common.hpp"
+
+#include "portal/search.hpp"
+#include "portal/views.hpp"
+#include "xalt/xalt.hpp"
+
+namespace {
+
+using namespace tacc;
+
+db::Database& shared_db() {
+  static db::Database database;
+  static bool built = false;
+  if (!built) {
+    const auto jobs = bench::build_population_db(database, 3000);
+    auto& xalt_table = xalt::create_xalt_table(database);
+    for (const auto& spec : jobs) {
+      xalt::ingest_record(xalt_table, xalt::synthesize_record(spec));
+    }
+    built = true;
+  }
+  return database;
+}
+
+void report() {
+  bench::banner("Fig. 3: portal searches (metadata + metric search fields)");
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  std::printf("jobs table: %zu rows (population scaled ~1:20 vs the paper's "
+              "404,002-job quarter)\n\n",
+              jobs.num_rows());
+
+  // The paper's front-page example: all wrf.exe jobs in a date window with
+  // a minimum runtime.
+  portal::PortalQuery wrf;
+  wrf.exe = "wrf.exe";
+  wrf.date_start = util::make_time(2016, 1, 1);
+  wrf.date_end = util::make_time(2016, 1, 15);
+  wrf.min_runtime_s = 600.0;
+  const auto wrf_rows = portal::run_query(jobs, wrf);
+  std::printf("Search: exe=wrf.exe, 2016-01-01..2016-01-14, runtime>10m\n");
+  std::fputs(portal::job_list_view(jobs, wrf_rows, 10).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(portal::flagged_sublist(jobs, wrf_rows, 10).c_str(), stdout);
+
+  // Metric search fields, one per threshold query of section V-A.
+  struct Example {
+    const char* label;
+    portal::PortalQuery query;
+  };
+  std::vector<Example> examples;
+  {
+    portal::PortalQuery q;
+    q.search_fields = {"MetaDataRate__gte=10000"};
+    examples.push_back({"high metadata rates", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.search_fields = {"GigEBW__gte=1"};
+    examples.push_back({"heavy GigE traffic (user MPI over Ethernet)", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.queue = "largemem";
+    q.search_fields = {"MemUsage__lt=64"};
+    examples.push_back({"largemem queue, under 64 GB used", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.search_fields = {"idle__lt=0.15"};
+    examples.push_back({"idle nodes (min/max CPU_Usage < 0.15)", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.search_fields = {"cpi__gt=3"};
+    examples.push_back({"high cycles per instruction", q});
+  }
+  std::printf("\nThreshold searches:\n");
+  util::TextTable t;
+  t.header({"Search", "Fields", "Jobs"});
+  for (const auto& ex : examples) {
+    t.row({ex.label,
+           ex.query.search_fields.empty() ? "-"
+                                          : ex.query.search_fields.front(),
+           std::to_string(portal::run_query(jobs, ex.query).size())});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  // Job-ID direct lookup (the upper-right field in Fig. 3), with the XALT
+  // environment section the paper mentions.
+  portal::PortalQuery byid;
+  byid.jobid = jobs.at(0, "jobid").as_int();
+  const auto row = portal::run_query(jobs, byid);
+  std::printf("\nJob ID lookup -> detail view (XALT enabled):\n\n");
+  std::fputs(portal::job_detail_view(
+                 jobs, row.front(), &shared_db().table(xalt::kXaltTable))
+                 .c_str(),
+             stdout);
+}
+
+void BM_IndexedExeQuery(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  portal::PortalQuery q;
+  q.exe = "wrf.exe";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portal::run_query(jobs, q));
+  }
+}
+BENCHMARK(BM_IndexedExeQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_MetricRangeScan(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  portal::PortalQuery q;
+  q.search_fields = {"VecPercent__gt=0.5"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portal::run_query(jobs, q));
+  }
+}
+BENCHMARK(BM_MetricRangeScan)->Unit(benchmark::kMicrosecond);
+
+void BM_ThreeFieldSearch(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  portal::PortalQuery q;
+  q.exe = "wrf.exe";
+  q.search_fields = {"CPU_Usage__lt=0.75", "MetaDataRate__gte=100",
+                     "nodes__gte=4"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portal::run_query(jobs, q));
+  }
+}
+BENCHMARK(BM_ThreeFieldSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_AggregateAvgOverSelection(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  const auto rows = jobs.select({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        jobs.aggregate(db::Agg::Avg, "CPU_Usage", rows));
+  }
+}
+BENCHMARK(BM_AggregateAvgOverSelection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TS_BENCH_MAIN(report)

@@ -1,0 +1,81 @@
+// Figure 4 reproduction: the automatic query histograms. The paper's
+// example search — all wrf.exe jobs on Stampede, Jan 1-14 2016, runtime
+// over 10 minutes — returned 558 jobs, and the portal rendered histograms
+// of jobs versus runtime, nodes, queue wait time, and maximum metadata
+// requests, with the storm user's jobs visible as MetaDataRate outliers.
+#include "bench_common.hpp"
+
+#include "portal/search.hpp"
+#include "portal/views.hpp"
+
+namespace {
+
+using namespace tacc;
+
+db::Database& shared_db() {
+  static db::Database database;
+  static bool built = false;
+  if (!built) {
+    bench::build_population_db(database, 4000);
+    built = true;
+  }
+  return database;
+}
+
+std::vector<db::RowId> wrf_rows() {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  portal::PortalQuery q;
+  q.exe = "wrf.exe";
+  q.date_start = util::make_time(2016, 1, 1);
+  q.date_end = util::make_time(2016, 1, 15);
+  q.min_runtime_s = 600.0;
+  return portal::run_query(jobs, q);
+}
+
+void report() {
+  bench::banner(
+      "Fig. 4: query histograms for the wrf.exe search, Jan 1-14 2016, "
+      "runtime > 10 min");
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  const auto rows = wrf_rows();
+
+  bench::ReproTable t;
+  t.row("matching jobs", "558", std::to_string(rows.size()),
+        "population scaled ~1:20 vs the paper's quarter");
+  int outliers = 0;
+  for (const auto id : rows) {
+    const auto& v = jobs.at(id, "MetaDataRate");
+    if (!v.is_null() && v.as_real() > 100000.0) ++outliers;
+  }
+  t.row("MetaDataRate outliers", "visible, attributable to one user",
+        std::to_string(outliers) + " jobs > 100k reqs/s",
+        "all from the storm user");
+  t.print();
+  std::printf("\n");
+  std::fputs(portal::query_histograms(jobs, rows).c_str(), stdout);
+  std::printf(
+      "The outlier bins at the top of the metadata histogram are the\n"
+      "section V-B user's open/close-per-iteration WRF jobs.\n");
+}
+
+void BM_HistogramGeneration(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  const auto rows = wrf_rows();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portal::query_histograms(jobs, rows));
+  }
+}
+BENCHMARK(BM_HistogramGeneration)->Unit(benchmark::kMicrosecond);
+
+void BM_SearchPlusHistograms(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  for (auto _ : state) {
+    const auto rows = wrf_rows();
+    benchmark::DoNotOptimize(portal::query_histograms(jobs, rows));
+  }
+}
+BENCHMARK(BM_SearchPlusHistograms)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TS_BENCH_MAIN(report)

@@ -1,0 +1,122 @@
+// Overhead reproduction (paper sections I-B and VI-C): TACC Stats samples
+// at 10-minute intervals with an estimated 0.02% overhead, each collection
+// occupying one core for ~0.09 s on Lonestar 5; sub-second sampling is
+// possible at proportionally higher overhead. The harness measures this
+// library's real per-collection wall time on a fully configured node and
+// sweeps the sampling interval.
+#include "bench_common.hpp"
+
+#include "collect/registry.hpp"
+
+namespace {
+
+using namespace tacc;
+
+simhw::Node full_node() {
+  simhw::NodeConfig nc;
+  nc.topology = simhw::Topology{2, 8, false};
+  nc.has_phi = true;
+  return simhw::Node(nc);
+}
+
+/// Measures mean wall seconds per full collection (all collectors, 16-core
+/// node with 16 running processes).
+double measure_collection_seconds() {
+  auto node = full_node();
+  for (int p = 0; p < 16; ++p) {
+    simhw::ProcessInfo proc;
+    proc.pid = 5000 + p;
+    proc.name = "wrf.exe";
+    proc.vm_rss_kb = 400000;
+    node.spawn_process(proc);
+  }
+  collect::HostSampler sampler(node);
+  // Warm up, then time a batch.
+  for (int i = 0; i < 16; ++i) {
+    (void)sampler.sample(i * util::kSecond, {1}, "");
+  }
+  constexpr int kBatch = 400;
+  util::WallTimer timer;
+  for (int i = 0; i < kBatch; ++i) {
+    (void)sampler.sample(i * util::kSecond, {1}, "");
+  }
+  return timer.elapsed_s() / kBatch;
+}
+
+void report() {
+  bench::banner("Collection overhead (paper: 0.02% at 10-minute sampling, "
+                "~0.09 s per collection)");
+  const double per_collection_s = measure_collection_seconds();
+
+  bench::ReproTable t;
+  t.row("wall time per collection", "~0.09 s (one core, Lonestar 5)",
+        bench::num(per_collection_s * 1000.0, 3) + " ms",
+        "simulated surfaces are cheaper than real MSR/procfs reads");
+  t.row("overhead at 10-minute sampling", "0.02%",
+        bench::pct(per_collection_s / 600.0, 2),
+        "per-core-seconds per sampled second");
+  t.print();
+
+  std::printf("\nSampling-interval sweep (sub-second capability, paper I-B):\n\n");
+  util::TextTable sweep;
+  sweep.header({"Interval", "Collections/day/node", "Overhead"});
+  const std::pair<const char*, double> intervals[] = {
+      {"0.1 s", 0.1},   {"1 s", 1.0},        {"10 s", 10.0},
+      {"1 min", 60.0},  {"10 min", 600.0},
+  };
+  for (const auto& [label, secs] : intervals) {
+    sweep.row({label, bench::num(86400.0 / secs, 4),
+               bench::pct(per_collection_s / secs, 2)});
+  }
+  std::fputs(sweep.render().c_str(), stdout);
+  std::printf(
+      "\nBecause every counter is cumulative, the coarse production cadence\n"
+      "loses no ARC accuracy (verified by the sampling-invariance tests).\n");
+}
+
+void BM_FullCollection(benchmark::State& state) {
+  auto node = full_node();
+  for (int p = 0; p < 16; ++p) {
+    simhw::ProcessInfo proc;
+    proc.pid = 5000 + p;
+    proc.name = "wrf.exe";
+    node.spawn_process(proc);
+  }
+  collect::HostSampler sampler(node);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(t += util::kSecond, {1}, ""));
+  }
+}
+BENCHMARK(BM_FullCollection)->Unit(benchmark::kMicrosecond);
+
+void BM_CollectionSerialization(benchmark::State& state) {
+  auto node = full_node();
+  collect::HostSampler sampler(node);
+  const auto record = sampler.sample(0, {1}, "");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collect::HostLog::serialize_record(record));
+  }
+}
+BENCHMARK(BM_CollectionSerialization)->Unit(benchmark::kMicrosecond);
+
+void BM_CollectionByTopology(benchmark::State& state) {
+  // Scaling with core count (per-cpu blocks dominate the record).
+  simhw::NodeConfig nc;
+  nc.topology.cores_per_socket = static_cast<int>(state.range(0));
+  simhw::Node node(nc);
+  collect::HostSampler sampler(node);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(t += util::kSecond, {1}, ""));
+  }
+}
+BENCHMARK(BM_CollectionByTopology)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TS_BENCH_MAIN(report)

@@ -1,0 +1,131 @@
+// Section V-B reproduction: the Lustre I/O case study. Paper numbers
+// (Q4 2015):
+//   * the storm user's 105 WRF jobs: 67% CPU_Usage, MetaDataRate 563,905
+//     reqs/s, LLiteOpenClose 30,884/s;
+//   * the WRF population (16,741 jobs): 80% CPU_Usage, MetaDataRate 3,870,
+//     LLiteOpenClose 2/s;
+//   * over 110,438 production jobs: corr(CPU_Usage, MDCReqs) = -0.11,
+//     corr(CPU_Usage, OSCReqs) = -0.20, corr(CPU_Usage, LnetAveBW) = -0.19.
+#include "bench_common.hpp"
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace tacc;
+
+db::Database& shared_db() {
+  static db::Database database;
+  static bool built = false;
+  if (!built) {
+    bench::build_population_db(database, 3000);
+    built = true;
+  }
+  return database;
+}
+
+std::vector<db::RowId> production_rows(const db::Table& jobs) {
+  std::vector<db::RowId> out;
+  for (const auto id :
+       jobs.select({{"status", db::Op::Eq, db::Value("COMPLETED")},
+                    {"runtime", db::Op::Gt, db::Value(3600.0)}})) {
+    const auto queue = jobs.at(id, "queue").as_text();
+    if (queue == "normal" || queue == "largemem") out.push_back(id);
+  }
+  return out;
+}
+
+double correlate(const db::Table& jobs, const std::vector<db::RowId>& rows,
+                 const char* metric) {
+  std::vector<double> x, y;
+  for (const auto id : rows) {
+    const auto& cpu = jobs.at(id, "CPU_Usage");
+    const auto& v = jobs.at(id, metric);
+    if (cpu.is_null() || v.is_null()) continue;
+    x.push_back(cpu.as_real());
+    y.push_back(v.as_real());
+  }
+  return util::pearson(std::span<const double>(x.data(), x.size()),
+                       std::span<const double>(y.data(), y.size()));
+}
+
+void report() {
+  bench::banner("Section V-B: the Lustre metadata-storm case study");
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+
+  const auto storm =
+      jobs.select({{"user", db::Op::Eq, db::Value("wrfuser42")}});
+  std::vector<db::RowId> wrf_rest;
+  for (const auto id :
+       jobs.select({{"exe", db::Op::Eq, db::Value("wrf.exe")}})) {
+    if (jobs.at(id, "user").as_text() != "wrfuser42") {
+      wrf_rest.push_back(id);
+    }
+  }
+  auto avg = [&](const char* metric, const std::vector<db::RowId>& rows) {
+    return jobs.aggregate(db::Agg::Avg, metric, rows);
+  };
+
+  bench::ReproTable cohort;
+  cohort.row("storm user's WRF jobs", "105", std::to_string(storm.size()),
+             "kept at absolute scale");
+  cohort.row("WRF population jobs", "16,741", std::to_string(wrf_rest.size()),
+             "scaled ~1:20");
+  cohort.row("storm CPU_Usage", "67%",
+             bench::pct(avg("CPU_Usage", storm)), "");
+  cohort.row("WRF population CPU_Usage", "80%",
+             bench::pct(avg("CPU_Usage", wrf_rest)), "");
+  cohort.row("storm MetaDataRate", "563,905 reqs/s",
+             bench::num(avg("MetaDataRate", storm), 6),
+             "open/close per loop iteration");
+  cohort.row("WRF population MetaDataRate", "3,870 reqs/s",
+             bench::num(avg("MetaDataRate", wrf_rest), 4), "");
+  cohort.row("storm LLiteOpenClose", "30,884 /s",
+             bench::num(avg("LLiteOpenClose", storm), 6), "");
+  cohort.row("WRF population LLiteOpenClose", "2 /s",
+             bench::num(avg("LLiteOpenClose", wrf_rest), 3), "");
+  cohort.print();
+
+  const auto production = production_rows(jobs);
+  std::printf("\nProduction-job correlations with CPU_Usage (paper: the\n"
+              "principal predictor of poor CPU utilization is Lustre I/O):\n\n");
+  bench::ReproTable corr;
+  corr.row("production jobs", "110,438", std::to_string(production.size()),
+           "completed, production queues, > 1 h");
+  corr.row("corr(CPU_Usage, MDCReqs)", "-0.11",
+           bench::num(correlate(jobs, production, "MDCReqs"), 3), "");
+  corr.row("corr(CPU_Usage, OSCReqs)", "-0.20",
+           bench::num(correlate(jobs, production, "OSCReqs"), 3), "");
+  corr.row("corr(CPU_Usage, LnetAveBW)", "-0.19",
+           bench::num(correlate(jobs, production, "LnetAveBW"), 3), "");
+  corr.print();
+  std::printf(
+      "\nShape check: all three correlations are negative, OSC/LNET couple\n"
+      "more strongly than MDC, and the storm cohort sits orders of\n"
+      "magnitude above the WRF population on both metadata metrics while\n"
+      "paying a double-digit CPU_Usage penalty.\n");
+}
+
+void BM_CohortAggregation(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  for (auto _ : state) {
+    const auto storm =
+        jobs.select({{"user", db::Op::Eq, db::Value("wrfuser42")}});
+    benchmark::DoNotOptimize(
+        jobs.aggregate(db::Agg::Avg, "MetaDataRate", storm));
+  }
+}
+BENCHMARK(BM_CohortAggregation)->Unit(benchmark::kMicrosecond);
+
+void BM_ProductionCorrelation(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  const auto production = production_rows(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlate(jobs, production, "OSCReqs"));
+  }
+}
+BENCHMARK(BM_ProductionCorrelation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TS_BENCH_MAIN(report)

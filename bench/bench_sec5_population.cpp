@@ -1,0 +1,88 @@
+// Section V-A reproduction: the population-level threshold searches.
+// Paper numbers (Stampede, Q4 2015, 404,002 jobs):
+//   * 1.3% of jobs used the Xeon Phi for more than 1% of cpu time;
+//   * 52% of jobs had >1% of FP operations vectorized, 25% had >50%;
+//   * 3% of jobs used more than 20 GB of the 32 GB nodes;
+//   * over 2% of jobs had entirely idle nodes (dozens daily);
+// plus the flag sublist categories the portal attaches to every search.
+#include "bench_common.hpp"
+
+#include "portal/report.hpp"
+
+namespace {
+
+using namespace tacc;
+
+db::Database& shared_db() {
+  static db::Database database;
+  static bool built = false;
+  if (!built) {
+    bench::build_population_db(database, 3000);
+    built = true;
+  }
+  return database;
+}
+
+void report() {
+  bench::banner("Section V-A: population statistics (threshold searches)");
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  const double total = static_cast<double>(jobs.num_rows());
+  auto count = [&](std::vector<db::Predicate> preds) {
+    return jobs.aggregate_where(db::Agg::Count, "", std::move(preds));
+  };
+
+  bench::ReproTable t;
+  t.row("jobs analyzed", "404,002", bench::num(total, 6),
+        "scaled ~1:20; every job ran the full pipeline");
+  t.row("MIC_Usage > 1%", "1.3%",
+        bench::pct(count({{"MIC_Usage", db::Op::Gt, db::Value(0.01)}}) /
+                   total),
+        "users struggle to adopt the Phi");
+  t.row("VecPercent > 1%", "52%",
+        bench::pct(count({{"VecPercent", db::Op::Gt, db::Value(0.01)}}) /
+                   total),
+        "half the workload effectively unvectorized");
+  t.row("VecPercent > 50%", "25%",
+        bench::pct(count({{"VecPercent", db::Op::Gt, db::Value(0.50)}}) /
+                   total),
+        "a quarter vectorize well");
+  t.row("MemUsage > 20 GB (32 GB nodes)", "3%",
+        bench::pct(count({{"MemUsage", db::Op::Gt, db::Value(20.0)},
+                          {"queue", db::Op::Ne, db::Value("largemem")}}) /
+                   total),
+        "most users don't need more memory");
+  t.row("jobs with idle nodes", ">2%",
+        bench::pct(count({{"idle", db::Op::Lt, db::Value(0.15)}}) / total),
+        "misconfigured launch scripts");
+  t.print();
+
+  std::printf("\nFlag breakdown over the whole population:\n\n");
+  std::fputs(
+      portal::population_summary(jobs, jobs.select({})).c_str(), stdout);
+  std::printf("\nDaily report excerpt (consulting-staff view):\n\n");
+  std::fputs(
+      portal::daily_report(jobs, util::make_time(2015, 11, 10)).c_str(),
+      stdout);
+}
+
+void BM_ThresholdCount(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jobs.aggregate_where(
+        db::Agg::Count, "", {{"VecPercent", db::Op::Gt, db::Value(0.5)}}));
+  }
+}
+BENCHMARK(BM_ThresholdCount)->Unit(benchmark::kMicrosecond);
+
+void BM_PopulationSummary(benchmark::State& state) {
+  auto& jobs = shared_db().table(pipeline::kJobsTable);
+  const auto rows = jobs.select({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portal::population_summary(jobs, rows));
+  }
+}
+BENCHMARK(BM_PopulationSummary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TS_BENCH_MAIN(report)

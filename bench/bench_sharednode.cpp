@@ -1,0 +1,118 @@
+// Section VI-C reproduction: shared-node process attribution. The scheme:
+// an LD_PRELOADed constructor/destructor signals tacc_statsd at every
+// process start/stop; each signal triggers a collection labeled with the
+// current job list, guaranteeing at least two collections per process.
+// While a ~0.09 s collection is in flight, one further signal can be
+// captured; more are missed until the next interval collection. The
+// harness sweeps process churn rates and reports capture/miss/overhead.
+#include "bench_common.hpp"
+
+#include "core/sharednode.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tacc;
+
+constexpr util::SimTime kStart = 1451865600LL * util::kSecond;
+
+struct ChurnResult {
+  core::SharedNodeStats stats;
+  double overhead_frac = 0.0;  // core-seconds spent collecting / elapsed
+};
+
+/// Runs `procs` process start/stop pairs over `window` with exponential
+/// inter-arrival times.
+ChurnResult run_churn(int procs, util::SimTime window, std::uint64_t seed) {
+  int collections = 0;
+  core::SharedNodeTracker tracker(
+      [&](util::SimTime, const std::string&) { ++collections; });
+  util::Rng rng("sharednode.churn", seed);
+  struct Event {
+    util::SimTime t;
+    int pid;
+    long jobid;
+    bool start;
+  };
+  std::vector<Event> events;
+  for (int p = 0; p < procs; ++p) {
+    const auto t0 = kStart + static_cast<util::SimTime>(
+                                 rng.uniform() * static_cast<double>(window));
+    const auto dur = util::from_seconds(rng.exponential(30.0));
+    events.push_back({t0, 1000 + p, p % 4, true});
+    events.push_back({std::min(t0 + dur, kStart + window), 1000 + p,
+                      p % 4, false});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.t < b.t; });
+  for (const auto& e : events) {
+    if (e.start) {
+      tracker.process_started(e.t, e.pid, e.jobid);
+    } else {
+      tracker.process_ended(e.t, e.pid, e.jobid);
+    }
+  }
+  ChurnResult result;
+  result.stats = tracker.stats();
+  result.overhead_frac =
+      static_cast<double>(result.stats.collections_triggered) * 0.09 /
+      util::to_seconds(window);
+  return result;
+}
+
+void report() {
+  bench::banner("Section VI-C: shared-node process attribution");
+
+  bench::ReproTable t;
+  t.row("collections per process", ">= 2 (start + stop signals)",
+        "2 when signals are captured",
+        "constructor/destructor LD_PRELOAD hooks");
+  t.row("simultaneous starts handled", "2 (one can queue while busy)",
+        "2 (verified by tests)", "third in the 0.09 s window is missed");
+  t.row("collection cost", "~0.09 s of one core",
+        "modeled at 0.09 s", "drives the race window");
+  t.print();
+
+  std::printf("\nProcess-churn sweep over a 1-hour window:\n\n");
+  util::TextTable sweep;
+  sweep.header({"Starts+stops/hour", "Captured", "Coalesced", "Missed",
+                "Collection overhead"});
+  for (const int procs : {10, 100, 1000, 5000, 20000}) {
+    const auto r = run_churn(procs, util::kHour, 7);
+    sweep.row({std::to_string(2 * procs),
+               std::to_string(r.stats.collections_triggered),
+               std::to_string(r.stats.signals_coalesced),
+               std::to_string(r.stats.signals_missed),
+               bench::pct(r.overhead_frac, 3)});
+  }
+  std::fputs(sweep.render().c_str(), stdout);
+  std::printf(
+      "\nAs the paper notes, overhead grows with process churn (long-running\n"
+      "processes add nothing: all processes on a node share one collection),\n"
+      "and misses only appear when a third signal lands inside the 0.09 s\n"
+      "service window.\n");
+}
+
+void BM_SignalHandling(benchmark::State& state) {
+  core::SharedNodeTracker tracker([](util::SimTime, const std::string&) {});
+  util::SimTime t = kStart;
+  int pid = 1;
+  for (auto _ : state) {
+    ++pid;
+    tracker.process_started(t += util::kSecond, pid, pid % 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignalHandling);
+
+void BM_ChurnHour(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_churn(static_cast<int>(state.range(0)), util::kHour, 11));
+  }
+}
+BENCHMARK(BM_ChurnHour)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TS_BENCH_MAIN(report)

@@ -1,0 +1,96 @@
+// Interactive-style portal exploration over a generated population: runs a
+// set of canned searches a consultant would issue, prints lists, detail
+// views, histograms, and the daily report. A fifth example showing the
+// analysis surface end to end without the case-study narrative.
+//
+//   ./examples/portal_explore [num_jobs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipeline/ingest.hpp"
+#include "pipeline/minisim.hpp"
+#include "portal/report.hpp"
+#include "portal/search.hpp"
+#include "portal/views.hpp"
+#include "workload/generator.hpp"
+
+using namespace tacc;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 1200;
+  workload::PopulationConfig config;
+  config.num_jobs = num_jobs;
+  config.storm_jobs = 25;
+  auto jobs = workload::generate_population(config);
+  db::Database database;
+  pipeline::MiniSimOptions opts;
+  opts.samples = 3;
+  std::printf("ingesting %zu jobs...\n\n", jobs.size());
+  ingest_population(database, jobs, opts);
+  auto& table = database.table(pipeline::kJobsTable);
+
+  struct Canned {
+    const char* title;
+    portal::PortalQuery query;
+  };
+  std::vector<Canned> searches;
+  {
+    portal::PortalQuery q;
+    q.user = "wrfuser42";
+    searches.push_back({"jobs by the storm user", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.queue = "largemem";
+    searches.push_back({"everything in the largemem queue", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.status = "FAILED";
+    q.search_fields = {"catastrophe__lt=0.25"};
+    searches.push_back({"failed jobs with a mid-run CPU collapse", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.search_fields = {"VecPercent__lt=0.01", "flops__gt=0.5"};
+    searches.push_back({"real FP work, effectively unvectorized", q});
+  }
+  {
+    portal::PortalQuery q;
+    q.search_fields = {"PkgWatts__gt=150"};
+    searches.push_back({"hottest nodes by RAPL package power", q});
+  }
+
+  for (const auto& s : searches) {
+    std::printf("== %s ==\n", s.title);
+    const auto rows = portal::run_query(table, s.query);
+    std::fputs(portal::job_list_view(table, rows, 6).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  // Histograms for one of them.
+  std::printf("== histograms: storm user's jobs ==\n");
+  portal::PortalQuery q;
+  q.user = "wrfuser42";
+  std::fputs(
+      portal::query_histograms(table, portal::run_query(table, q), 8)
+          .c_str(),
+      stdout);
+
+  // "View all jobs for a given date" (Fig. 3's calendar), newest first.
+  std::printf("== browse by date: 2015-11-17 ==\n");
+  std::fputs(portal::job_list_view(
+                 table,
+                 portal::browse_date(table, util::make_time(2015, 11, 17)),
+                 8)
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+
+  // Daily report for a mid-quarter day.
+  std::printf("== daily report ==\n\n");
+  std::fputs(
+      portal::daily_report(table, util::make_time(2015, 11, 17)).c_str(),
+      stdout);
+  return 0;
+}

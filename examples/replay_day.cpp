@@ -1,0 +1,108 @@
+// Offline replay workflow: run a monitored day, persist everything a site
+// actually keeps on disk (the raw-stats spool plus the scheduler's
+// accounting dump), then — as a fresh analysis process would — reload both
+// files, rebuild the jobs database, and print the daily report. This is
+// how historical days are (re)processed when metrics definitions change.
+//
+//   ./examples/replay_day
+#include <cstdio>
+#include <filesystem>
+
+#include "core/scheduler.hpp"
+#include "pipeline/ingest.hpp"
+#include "portal/report.hpp"
+#include "transport/spool.hpp"
+#include "workload/acctfile.hpp"
+#include "workload/generator.hpp"
+
+using namespace tacc;
+
+int main() {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "ts_replay_demo";
+  fs::remove_all(root);
+
+  const util::SimTime day = util::make_time(2016, 1, 12);
+
+  // ---- Phase 1: the live day ---------------------------------------------
+  {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = 8;
+    cc.topology = simhw::Topology{2, 4, false};
+    cc.phi_fraction = 0.0;
+    simhw::Cluster cluster(cc);
+    core::MonitorConfig mc;
+    mc.start = day;
+    mc.online_analysis = false;
+    core::ClusterMonitor monitor(cluster, mc);
+    core::LiveScheduler scheduler(monitor, cluster.size());
+
+    const char* profiles[] = {"wrf", "md_engine", "genomics_io",
+                              "cfd_scalar", "mpi_gige"};
+    for (long i = 0; i < 10; ++i) {
+      workload::JobSpec job;
+      job.jobid = 5200 + i;
+      job.user = "user" + std::to_string(i % 4);
+      job.account = "TG-" + std::to_string(i % 3);
+      job.profile = profiles[i % 5];
+      job.exe = workload::find_profile(job.profile).exe;
+      job.nodes = 1 + static_cast<int>(i % 3);
+      job.wayness = 8;
+      job.submit_time = day + i * 90 * util::kMinute;
+      job.start_time = job.submit_time;
+      job.end_time = job.submit_time + 2 * util::kHour;
+      scheduler.submit(job);
+    }
+    scheduler.drain_jobs(day + util::kDay);
+    monitor.drain();
+
+    // Persist what a site keeps: the spool and the accounting dump.
+    transport::Spool spool(root / "spool");
+    const auto files = spool.write_archive(monitor.archive());
+    std::vector<workload::AccountingRecord> acct;
+    for (const auto& done : scheduler.completed()) {
+      std::vector<std::string> hosts;
+      // Node list from the archive (the scheduler's epilog knows it too).
+      for (const auto& host : monitor.archive().hosts()) {
+        const auto log = monitor.archive().log(host);
+        for (const auto& rec : log.records) {
+          if (std::find(rec.jobids.begin(), rec.jobids.end(), done.jobid) !=
+              rec.jobids.end()) {
+            hosts.push_back(host);
+            break;
+          }
+        }
+      }
+      acct.push_back(workload::to_accounting(done, hosts));
+    }
+    workload::write_accounting_file(root / "accounting.txt", acct);
+    std::printf("live day done: %zu jobs, %zu records spooled into %zu "
+                "files, accounting dump written\n",
+                scheduler.completed().size(),
+                monitor.archive().total_records(), files);
+  }
+
+  // ---- Phase 2: the replay (a fresh process, only files as input) --------
+  {
+    transport::Spool spool(root / "spool");
+    transport::RawArchive archive;
+    std::size_t records = 0;
+    for (const auto& d : spool.days()) records += spool.load_day(d, archive);
+    const auto acct = workload::read_accounting_file(root / "accounting.txt");
+    std::printf("\nreplay: %zu records from %zu spool day(s), %zu "
+                "accounting rows\n",
+                records, spool.days().size(), acct.size());
+
+    db::Database database;
+    const auto ingested =
+        pipeline::ingest_from_archive(database, archive, acct);
+    std::printf("jobs rebuilt from disk: %zu\n\n", ingested);
+    const auto& jobs = database.table(pipeline::kJobsTable);
+    std::fputs(portal::daily_report(jobs, day).c_str(), stdout);
+    std::printf("\nPer-project accounting:\n\n");
+    std::fputs(portal::group_report(jobs, jobs.select({})).c_str(), stdout);
+  }
+
+  fs::remove_all(root);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared-node attribution example, paper section VI-C.
+//
+// Two jobs share one node. Each process start/stop fires the LD_PRELOAD
+// constructor/destructor signal; every captured signal triggers a
+// collection labeled with the current job list, so even second-long
+// processes are bracketed by two data points. The race policy (one signal
+// can queue behind a running ~0.09 s collection, further ones are missed)
+// is visible in the stats.
+//
+//   ./examples/shared_nodes
+#include <cstdio>
+
+#include "collect/registry.hpp"
+#include "core/sharednode.hpp"
+#include "simhw/node.hpp"
+
+using namespace tacc;
+
+int main() {
+  simhw::NodeConfig nc;
+  nc.hostname = "c405-017";
+  nc.topology = simhw::Topology{2, 8, false};
+  simhw::Node node(nc);
+  collect::HostSampler sampler(node);
+  auto log = sampler.make_log();
+
+  const util::SimTime t0 = util::make_time(2016, 1, 12, 10, 0);
+  core::SharedNodeTracker tracker(
+      [&](util::SimTime t, const std::string& mark) {
+        log.records.push_back(
+            sampler.sample(t, tracker.current_jobs(), mark));
+      });
+
+  std::printf("two jobs share %s; process events:\n\n",
+              node.hostname().c_str());
+  struct Event {
+    double at_s;
+    int pid;
+    long job;
+    bool start;
+    const char* what;
+  };
+  const Event timeline[] = {
+      {0.00, 101, 501, true, "job 501 rank 0 starts"},
+      {0.00, 102, 501, true, "job 501 rank 1 starts (same instant: queued)"},
+      {0.05, 103, 502, true, "job 502 starts inside the busy window"},
+      {0.20, 104, 502, true, "job 502 helper starts"},
+      {45.0, 103, 502, false, "job 502 main process exits"},
+      {45.1, 104, 502, false, "job 502 helper exits"},
+      {90.0, 101, 501, false, "job 501 rank 0 exits"},
+      {90.2, 102, 501, false, "job 501 rank 1 exits"},
+  };
+  for (const auto& e : timeline) {
+    const util::SimTime t = t0 + util::from_seconds(e.at_s);
+    if (e.start) {
+      tracker.process_started(t, e.pid, e.job);
+    } else {
+      tracker.process_ended(t, e.pid, e.job);
+    }
+    std::printf("t+%6.2fs  %-52s jobs now: [", e.at_s, e.what);
+    const auto jobs = tracker.current_jobs();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::printf("%s%ld", i ? "," : "", jobs[i]);
+    }
+    std::printf("]\n");
+  }
+
+  const auto& stats = tracker.stats();
+  std::printf("\nsignals received:   %llu\n",
+              static_cast<unsigned long long>(stats.signals_received));
+  std::printf("collections:        %llu\n",
+              static_cast<unsigned long long>(stats.collections_triggered));
+  std::printf("coalesced (queued): %llu\n",
+              static_cast<unsigned long long>(stats.signals_coalesced));
+  std::printf("missed (race):      %llu  <- the third signal inside 0.09 s\n",
+              static_cast<unsigned long long>(stats.signals_missed));
+
+  std::printf("\ncollected records and their job labels:\n");
+  for (const auto& rec : log.records) {
+    std::printf("  %s  %-9s jobs=[", util::format_time(rec.time).c_str(),
+                rec.mark.c_str());
+    for (std::size_t i = 0; i < rec.jobids.size(); ++i) {
+      std::printf("%s%ld", i ? "," : "", rec.jobids[i]);
+    }
+    std::printf("]  (%zu device blocks)\n", rec.blocks.size());
+  }
+  std::printf(
+      "\nWith jobs pinned to disjoint cores (cgroups), the per-core and\n"
+      "per-process data in these records attribute cleanly; node-level\n"
+      "counters (IB, Lustre) remain shared, as the paper cautions.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// The section V-B Lustre I/O case study as a runnable walkthrough.
+//
+// A consultant's session: a portal search over WRF jobs shows metadata-rate
+// outliers (Fig. 4); drilling into one outlier job shows the Fig. 5 panels
+// (huge MDS request rate, negligible Lustre bandwidth, depressed CPU user
+// fraction); ORM-style aggregation then compares the offending user's
+// cohort against the whole WRF population.
+//
+//   ./examples/wrf_io_case_study [num_jobs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipeline/ingest.hpp"
+#include "pipeline/minisim.hpp"
+#include "portal/plots.hpp"
+#include "portal/search.hpp"
+#include "portal/views.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+#include "xalt/xalt.hpp"
+
+using namespace tacc;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 1500;
+
+  // Build the quarter's population (scaled) and run every job through the
+  // monitoring + analysis pipeline.
+  workload::PopulationConfig config;
+  config.num_jobs = num_jobs;
+  config.storm_jobs = 60;
+  auto jobs = workload::generate_population(config);
+  db::Database database;
+  pipeline::MiniSimOptions opts;
+  opts.samples = 3;
+  std::printf("simulating %zu jobs through the full pipeline...\n",
+              jobs.size());
+  ingest_population(database, jobs, opts);
+  auto& table = database.table(pipeline::kJobsTable);
+  // The XALT plugin captured every job's environment.
+  auto& xalt_table = xalt::create_xalt_table(database);
+  for (const auto& spec : jobs) {
+    xalt::ingest_record(xalt_table, xalt::synthesize_record(spec));
+  }
+
+  // Step 1: the portal search over WRF jobs.
+  portal::PortalQuery q;
+  q.exe = "wrf.exe";
+  q.min_runtime_s = 600.0;
+  const auto wrf_rows = portal::run_query(table, q);
+  std::printf("\n-- portal search: exe=wrf.exe, runtime>10m --\n");
+  std::fputs(portal::job_list_view(table, wrf_rows, 8).c_str(), stdout);
+  std::fputs(portal::query_histograms(table, wrf_rows, 10).c_str(), stdout);
+
+  // Step 2: who owns the outliers?
+  portal::PortalQuery outlierq = q;
+  outlierq.search_fields = {"MetaDataRate__gte=100000"};
+  const auto outliers = portal::run_query(table, outlierq);
+  std::printf("-- outliers (MetaDataRate >= 100k/s): %zu jobs --\n",
+              outliers.size());
+  std::fputs(portal::flagged_sublist(table, outliers, 5).c_str(), stdout);
+
+  // Step 3: detailed view of one outlier, with the Fig. 5 panels
+  // regenerated from a fresh collection of that job.
+  if (!outliers.empty()) {
+    const auto row = outliers.front();
+    std::fputs(portal::job_detail_view(table, row, &xalt_table).c_str(),
+               stdout);
+    for (const auto& spec : jobs) {
+      if (spec.jobid == table.at(row, "jobid").as_int()) {
+        pipeline::MiniSimOptions detail;
+        detail.samples = 11;
+        const auto data = simulate_job(spec, detail);
+        std::printf("\n-- per-node time series (Fig. 5 panels) --\n");
+        std::fputs(
+            portal::render_job_plots(pipeline::job_timeseries(data)).c_str(),
+            stdout);
+        break;
+      }
+    }
+  }
+
+  // Step 4: cohort aggregation (the Django-ORM step of the paper).
+  const auto storm =
+      table.select({{"user", db::Op::Eq, db::Value("wrfuser42")}});
+  std::vector<db::RowId> rest;
+  for (const auto id : wrf_rows) {
+    if (table.at(id, "user").as_text() != "wrfuser42") rest.push_back(id);
+  }
+  util::TextTable cohort;
+  cohort.header({"Cohort", "Jobs", "CPU_Usage", "MetaDataRate",
+                 "LLiteOpenClose"});
+  auto rowfor = [&](const char* name, const std::vector<db::RowId>& rows) {
+    cohort.row({name, std::to_string(rows.size()),
+                util::TextTable::num(
+                    table.aggregate(db::Agg::Avg, "CPU_Usage", rows), 3),
+                util::TextTable::num(
+                    table.aggregate(db::Agg::Avg, "MetaDataRate", rows), 6),
+                util::TextTable::num(
+                    table.aggregate(db::Agg::Avg, "LLiteOpenClose", rows),
+                    5)});
+  };
+  rowfor("storm user", storm);
+  rowfor("WRF population", rest);
+  std::printf("\n-- cohort comparison (ORM aggregation) --\n");
+  std::fputs(cohort.render().c_str(), stdout);
+  std::printf(
+      "\nDiagnosis (as in the paper): the user's input loop opens and closes\n"
+      "a file every iteration to read one parameter; the metadata requests\n"
+      "load the MDS and cost the job ~13 points of CPU utilization.\n");
+  return 0;
+}

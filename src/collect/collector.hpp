@@ -1,0 +1,35 @@
+// Collector interface. One collector per device type; each reads the node
+// through its hardware interfaces (MSR/PCI/procfs) and emits one RawBlock
+// per device instance.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collect/rawfile.hpp"
+#include "collect/schema.hpp"
+#include "simhw/node.hpp"
+
+namespace tacc::collect {
+
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  /// The schema describing this collector's value columns.
+  virtual const Schema& schema() const noexcept = 0;
+
+  /// One-time device setup (e.g. programming PERFEVTSEL registers).
+  /// Called once when the collector is attached to a node.
+  virtual void configure(simhw::Node& node) { (void)node; }
+
+  /// Reads the device(s) and appends one RawBlock per instance to `out`.
+  /// Absent hardware (no Lustre mount, no Phi) appends nothing. May throw
+  /// simhw::NodeFailedError if the node is down.
+  virtual void collect(const simhw::Node& node,
+                       std::vector<RawBlock>& out) const = 0;
+};
+
+using CollectorPtr = std::unique_ptr<Collector>;
+
+}  // namespace tacc::collect

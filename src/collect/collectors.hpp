@@ -1,0 +1,194 @@
+// The concrete device collectors (paper section III-B). Each one reads the
+// same surface the C tool reads: procfs/sysfs text, MSRs, or PCI config
+// space.
+#pragma once
+
+#include "collect/collector.hpp"
+
+namespace tacc::collect {
+
+/// Scheduler accounting per logical cpu, from /proc/stat.
+class CpuCollector final : public Collector {
+ public:
+  CpuCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Core performance counters, from MSRs. The schema type is the
+/// architecture codename (hsw, snb, ...) and its entries depend on the PMC
+/// budget: 4 programmable events with hyperthreading, 8 without, plus the
+/// fixed-function instructions/cycles counters. Construct via `probe`.
+class PmcCollector final : public Collector {
+ public:
+  /// Builds the collector for the node's detected architecture/topology.
+  /// Returns nullptr for unknown CPUID signatures.
+  static std::unique_ptr<PmcCollector> probe(const simhw::Node& node);
+
+  const Schema& schema() const noexcept override { return schema_; }
+  void configure(simhw::Node& node) override;
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  PmcCollector(const simhw::ArchSpec& spec, int pmcs);
+  const simhw::ArchSpec& spec_;
+  int pmcs_;  // programmable counters used
+  Schema schema_;
+};
+
+/// Uncore iMC CAS counters (memory bandwidth), from PCI config space.
+/// Emits nothing on architectures whose uncore is not PCI-based.
+class ImcCollector final : public Collector {
+ public:
+  ImcCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Uncore QPI data-flit counters, from PCI config space.
+class QpiCollector final : public Collector {
+ public:
+  QpiCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// RAPL energy counters per socket, from MSRs. Values are raw register
+/// units (2^-16 J); the schema scale converts to microjoules downstream,
+/// and the 32-bit width drives wrap correction.
+class RaplCollector final : public Collector {
+ public:
+  RaplCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// InfiniBand port counters from sysfs. Data counters are in 4-byte words
+/// (schema scale 4 -> bytes).
+class IbCollector final : public Collector {
+ public:
+  IbCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// GigE counters from /proc/net/dev (eth0).
+class NetCollector final : public Collector {
+ public:
+  NetCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Lustre llite (VFS-level) stats: file opens/closes and read/write bytes.
+class LliteCollector final : public Collector {
+ public:
+  LliteCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Lustre metadata-client stats: request count and summed wait time.
+class MdcCollector final : public Collector {
+ public:
+  MdcCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Lustre object-storage-client stats, one block per OST target.
+class OscCollector final : public Collector {
+ public:
+  OscCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// LNET counters (Lustre traffic on the fabric), from /proc/sys/lnet/stats.
+class LnetCollector final : public Collector {
+ public:
+  LnetCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Node memory gauges from /proc/meminfo (MemUsed = Total - Free - Cached).
+class MemCollector final : public Collector {
+ public:
+  MemCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Per-process data from procfs (section III-B item 4): virtual-memory
+/// sizes and high-water marks, thread count, affinities. The block device
+/// id is "<pid>:<executable>".
+class PsCollector final : public Collector {
+ public:
+  PsCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Xeon Phi utilization, accessed from the host.
+class MicCollector final : public Collector {
+ public:
+  MicCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace tacc::collect

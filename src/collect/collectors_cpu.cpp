@@ -1,0 +1,93 @@
+// CPU scheduler accounting and core performance-counter collectors.
+#include <stdexcept>
+
+#include "collect/collectors.hpp"
+#include "simhw/msr.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+
+using simhw::msr::kFixedCtrCycles;
+using simhw::msr::kFixedCtrInstructions;
+using simhw::msr::kPerfEvtSelBase;
+using simhw::msr::kPmcBase;
+
+CpuCollector::CpuCollector()
+    : schema_("cpu", {{"user", true, 64, "jiffies", 1.0},
+                      {"nice", true, 64, "jiffies", 1.0},
+                      {"system", true, 64, "jiffies", 1.0},
+                      {"idle", true, 64, "jiffies", 1.0},
+                      {"iowait", true, 64, "jiffies", 1.0}}) {}
+
+void CpuCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/proc/stat");
+  if (!text) return;
+  for (const auto line : util::split_lines(*text)) {
+    if (!util::starts_with(line, "cpu")) continue;
+    const auto fields = util::split_ws(line);
+    // Skip the aggregate "cpu" line; keep per-cpu "cpuN" lines.
+    if (fields[0] == "cpu") continue;
+    RawBlock block;
+    block.type = schema_.type();
+    block.device = std::string(fields[0].substr(3));
+    for (std::size_t i = 1; i <= 5 && i < fields.size(); ++i) {
+      const auto v = util::parse_u64(fields[i]);
+      block.values.push_back(v.value_or(0));
+    }
+    if (block.values.size() == schema_.size()) out.push_back(std::move(block));
+  }
+}
+
+PmcCollector::PmcCollector(const simhw::ArchSpec& spec, int pmcs)
+    : spec_(spec), pmcs_(pmcs) {
+  std::vector<SchemaEntry> entries;
+  entries.push_back({"instructions", true, simhw::msr::kCoreCounterBits,
+                     "insts", 1.0});
+  entries.push_back(
+      {"cycles", true, simhw::msr::kCoreCounterBits, "cycles", 1.0});
+  for (int i = 0; i < pmcs_ && i < static_cast<int>(spec.pmc_events.size());
+       ++i) {
+    entries.push_back({std::string(to_string(spec.pmc_events[i].event)), true,
+                       simhw::msr::kCoreCounterBits, "events", 1.0});
+  }
+  schema_ = Schema(spec.codename, std::move(entries));
+}
+
+std::unique_ptr<PmcCollector> PmcCollector::probe(const simhw::Node& node) {
+  const auto id = node.cpuid();
+  const simhw::ArchSpec* spec = simhw::arch_from_cpuid(id.family, id.model);
+  if (spec == nullptr) return nullptr;
+  const int pmcs = node.topology().pmcs_per_core();
+  return std::unique_ptr<PmcCollector>(new PmcCollector(*spec, pmcs));
+}
+
+void PmcCollector::configure(simhw::Node& node) {
+  for (int cpu = 0; cpu < node.topology().logical_cpus(); ++cpu) {
+    for (int i = 0;
+         i < pmcs_ && i < static_cast<int>(spec_.pmc_events.size()); ++i) {
+      const auto& enc = spec_.pmc_events[static_cast<std::size_t>(i)];
+      node.write_msr(cpu, kPerfEvtSelBase + static_cast<std::uint32_t>(i),
+                     simhw::msr::make_evtsel(enc.event_select, enc.umask));
+    }
+  }
+}
+
+void PmcCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  for (int cpu = 0; cpu < node.topology().logical_cpus(); ++cpu) {
+    RawBlock block;
+    block.type = schema_.type();
+    block.device = std::to_string(cpu);
+    block.values.push_back(node.read_msr(cpu, kFixedCtrInstructions));
+    block.values.push_back(node.read_msr(cpu, kFixedCtrCycles));
+    for (int i = 0;
+         i < pmcs_ && i < static_cast<int>(spec_.pmc_events.size()); ++i) {
+      block.values.push_back(
+          node.read_msr(cpu, kPmcBase + static_cast<std::uint32_t>(i)));
+    }
+    out.push_back(std::move(block));
+  }
+}
+
+}  // namespace tacc::collect

@@ -1,0 +1,146 @@
+#include "collect/collectors_extra.hpp"
+
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+namespace {
+
+std::uint64_t field_after(std::string_view text, std::string_view key) {
+  for (const auto line : util::split_lines(text)) {
+    const auto fields = util::split_ws(line);
+    if (fields.size() >= 2 && fields[0] == key) {
+      return util::parse_u64(fields[1]).value_or(0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+NumaCollector::NumaCollector()
+    : schema_("numa", {{"numa_hit", true, 64, "pages", 1.0},
+                       {"numa_miss", true, 64, "pages", 1.0},
+                       {"numa_foreign", true, 64, "pages", 1.0},
+                       {"local_node", true, 64, "pages", 1.0},
+                       {"other_node", true, 64, "pages", 1.0}}) {}
+
+void NumaCollector::collect(const simhw::Node& node,
+                            std::vector<RawBlock>& out) const {
+  for (const auto& entry : node.list_dir("/sys/devices/system/node")) {
+    const auto text =
+        node.read_file("/sys/devices/system/node/" + entry + "/numastat");
+    if (!text) continue;
+    out.push_back(RawBlock{schema_.type(),
+                           entry.substr(4),  // "node0" -> "0"
+                           {field_after(*text, "numa_hit"),
+                            field_after(*text, "numa_miss"),
+                            field_after(*text, "numa_foreign"),
+                            field_after(*text, "local_node"),
+                            field_after(*text, "other_node")}});
+  }
+}
+
+VmCollector::VmCollector()
+    : schema_("vm", {{"pgpgin", true, 64, "KB", 1.0},
+                     {"pgpgout", true, 64, "KB", 1.0},
+                     {"pswpin", true, 64, "pages", 1.0},
+                     {"pswpout", true, 64, "pages", 1.0},
+                     {"pgfault", true, 64, "faults", 1.0},
+                     {"pgmajfault", true, 64, "faults", 1.0}}) {}
+
+void VmCollector::collect(const simhw::Node& node,
+                          std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/proc/vmstat");
+  if (!text) return;
+  out.push_back(RawBlock{schema_.type(),
+                         {},
+                         {field_after(*text, "pgpgin"),
+                          field_after(*text, "pgpgout"),
+                          field_after(*text, "pswpin"),
+                          field_after(*text, "pswpout"),
+                          field_after(*text, "pgfault"),
+                          field_after(*text, "pgmajfault")}});
+}
+
+BlockCollector::BlockCollector()
+    : schema_("block", {// Sector counters scale to bytes (512 B sectors).
+                        {"rd_ios", true, 64, "ios", 1.0},
+                        {"rd_bytes", true, 64, "bytes", 512.0},
+                        {"wr_ios", true, 64, "ios", 1.0},
+                        {"wr_bytes", true, 64, "bytes", 512.0},
+                        {"io_ticks", true, 64, "ms", 1.0}}) {}
+
+void BlockCollector::collect(const simhw::Node& node,
+                             std::vector<RawBlock>& out) const {
+  for (const auto& dev : node.list_dir("/sys/block")) {
+    const auto text = node.read_file("/sys/block/" + dev + "/stat");
+    if (!text) continue;
+    const auto fields = util::split_ws(util::trim(*text));
+    if (fields.size() < 11) continue;
+    out.push_back(RawBlock{schema_.type(),
+                           dev,
+                           {util::parse_u64(fields[0]).value_or(0),
+                            util::parse_u64(fields[2]).value_or(0),
+                            util::parse_u64(fields[4]).value_or(0),
+                            util::parse_u64(fields[6]).value_or(0),
+                            util::parse_u64(fields[9]).value_or(0)}});
+  }
+}
+
+VfsCollector::VfsCollector()
+    : schema_("vfs", {{"dentry_use", false, 64, "objs", 1.0},
+                      {"inode_use", false, 64, "objs", 1.0},
+                      {"file_use", false, 64, "objs", 1.0}}) {}
+
+void VfsCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  const auto dentry = node.read_file("/proc/sys/fs/dentry-state");
+  const auto inode = node.read_file("/proc/sys/fs/inode-nr");
+  const auto file = node.read_file("/proc/sys/fs/file-nr");
+  if (!dentry || !inode || !file) return;
+  auto first = [](const std::string& text) {
+    const auto fields = util::split_ws(util::trim(text));
+    return fields.empty() ? 0
+                          : util::parse_u64(fields[0]).value_or(0);
+  };
+  out.push_back(RawBlock{
+      schema_.type(), {}, {first(*dentry), first(*inode), first(*file)}});
+}
+
+SysvShmCollector::SysvShmCollector()
+    : schema_("sysv_shm", {{"segments", false, 64, "segs", 1.0},
+                           {"bytes", false, 64, "bytes", 1.0}}) {}
+
+void SysvShmCollector::collect(const simhw::Node& node,
+                               std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/proc/sysvipc/shm");
+  if (!text) return;
+  std::uint64_t segments = 0;
+  std::uint64_t bytes = 0;
+  bool header = true;
+  for (const auto line : util::split_lines(*text)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto fields = util::split_ws(line);
+    if (fields.size() < 7) continue;
+    bytes += util::parse_u64(fields[3]).value_or(0);
+    segments += util::parse_u64(fields[6]).value_or(0);
+  }
+  out.push_back(RawBlock{schema_.type(), {}, {segments, bytes}});
+}
+
+TmpfsCollector::TmpfsCollector()
+    : schema_("tmpfs", {{"bytes_used", false, 64, "bytes", 1.0}}) {}
+
+void TmpfsCollector::collect(const simhw::Node& node,
+                             std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/sys/kernel/mm/tmpfs_bytes");
+  if (!text) return;
+  out.push_back(RawBlock{
+      schema_.type(), "shm",
+      {util::parse_u64(util::trim(*text)).value_or(0)}});
+}
+
+}  // namespace tacc::collect

@@ -1,0 +1,82 @@
+// The remaining device collectors of the tool's standard set (Ref [3]
+// Table I: block, numa, vm, vfs, sysv_shm, tmpfs). These are collected into
+// the raw stream but are not part of the paper's per-job Table I metrics.
+#pragma once
+
+#include "collect/collector.hpp"
+
+namespace tacc::collect {
+
+/// NUMA allocation counters per node, from sysfs numastat.
+class NumaCollector final : public Collector {
+ public:
+  NumaCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Kernel VM activity, from /proc/vmstat.
+class VmCollector final : public Collector {
+ public:
+  VmCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// Local block device statistics, from /sys/block/<dev>/stat.
+class BlockCollector final : public Collector {
+ public:
+  BlockCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// VFS object gauges, from /proc/sys/fs.
+class VfsCollector final : public Collector {
+ public:
+  VfsCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// SysV shared-memory gauges, from /proc/sysvipc/shm.
+class SysvShmCollector final : public Collector {
+ public:
+  SysvShmCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+/// tmpfs (/dev/shm) usage gauge.
+class TmpfsCollector final : public Collector {
+ public:
+  TmpfsCollector();
+  const Schema& schema() const noexcept override { return schema_; }
+  void collect(const simhw::Node& node,
+               std::vector<RawBlock>& out) const override;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace tacc::collect

@@ -1,0 +1,91 @@
+// Lustre client collectors: llite (VFS), mdc (metadata), osc (object
+// storage). These parse the real /proc/fs/lustre stats text layout:
+//   <counter> <samples> samples [<unit>] [<min> <max> <sum>]
+#include "collect/collectors.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+namespace {
+
+struct StatLine {
+  std::uint64_t samples = 0;
+  std::uint64_t sum = 0;  // only for [bytes]/[usec] style lines
+};
+
+/// Parses one lustre stats file into (counter name -> samples/sum).
+StatLine find_stat(std::string_view text, std::string_view key) {
+  for (const auto line : util::split_lines(text)) {
+    const auto fields = util::split_ws(line);
+    if (fields.size() < 2 || fields[0] != key) continue;
+    StatLine out;
+    out.samples = util::parse_u64(fields[1]).value_or(0);
+    // "<key> N samples [unit] min max sum"
+    if (fields.size() >= 7) {
+      out.sum = util::parse_u64(fields[6]).value_or(0);
+    }
+    return out;
+  }
+  return {};
+}
+
+}  // namespace
+
+LliteCollector::LliteCollector()
+    : schema_("llite", {{"read_bytes", true, 64, "bytes", 1.0},
+                        {"write_bytes", true, 64, "bytes", 1.0},
+                        {"open", true, 64, "reqs", 1.0},
+                        {"close", true, 64, "reqs", 1.0}}) {}
+
+void LliteCollector::collect(const simhw::Node& node,
+                             std::vector<RawBlock>& out) const {
+  for (const auto& target : node.list_dir("/proc/fs/lustre/llite")) {
+    const auto text =
+        node.read_file("/proc/fs/lustre/llite/" + target + "/stats");
+    if (!text) continue;
+    out.push_back(RawBlock{schema_.type(),
+                           target,
+                           {find_stat(*text, "read_bytes").sum,
+                            find_stat(*text, "write_bytes").sum,
+                            find_stat(*text, "open").samples,
+                            find_stat(*text, "close").samples}});
+  }
+}
+
+MdcCollector::MdcCollector()
+    : schema_("mdc", {{"reqs", true, 64, "reqs", 1.0},
+                      {"wait", true, 64, "usec", 1.0}}) {}
+
+void MdcCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  for (const auto& target : node.list_dir("/proc/fs/lustre/mdc")) {
+    const auto text =
+        node.read_file("/proc/fs/lustre/mdc/" + target + "/stats");
+    if (!text) continue;
+    const auto wait = find_stat(*text, "req_waittime");
+    out.push_back(
+        RawBlock{schema_.type(), target, {wait.samples, wait.sum}});
+  }
+}
+
+OscCollector::OscCollector()
+    : schema_("osc", {{"reqs", true, 64, "reqs", 1.0},
+                      {"wait", true, 64, "usec", 1.0},
+                      {"read_bytes", true, 64, "bytes", 1.0},
+                      {"write_bytes", true, 64, "bytes", 1.0}}) {}
+
+void OscCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  for (const auto& target : node.list_dir("/proc/fs/lustre/osc")) {
+    const auto text =
+        node.read_file("/proc/fs/lustre/osc/" + target + "/stats");
+    if (!text) continue;
+    const auto wait = find_stat(*text, "req_waittime");
+    out.push_back(RawBlock{schema_.type(),
+                           target,
+                           {wait.samples, wait.sum,
+                            find_stat(*text, "read_bytes").sum,
+                            find_stat(*text, "write_bytes").sum}});
+  }
+}
+
+}  // namespace tacc::collect

@@ -1,0 +1,83 @@
+// Network collectors: InfiniBand port counters, GigE, LNET.
+#include "collect/collectors.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+
+IbCollector::IbCollector()
+    : schema_("ib", {// Data counters are reported by the HCA in 4-byte
+                     // words; scale converts to bytes downstream.
+                     {"port_rcv_data", true, 64, "bytes", 4.0},
+                     {"port_xmit_data", true, 64, "bytes", 4.0},
+                     {"port_rcv_pkts", true, 64, "packets", 1.0},
+                     {"port_xmit_pkts", true, 64, "packets", 1.0}}) {}
+
+void IbCollector::collect(const simhw::Node& node,
+                          std::vector<RawBlock>& out) const {
+  for (const auto& hca : node.list_dir("/sys/class/infiniband")) {
+    const std::string base =
+        "/sys/class/infiniband/" + hca + "/ports/1/counters_ext/";
+    auto read_counter = [&](const char* name) -> std::uint64_t {
+      const auto text = node.read_file(base + name);
+      if (!text) return 0;
+      return util::parse_u64(util::trim(*text)).value_or(0);
+    };
+    out.push_back(RawBlock{schema_.type(),
+                           hca,
+                           {read_counter("port_rcv_data_64"),
+                            read_counter("port_xmit_data_64"),
+                            read_counter("port_rcv_pkts_64"),
+                            read_counter("port_xmit_pkts_64")}});
+  }
+}
+
+NetCollector::NetCollector()
+    : schema_("net", {{"rx_bytes", true, 64, "bytes", 1.0},
+                      {"rx_packets", true, 64, "packets", 1.0},
+                      {"tx_bytes", true, 64, "bytes", 1.0},
+                      {"tx_packets", true, 64, "packets", 1.0}}) {}
+
+void NetCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/proc/net/dev");
+  if (!text) return;
+  for (const auto line : util::split_lines(*text)) {
+    const auto trimmed = util::trim(line);
+    if (!util::starts_with(trimmed, "eth")) continue;
+    const auto colon = trimmed.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string iface(trimmed.substr(0, colon));
+    const auto fields = util::split_ws(trimmed.substr(colon + 1));
+    if (fields.size() < 12) continue;
+    out.push_back(RawBlock{schema_.type(),
+                           iface,
+                           {util::parse_u64(fields[0]).value_or(0),
+                            util::parse_u64(fields[1]).value_or(0),
+                            util::parse_u64(fields[8]).value_or(0),
+                            util::parse_u64(fields[9]).value_or(0)}});
+  }
+}
+
+LnetCollector::LnetCollector()
+    : schema_("lnet", {{"tx_msgs", true, 64, "msgs", 1.0},
+                       {"rx_msgs", true, 64, "msgs", 1.0},
+                       {"tx_bytes", true, 64, "bytes", 1.0},
+                       {"rx_bytes", true, 64, "bytes", 1.0}}) {}
+
+void LnetCollector::collect(const simhw::Node& node,
+                            std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/proc/sys/lnet/stats");
+  if (!text) return;
+  const auto fields = util::split_ws(util::trim(*text));
+  // Layout: msgs_alloc msgs_max errors send_count recv_count route_count
+  //         drop_count send_length recv_length route_length drop_length
+  if (fields.size() < 11) return;
+  out.push_back(RawBlock{schema_.type(),
+                         {},
+                         {util::parse_u64(fields[3]).value_or(0),
+                          util::parse_u64(fields[4]).value_or(0),
+                          util::parse_u64(fields[7]).value_or(0),
+                          util::parse_u64(fields[8]).value_or(0)}});
+}
+
+}  // namespace tacc::collect

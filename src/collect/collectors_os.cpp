@@ -1,0 +1,138 @@
+// OS-level collectors: memory gauges, per-process procfs data, Xeon Phi.
+#include "collect/collectors.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+namespace {
+
+std::uint64_t meminfo_kb(std::string_view text, std::string_view key) {
+  for (const auto line : util::split_lines(text)) {
+    if (!util::starts_with(line, key)) continue;
+    const auto fields = util::split_ws(line);
+    if (fields.size() >= 2) return util::parse_u64(fields[1]).value_or(0);
+  }
+  return 0;
+}
+
+/// Extracts "<Key>:\t  <value> kB" or plain integer fields from a
+/// /proc/<pid>/status rendering.
+std::uint64_t status_field(std::string_view text, std::string_view key) {
+  for (const auto line : util::split_lines(text)) {
+    if (!util::starts_with(line, key)) continue;
+    const auto rest = util::trim(line.substr(key.size()));
+    const auto fields = util::split_ws(rest);
+    if (fields.empty()) return 0;
+    return util::parse_u64(fields[0]).value_or(0);
+  }
+  return 0;
+}
+
+std::uint64_t status_hex_field(std::string_view text, std::string_view key) {
+  for (const auto line : util::split_lines(text)) {
+    if (!util::starts_with(line, key)) continue;
+    const auto rest = util::trim(line.substr(key.size()));
+    std::uint64_t v = 0;
+    for (char c : rest) {
+      if (c >= '0' && c <= '9') {
+        v = v * 16 + static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v = v * 16 + static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        break;
+      }
+    }
+    return v;
+  }
+  return 0;
+}
+
+std::string status_name(std::string_view text) {
+  for (const auto line : util::split_lines(text)) {
+    if (!util::starts_with(line, "Name:")) continue;
+    return std::string(util::trim(line.substr(5)));
+  }
+  return "?";
+}
+
+}  // namespace
+
+MemCollector::MemCollector()
+    : schema_("mem", {{"MemTotal", false, 64, "KB", 1.0},
+                      {"MemFree", false, 64, "KB", 1.0},
+                      {"Cached", false, 64, "KB", 1.0},
+                      {"MemUsed", false, 64, "KB", 1.0}}) {}
+
+void MemCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  const auto text = node.read_file("/proc/meminfo");
+  if (!text) return;
+  const std::uint64_t total = meminfo_kb(*text, "MemTotal:");
+  const std::uint64_t free_kb = meminfo_kb(*text, "MemFree:");
+  const std::uint64_t cached = meminfo_kb(*text, "Cached:");
+  const std::uint64_t used =
+      total > free_kb + cached ? total - free_kb - cached : 0;
+  out.push_back(
+      RawBlock{schema_.type(), {}, {total, free_kb, cached, used}});
+}
+
+PsCollector::PsCollector()
+    : schema_("ps", {{"uid", false, 64, "", 1.0},
+                     {"vm_peak", false, 64, "KB", 1.0},
+                     {"vm_size", false, 64, "KB", 1.0},
+                     {"vm_lck", false, 64, "KB", 1.0},
+                     {"vm_hwm", false, 64, "KB", 1.0},
+                     {"vm_rss", false, 64, "KB", 1.0},
+                     {"vm_data", false, 64, "KB", 1.0},
+                     {"vm_stk", false, 64, "KB", 1.0},
+                     {"vm_exe", false, 64, "KB", 1.0},
+                     {"threads", false, 64, "", 1.0},
+                     {"cpus_allowed", false, 64, "mask", 1.0},
+                     {"mems_allowed", false, 64, "mask", 1.0}}) {}
+
+void PsCollector::collect(const simhw::Node& node,
+                          std::vector<RawBlock>& out) const {
+  for (const int pid : node.list_pids()) {
+    const auto text =
+        node.read_file("/proc/" + std::to_string(pid) + "/status");
+    if (!text) continue;  // raced with process exit
+    RawBlock block;
+    block.type = schema_.type();
+    block.device = std::to_string(pid) + ":" + status_name(*text);
+    block.values = {status_field(*text, "Uid:"),
+                    status_field(*text, "VmPeak:"),
+                    status_field(*text, "VmSize:"),
+                    status_field(*text, "VmLck:"),
+                    status_field(*text, "VmHWM:"),
+                    status_field(*text, "VmRSS:"),
+                    status_field(*text, "VmData:"),
+                    status_field(*text, "VmStk:"),
+                    status_field(*text, "VmExe:"),
+                    status_field(*text, "Threads:"),
+                    status_hex_field(*text, "Cpus_allowed:"),
+                    status_hex_field(*text, "Mems_allowed:")};
+    out.push_back(std::move(block));
+  }
+}
+
+MicCollector::MicCollector()
+    : schema_("mic", {{"user", true, 64, "jiffies", 1.0},
+                      {"sys", true, 64, "jiffies", 1.0},
+                      {"idle", true, 64, "jiffies", 1.0}}) {}
+
+void MicCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  for (const auto& mic : node.list_dir("/sys/class/mic")) {
+    const auto text = node.read_file("/sys/class/mic/" + mic + "/stats");
+    if (!text) continue;
+    const auto fields = util::split_ws(util::trim(*text));
+    // "user: N nice: 0 sys: N idle: N"
+    if (fields.size() < 8) continue;
+    out.push_back(RawBlock{schema_.type(),
+                           mic,
+                           {util::parse_u64(fields[1]).value_or(0),
+                            util::parse_u64(fields[5]).value_or(0),
+                            util::parse_u64(fields[7]).value_or(0)}});
+  }
+}
+
+}  // namespace tacc::collect

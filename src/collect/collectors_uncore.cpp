@@ -1,0 +1,71 @@
+// Uncore (iMC, QPI) and RAPL energy collectors.
+#include "collect/collectors.hpp"
+#include "simhw/msr.hpp"
+#include "simhw/pci.hpp"
+
+namespace tacc::collect {
+
+namespace pci = simhw::pci;
+namespace msr = simhw::msr;
+
+// Microjoules per raw RAPL register unit (2^-16 J).
+static constexpr double kRaplScaleUj = 1.0e6 / 65536.0;
+
+ImcCollector::ImcCollector()
+    : schema_("imc",
+              {{"cas_reads", true, pci::kUncoreCounterBits, "lines", 1.0},
+               {"cas_writes", true, pci::kUncoreCounterBits, "lines", 1.0}}) {}
+
+void ImcCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  for (int s = 0; s < node.topology().sockets; ++s) {
+    const auto reads = node.pci_read64(pci::bus_of_socket(s), pci::kImcDevice,
+                                       pci::kImcFunction,
+                                       pci::kImcCasReadsOffset);
+    const auto writes = node.pci_read64(pci::bus_of_socket(s), pci::kImcDevice,
+                                        pci::kImcFunction,
+                                        pci::kImcCasWritesOffset);
+    if (!reads || !writes) return;  // uncore not PCI-based on this arch
+    out.push_back(
+        RawBlock{schema_.type(), std::to_string(s), {*reads, *writes}});
+  }
+}
+
+QpiCollector::QpiCollector()
+    : schema_("qpi",
+              {{"data_flits", true, pci::kUncoreCounterBits, "flits", 1.0}}) {}
+
+void QpiCollector::collect(const simhw::Node& node,
+                           std::vector<RawBlock>& out) const {
+  for (int s = 0; s < node.topology().sockets; ++s) {
+    const auto flits =
+        node.pci_read64(pci::bus_of_socket(s), pci::kQpiDevice,
+                        pci::kQpiFunction, pci::kQpiDataFlitsOffset);
+    if (!flits) return;
+    out.push_back(RawBlock{schema_.type(), std::to_string(s), {*flits}});
+  }
+}
+
+RaplCollector::RaplCollector()
+    : schema_("rapl",
+              {{"energy_pkg", true, msr::kRaplCounterBits, "uJ", kRaplScaleUj},
+               {"energy_cores", true, msr::kRaplCounterBits, "uJ",
+                kRaplScaleUj},
+               {"energy_dram", true, msr::kRaplCounterBits, "uJ",
+                kRaplScaleUj}}) {}
+
+void RaplCollector::collect(const simhw::Node& node,
+                            std::vector<RawBlock>& out) const {
+  const auto& topo = node.topology();
+  for (int s = 0; s < topo.sockets; ++s) {
+    // Read from the first cpu of the socket, as rdmsr would.
+    const int cpu = s * topo.cores_per_socket;
+    out.push_back(RawBlock{schema_.type(),
+                           std::to_string(s),
+                           {node.read_msr(cpu, msr::kPkgEnergyStatus),
+                            node.read_msr(cpu, msr::kPp0EnergyStatus),
+                            node.read_msr(cpu, msr::kDramEnergyStatus)}});
+  }
+}
+
+}  // namespace tacc::collect

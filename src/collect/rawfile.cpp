@@ -1,0 +1,152 @@
+#include "collect/rawfile.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+
+const Schema* HostLog::schema_for(std::string_view type) const noexcept {
+  for (const auto& s : schemas) {
+    if (s.type() == type) return &s;
+  }
+  return nullptr;
+}
+
+std::string HostLog::serialize_header() const {
+  std::ostringstream os;
+  os << '$' << kFormatTag << '\n';
+  os << "$hostname " << hostname << '\n';
+  os << "$arch " << arch << '\n';
+  for (const auto& s : schemas) os << s.spec_line() << '\n';
+  return os.str();
+}
+
+std::string HostLog::serialize_record(const Record& record) {
+  std::ostringstream os;
+  os << record.time / util::kSecond << ' ';
+  if (record.jobids.empty()) {
+    os << '-';
+  } else {
+    for (std::size_t i = 0; i < record.jobids.size(); ++i) {
+      if (i) os << ',';
+      os << record.jobids[i];
+    }
+  }
+  if (!record.mark.empty()) os << ' ' << record.mark;
+  os << '\n';
+  for (const auto& b : record.blocks) {
+    os << b.type << ' ' << (b.device.empty() ? "-" : b.device);
+    for (const std::uint64_t v : b.values) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string HostLog::serialize() const {
+  std::string out = serialize_header();
+  for (const auto& r : records) out += serialize_record(r);
+  return out;
+}
+
+void HostLog::parse_records(std::string_view body) {
+  using util::split_ws;
+  Record* current = nullptr;
+  for (const auto line : util::split_lines(body)) {
+    if (line.empty()) continue;
+    if (line[0] >= '0' && line[0] <= '9') {
+      const auto fields = split_ws(line);
+      if (fields.empty()) throw std::invalid_argument("empty record line");
+      const auto secs = util::parse_i64(fields[0]);
+      if (!secs) {
+        throw std::invalid_argument("bad timestamp: " + std::string(line));
+      }
+      Record rec;
+      rec.time = *secs * util::kSecond;
+      if (fields.size() > 1 && fields[1] != "-") {
+        for (const auto j : util::split(fields[1], ',')) {
+          const auto id = util::parse_i64(j);
+          if (!id) {
+            throw std::invalid_argument("bad job id: " + std::string(line));
+          }
+          rec.jobids.push_back(static_cast<long>(*id));
+        }
+      }
+      if (fields.size() > 2) rec.mark = std::string(fields[2]);
+      records.push_back(std::move(rec));
+      current = &records.back();
+      continue;
+    }
+    // Data row.
+    if (current == nullptr) {
+      throw std::invalid_argument("data row before any timestamp line");
+    }
+    const auto fields = split_ws(line);
+    if (fields.size() < 2) {
+      throw std::invalid_argument("short data row: " + std::string(line));
+    }
+    RawBlock block;
+    block.type = std::string(fields[0]);
+    block.device = fields[1] == "-" ? std::string{} : std::string(fields[1]);
+    const Schema* schema = schema_for(block.type);
+    if (schema == nullptr) {
+      throw std::invalid_argument("data row with unknown type: " +
+                                  block.type);
+    }
+    if (fields.size() - 2 != schema->size()) {
+      throw std::invalid_argument("data row arity mismatch for type " +
+                                  block.type);
+    }
+    block.values.reserve(fields.size() - 2);
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const auto v = util::parse_u64(fields[i]);
+      if (!v) {
+        throw std::invalid_argument("bad counter value: " +
+                                    std::string(fields[i]));
+      }
+      block.values.push_back(*v);
+    }
+    current->blocks.push_back(std::move(block));
+  }
+}
+
+HostLog HostLog::parse(std::string_view text) {
+  HostLog log;
+  std::size_t body_start = 0;
+  bool saw_format = false;
+  for (const auto line : util::split_lines(text)) {
+    const std::size_t line_end =
+        static_cast<std::size_t>(line.data() - text.data()) + line.size() + 1;
+    if (!line.empty() && line[0] == '$') {
+      const std::string_view rest = line.substr(1);
+      if (rest == kFormatTag) {
+        saw_format = true;
+      } else if (util::starts_with(rest, "hostname ")) {
+        log.hostname = std::string(util::trim(rest.substr(9)));
+      } else if (util::starts_with(rest, "arch ")) {
+        log.arch = std::string(util::trim(rest.substr(5)));
+      } else {
+        throw std::invalid_argument("unknown header line: " +
+                                    std::string(line));
+      }
+      body_start = line_end;
+      continue;
+    }
+    if (!line.empty() && line[0] == '!') {
+      log.schemas.push_back(Schema::parse(line));
+      body_start = line_end;
+      continue;
+    }
+    break;  // first non-header line: body begins
+  }
+  if (!saw_format) {
+    throw std::invalid_argument("missing $tacc_stats format line");
+  }
+  if (body_start < text.size()) {
+    log.parse_records(text.substr(body_start));
+  }
+  return log;
+}
+
+}  // namespace tacc::collect

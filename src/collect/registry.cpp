@@ -1,0 +1,74 @@
+#include "collect/registry.hpp"
+
+#include "collect/collectors.hpp"
+#include "collect/collectors_extra.hpp"
+#include "util/log.hpp"
+
+namespace tacc::collect {
+
+std::vector<CollectorPtr> make_collectors(simhw::Node& node,
+                                          const BuildOptions& options) {
+  std::vector<CollectorPtr> out;
+  out.push_back(std::make_unique<CpuCollector>());
+  if (auto pmc = PmcCollector::probe(node)) {
+    out.push_back(std::move(pmc));
+  } else {
+    const auto id = node.cpuid();
+    TS_LOG(Warn, "registry") << "unknown CPUID " << id.family << "/"
+                             << id.model
+                             << "; core counters disabled on "
+                             << node.hostname();
+  }
+  out.push_back(std::make_unique<ImcCollector>());
+  out.push_back(std::make_unique<QpiCollector>());
+  out.push_back(std::make_unique<RaplCollector>());
+  out.push_back(std::make_unique<MemCollector>());
+  out.push_back(std::make_unique<PsCollector>());
+  out.push_back(std::make_unique<NumaCollector>());
+  out.push_back(std::make_unique<VmCollector>());
+  out.push_back(std::make_unique<BlockCollector>());
+  out.push_back(std::make_unique<VfsCollector>());
+  out.push_back(std::make_unique<SysvShmCollector>());
+  out.push_back(std::make_unique<TmpfsCollector>());
+  if (options.with_ib) out.push_back(std::make_unique<IbCollector>());
+  if (options.with_phi) out.push_back(std::make_unique<MicCollector>());
+  if (options.with_lustre) {
+    out.push_back(std::make_unique<LliteCollector>());
+    out.push_back(std::make_unique<MdcCollector>());
+    out.push_back(std::make_unique<OscCollector>());
+    out.push_back(std::make_unique<LnetCollector>());
+  }
+  out.push_back(std::make_unique<NetCollector>());
+  for (auto& c : out) c->configure(node);
+  return out;
+}
+
+HostSampler::HostSampler(simhw::Node& node, const BuildOptions& options)
+    : node_(&node), collectors_(make_collectors(node, options)) {}
+
+std::vector<Schema> HostSampler::schemas() const {
+  std::vector<Schema> out;
+  out.reserve(collectors_.size());
+  for (const auto& c : collectors_) out.push_back(c->schema());
+  return out;
+}
+
+HostLog HostSampler::make_log() const {
+  HostLog log;
+  log.hostname = node_->hostname();
+  log.arch = node_->arch().codename;
+  log.schemas = schemas();
+  return log;
+}
+
+Record HostSampler::sample(util::SimTime time, std::vector<long> jobids,
+                           std::string mark) const {
+  Record rec;
+  rec.time = time;
+  rec.jobids = std::move(jobids);
+  rec.mark = std::move(mark);
+  for (const auto& c : collectors_) c->collect(*node_, rec.blocks);
+  return rec;
+}
+
+}  // namespace tacc::collect

@@ -1,0 +1,58 @@
+// Collector registry and per-host sampler.
+//
+// `make_collectors` reproduces the paper's auto-configuration (section
+// III-B): the processor architecture and uncore devices are identified at
+// runtime from CPUID, the topology decides the PMC budget, and only three
+// options are fixed at build time — whether to look for InfiniBand,
+// Xeon Phi, and Lustre support. If any of those devices is absent at run
+// time the collectors simply emit nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/collector.hpp"
+
+namespace tacc::collect {
+
+/// The three compile-time options of the real tool.
+struct BuildOptions {
+  bool with_ib = true;
+  bool with_phi = true;
+  bool with_lustre = true;
+};
+
+/// Builds the full collector set for a node: cpu, arch PMCs (if the CPUID
+/// signature is known), uncore iMC/QPI (PCI-based archs only), RAPL, mem,
+/// ps, plus the optional IB/Phi/Lustre collectors. Each collector is
+/// `configure`d against the node (PMC event selects programmed).
+std::vector<CollectorPtr> make_collectors(simhw::Node& node,
+                                          const BuildOptions& options = {});
+
+/// Owns the collector set for one node and produces Records.
+class HostSampler {
+ public:
+  explicit HostSampler(simhw::Node& node, const BuildOptions& options = {});
+
+  const simhw::Node& node() const noexcept { return *node_; }
+  const std::vector<CollectorPtr>& collectors() const noexcept {
+    return collectors_;
+  }
+
+  /// All schemas, in collection order (for the HostLog header).
+  std::vector<Schema> schemas() const;
+
+  /// An empty HostLog carrying this host's identity and schemas.
+  HostLog make_log() const;
+
+  /// Runs every collector once. Throws simhw::NodeFailedError if the node
+  /// is down.
+  Record sample(util::SimTime time, std::vector<long> jobids,
+                std::string mark = {}) const;
+
+ private:
+  simhw::Node* node_;
+  std::vector<CollectorPtr> collectors_;
+};
+
+}  // namespace tacc::collect

@@ -1,0 +1,117 @@
+#include "core/monitor.hpp"
+
+namespace tacc::core {
+
+namespace {
+constexpr const char* kQueue = "raw_stats";
+}  // namespace
+
+ClusterMonitor::ClusterMonitor(simhw::Cluster& cluster, MonitorConfig config)
+    : cluster_(&cluster),
+      config_(config),
+      engine_(cluster, config.start),
+      now_(config.start) {
+  if (config_.mode == TransportMode::Daemon) {
+    broker_.declare_queue(kQueue);
+    broker_.bind(kQueue, "stats.*");
+    if (config_.online_analysis) {
+      online_ = std::make_unique<OnlineAnalyzer>(config_.online_thresholds);
+    }
+    transport::Consumer::RecordCallback callback;
+    if (online_) {
+      callback = [this](const std::string& host,
+                        const collect::HostLog& chunk) {
+        online_->on_chunk(host, chunk);
+      };
+    }
+    consumer_ = std::make_unique<transport::Consumer>(broker_, archive_,
+                                                      kQueue, callback);
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      transport::DaemonConfig dc;
+      dc.interval = config_.interval;
+      dc.build_options = config_.build_options;
+      daemons_.push_back(std::make_unique<transport::StatsDaemon>(
+          cluster.node(i), broker_, dc,
+          [this, i] { return jobs_on(i); }));
+    }
+  } else {
+    transport::CronConfig cc;
+    cc.interval = config_.interval;
+    cc.build_options = config_.build_options;
+    cron_ = std::make_unique<transport::CronMode>(
+        cluster, archive_, cc,
+        [this](std::size_t i) { return jobs_on(i); });
+  }
+}
+
+ClusterMonitor::~ClusterMonitor() {
+  if (consumer_) consumer_->stop();
+}
+
+std::vector<long> ClusterMonitor::jobs_on(std::size_t node_index) const {
+  return engine_.jobs_on(node_index);
+}
+
+void ClusterMonitor::job_started(const workload::JobSpec& spec,
+                                 std::vector<std::size_t> node_indices) {
+  engine_.start_job(spec, node_indices);
+  for (const std::size_t ni : node_indices) {
+    if (config_.mode == TransportMode::Daemon) {
+      daemons_[ni]->collect_now(now_, "begin");
+    } else {
+      cron_->collect_now(ni, now_, "begin");
+    }
+  }
+}
+
+void ClusterMonitor::job_ended(long jobid) {
+  const auto* nodes = engine_.nodes_of(jobid);
+  if (nodes != nullptr) {
+    for (const std::size_t ni : *nodes) {
+      if (config_.mode == TransportMode::Daemon) {
+        daemons_[ni]->collect_now(now_, "end");
+      } else {
+        cron_->collect_now(ni, now_, "end");
+      }
+    }
+  }
+  engine_.end_job(jobid);
+}
+
+void ClusterMonitor::advance_to(util::SimTime t) {
+  while (now_ < t) {
+    const util::SimTime step = std::min(config_.interval, t - now_);
+    engine_.advance(step);
+    now_ += step;
+    if (config_.mode == TransportMode::Daemon) {
+      for (auto& daemon : daemons_) daemon->on_time(now_);
+    } else {
+      cron_->on_time(now_);
+    }
+  }
+}
+
+void ClusterMonitor::fail_node(std::size_t index) {
+  cluster_->fail_node(index);
+  if (cron_) cron_->node_failed(index);
+}
+
+void ClusterMonitor::drain() {
+  if (consumer_) consumer_->drain();
+}
+
+transport::CronStats ClusterMonitor::cron_stats() const {
+  return cron_ ? cron_->stats() : transport::CronStats{};
+}
+
+transport::DaemonStats ClusterMonitor::daemon_stats() const {
+  transport::DaemonStats total;
+  for (const auto& d : daemons_) {
+    total.collections += d->stats().collections;
+    total.publish_failures += d->stats().publish_failures;
+    total.total_collect_wall_s += d->stats().total_collect_wall_s;
+  }
+  return total;
+}
+
+}  // namespace tacc::core

@@ -1,0 +1,85 @@
+// ClusterMonitor: the end-to-end facade wiring a simulated cluster, the
+// workload engine, per-node collection, one of the two transport modes, and
+// (in daemon mode) the real-time consumer plus online analyzer. This is the
+// API the examples and the figure benches drive.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/online.hpp"
+#include "simhw/cluster.hpp"
+#include "transport/archive.hpp"
+#include "transport/broker.hpp"
+#include "transport/consumer.hpp"
+#include "transport/cron.hpp"
+#include "transport/daemon.hpp"
+#include "workload/engine.hpp"
+
+namespace tacc::core {
+
+enum class TransportMode { Cron, Daemon };
+
+struct MonitorConfig {
+  TransportMode mode = TransportMode::Daemon;
+  util::SimTime interval = 10 * util::kMinute;
+  util::SimTime start = util::make_time(2016, 1, 1);
+  collect::BuildOptions build_options{};
+  /// Enable the online analyzer on the daemon-mode stream.
+  bool online_analysis = true;
+  OnlineThresholds online_thresholds{};
+};
+
+class ClusterMonitor {
+ public:
+  ClusterMonitor(simhw::Cluster& cluster, MonitorConfig config);
+  ~ClusterMonitor();
+
+  ClusterMonitor(const ClusterMonitor&) = delete;
+  ClusterMonitor& operator=(const ClusterMonitor&) = delete;
+
+  workload::Engine& engine() noexcept { return engine_; }
+  transport::RawArchive& archive() noexcept { return archive_; }
+  transport::Broker& broker() noexcept { return broker_; }
+  OnlineAnalyzer* online() noexcept { return online_.get(); }
+  util::SimTime now() const noexcept { return now_; }
+
+  /// Starts a job on specific nodes: engine demand begins and the
+  /// scheduler prolog triggers a "begin" collection on each node.
+  void job_started(const workload::JobSpec& spec,
+                   std::vector<std::size_t> node_indices);
+
+  /// Ends a job: epilog "end" collection on each node, then demand stops.
+  void job_ended(long jobid);
+
+  /// Advances simulation to `t`, stepping engine + transport at the
+  /// sampling interval.
+  void advance_to(util::SimTime t);
+
+  /// Fails a node (cron mode loses its unstaged local data).
+  void fail_node(std::size_t index);
+
+  /// Daemon mode: blocks until the consumer drained the broker queue.
+  void drain();
+
+  /// Aggregated daemon stats (daemon mode) / cron stats (cron mode).
+  transport::CronStats cron_stats() const;
+  transport::DaemonStats daemon_stats() const;
+
+ private:
+  std::vector<long> jobs_on(std::size_t node_index) const;
+
+  simhw::Cluster* cluster_;
+  MonitorConfig config_;
+  workload::Engine engine_;
+  transport::RawArchive archive_;
+  transport::Broker broker_;
+  std::unique_ptr<OnlineAnalyzer> online_;
+  std::unique_ptr<transport::Consumer> consumer_;
+  std::vector<std::unique_ptr<transport::StatsDaemon>> daemons_;
+  std::unique_ptr<transport::CronMode> cron_;
+  util::SimTime now_;
+};
+
+}  // namespace tacc::core

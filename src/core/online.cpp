@@ -1,0 +1,85 @@
+#include "core/online.hpp"
+
+namespace tacc::core {
+
+double OnlineAnalyzer::block_sum(const std::vector<collect::Schema>& schemas,
+                                 const collect::Record& record,
+                                 const std::string& type,
+                                 const std::string& key) {
+  const collect::Schema* schema = nullptr;
+  for (const auto& s : schemas) {
+    if (s.type() == type) {
+      schema = &s;
+      break;
+    }
+  }
+  if (schema == nullptr) return -1.0;
+  const auto idx = schema->index_of(key);
+  if (!idx) return -1.0;
+  double sum = 0.0;
+  bool any = false;
+  for (const auto& block : record.blocks) {
+    if (block.type != type) continue;
+    sum += static_cast<double>(block.values[*idx]) *
+           schema->entry(*idx).scale;
+    any = true;
+  }
+  return any ? sum : -1.0;
+}
+
+void OnlineAnalyzer::on_chunk(const std::string& hostname,
+                              const collect::HostLog& chunk) {
+  std::lock_guard lock(mu_);
+  auto& state = hosts_[hostname];
+  if (state.schemas.empty()) state.schemas = chunk.schemas;
+  for (const auto& record : chunk.records) {
+    ++records_;
+    if (!state.last.blocks.empty() && record.time > state.last.time) {
+      const double dt = util::to_seconds(record.time - state.last.time);
+      auto rate = [&](const char* type, const char* key) {
+        const double curr = block_sum(state.schemas, record, type, key);
+        const double prev = block_sum(state.schemas, state.last, type, key);
+        if (curr < 0.0 || prev < 0.0 || curr < prev) return -1.0;
+        return (curr - prev) / dt;
+      };
+      auto fire = [&](const char* rule, double value) {
+        alerts_.push_back({record.time, hostname, record.jobids, rule,
+                           value});
+      };
+      const double mdc = rate("mdc", "reqs");
+      if (mdc > thresholds_.mdc_reqs_ps) {
+        fire("metadata_storm", mdc);
+        for (const long job : record.jobids) suspend_.insert(job);
+      }
+      const double eth =
+          rate("net", "rx_bytes") + rate("net", "tx_bytes");
+      if (eth > thresholds_.gige_bytes_ps) fire("gige_traffic", eth);
+      // Memory pressure uses the instantaneous gauge, not a rate.
+      const double used = block_sum(state.schemas, record, "mem", "MemUsed");
+      const double total =
+          block_sum(state.schemas, record, "mem", "MemTotal");
+      if (used >= 0.0 && total > 0.0 &&
+          used / total > thresholds_.mem_fraction) {
+        fire("memory_pressure", used / total);
+      }
+    }
+    state.last = record;
+  }
+}
+
+std::vector<Alert> OnlineAnalyzer::alerts() const {
+  std::lock_guard lock(mu_);
+  return alerts_;
+}
+
+std::set<long> OnlineAnalyzer::suspend_candidates() const {
+  std::lock_guard lock(mu_);
+  return suspend_;
+}
+
+std::size_t OnlineAnalyzer::records_analyzed() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+}  // namespace tacc::core

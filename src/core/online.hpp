@@ -1,0 +1,66 @@
+// Online (soft real-time) analysis of the daemon-mode stream (paper
+// sections I-C and VI-B): as raw chunks arrive at the consumer, per-host
+// interval rates are computed immediately and compared against thresholds;
+// problem jobs are reported to the administrator — and recommended for
+// suspension — before they can slow down or crash the shared filesystem.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "collect/rawfile.hpp"
+#include "util/clock.hpp"
+
+namespace tacc::core {
+
+struct OnlineThresholds {
+  double mdc_reqs_ps = 20000.0;  // per node: metadata storm
+  double gige_bytes_ps = 1.0e6;  // per node: MPI over Ethernet
+  double mem_fraction = 0.95;    // near-OOM
+};
+
+struct Alert {
+  util::SimTime time = 0;
+  std::string hostname;
+  std::vector<long> jobids;
+  std::string rule;    // "metadata_storm", "gige_traffic", "memory_pressure"
+  double value = 0.0;  // the offending rate/fraction
+};
+
+class OnlineAnalyzer {
+ public:
+  explicit OnlineAnalyzer(OnlineThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// Consumer callback: analyze a freshly arrived self-describing chunk.
+  /// Thread-safe (the consumer calls from its own thread).
+  void on_chunk(const std::string& hostname, const collect::HostLog& chunk);
+
+  std::vector<Alert> alerts() const;
+  /// Jobs recommended for suspension (any job that triggered a
+  /// metadata-storm alert).
+  std::set<long> suspend_candidates() const;
+  std::size_t records_analyzed() const;
+
+ private:
+  struct HostState {
+    collect::Record last;
+    std::vector<collect::Schema> schemas;
+  };
+  /// Summed value of (type, key) over devices in a record; -1 if absent.
+  static double block_sum(const std::vector<collect::Schema>& schemas,
+                          const collect::Record& record,
+                          const std::string& type, const std::string& key);
+
+  OnlineThresholds thresholds_;
+  mutable std::mutex mu_;
+  std::map<std::string, HostState> hosts_;
+  std::vector<Alert> alerts_;
+  std::set<long> suspend_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace tacc::core

@@ -1,0 +1,121 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace tacc::core {
+
+LiveScheduler::LiveScheduler(ClusterMonitor& monitor, std::size_t num_nodes)
+    : monitor_(&monitor) {
+  for (std::size_t i = 0; i < num_nodes; ++i) free_.insert(i);
+}
+
+void LiveScheduler::submit(workload::JobSpec job) {
+  pending_.push_back(std::move(job));
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const workload::JobSpec& a,
+                      const workload::JobSpec& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+}
+
+void LiveScheduler::dispatch() {
+  const util::SimTime now = monitor_->now();
+  while (!pending_.empty()) {
+    auto& head = pending_.front();
+    if (head.submit_time > now) break;  // not submitted yet
+    const auto need = static_cast<std::size_t>(head.nodes);
+    if (free_.size() < need) break;  // strict FCFS: head blocks the queue
+    Running run;
+    run.spec = head;
+    const util::SimTime duration = head.runtime();
+    run.spec.start_time = now;
+    run.spec.end_time = now + duration;
+    for (std::size_t i = 0; i < need; ++i) {
+      const auto it = free_.begin();
+      run.nodes.push_back(*it);
+      free_.erase(it);
+    }
+    monitor_->job_started(run.spec, run.nodes);
+    running_.emplace(run.spec.jobid, std::move(run));
+    pending_.pop_front();
+  }
+}
+
+void LiveScheduler::reap() {
+  const util::SimTime now = monitor_->now();
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->second.spec.end_time <= now) {
+      monitor_->job_ended(it->first);
+      for (const auto n : it->second.nodes) free_.insert(n);
+      completed_.push_back(it->second.spec);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LiveScheduler::suspend(long jobid) {
+  const auto it = running_.find(jobid);
+  if (it == running_.end()) return false;
+  monitor_->job_ended(jobid);
+  for (const auto n : it->second.nodes) free_.insert(n);
+  auto spec = it->second.spec;
+  spec.end_time = monitor_->now();
+  spec.status = "SUSPENDED";
+  completed_.push_back(std::move(spec));
+  running_.erase(it);
+  return true;
+}
+
+util::SimTime LiveScheduler::next_event(util::SimTime horizon) const {
+  util::SimTime next = horizon;
+  for (const auto& [jobid, run] : running_) {
+    next = std::min(next, run.spec.end_time);
+  }
+  if (!pending_.empty()) {
+    next = std::min(next, pending_.front().submit_time);
+  }
+  return std::max(next, monitor_->now());
+}
+
+void LiveScheduler::run_until(util::SimTime t) {
+  // Process events in order, stepping the monitor between them so the
+  // sampling cadence continues across job boundaries.
+  while (monitor_->now() < t) {
+    reap();
+    dispatch();
+    const util::SimTime target = next_event(t);
+    if (target <= monitor_->now()) {
+      // An event fired exactly now (e.g. a job both ends and another
+      // starts); loop again without advancing.
+      if (target == monitor_->now()) {
+        reap();
+        dispatch();
+      }
+      monitor_->advance_to(monitor_->now() + util::kMinute);
+      continue;
+    }
+    monitor_->advance_to(target);
+  }
+  reap();
+  dispatch();
+}
+
+void LiveScheduler::drain_jobs(util::SimTime at_least) {
+  while (!pending_.empty() || !running_.empty()) {
+    util::SimTime target = monitor_->now() + util::kHour;
+    for (const auto& [jobid, run] : running_) {
+      target = std::min(target, run.spec.end_time);
+    }
+    if (!pending_.empty()) {
+      target = std::min(target,
+                        std::max(pending_.front().submit_time,
+                                 monitor_->now() + util::kMinute));
+    }
+    run_until(std::max(target, monitor_->now() + util::kMinute));
+  }
+  if (monitor_->now() < at_least) run_until(at_least);
+}
+
+}  // namespace tacc::core

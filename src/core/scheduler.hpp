@@ -1,0 +1,70 @@
+// A live FCFS batch scheduler driving a monitored cluster: jobs are
+// submitted with their demand specs, the scheduler allocates concrete
+// nodes as they free up, fires the prolog/epilog collections through the
+// ClusterMonitor at the right instants, and advances simulated time
+// event-by-event. This is the piece that turns "a cluster with a monitor"
+// into "a production system running a workload" for the figure-scale
+// experiments and examples.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/monitor.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::core {
+
+class LiveScheduler {
+ public:
+  /// Schedules onto all nodes of the monitor's cluster.
+  LiveScheduler(ClusterMonitor& monitor, std::size_t num_nodes);
+
+  /// Queues a job. Only submit_time and the duration (end_time -
+  /// start_time) of the spec are honored; actual start/end are assigned by
+  /// the scheduler. Jobs must be submitted in non-decreasing submit order
+  /// relative to the current simulation time.
+  void submit(workload::JobSpec job);
+
+  /// Advances the world to `t`: dispatches queued jobs FCFS as nodes free,
+  /// ends running jobs, and steps the monitor between events.
+  void run_until(util::SimTime t);
+
+  /// Convenience: runs until every submitted job has completed, then
+  /// advances to the later of that instant and `at_least`.
+  void drain_jobs(util::SimTime at_least = 0);
+
+  /// Suspends (kills) a running job immediately: the epilog collection
+  /// fires, demand stops, nodes free, and the job completes with status
+  /// "SUSPENDED". Returns false if the job is not running.
+  bool suspend(long jobid);
+
+  std::size_t running() const noexcept { return running_.size(); }
+  std::size_t waiting() const noexcept { return pending_.size(); }
+  /// Completed jobs with their actual (scheduler-assigned) times.
+  const std::vector<workload::JobSpec>& completed() const noexcept {
+    return completed_;
+  }
+  std::size_t free_nodes() const noexcept { return free_.size(); }
+
+ private:
+  struct Running {
+    workload::JobSpec spec;
+    std::vector<std::size_t> nodes;
+  };
+  /// Starts every queued job that fits, head-of-queue first (strict FCFS:
+  /// a blocked head blocks the queue).
+  void dispatch();
+  /// Ends jobs whose end time has arrived.
+  void reap();
+  util::SimTime next_event(util::SimTime horizon) const;
+
+  ClusterMonitor* monitor_;
+  std::deque<workload::JobSpec> pending_;
+  std::map<long, Running> running_;
+  std::set<std::size_t> free_;
+  std::vector<workload::JobSpec> completed_;
+};
+
+}  // namespace tacc::core

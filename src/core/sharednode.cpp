@@ -1,0 +1,64 @@
+#include "core/sharednode.hpp"
+
+#include <algorithm>
+
+namespace tacc::core {
+
+SharedNodeTracker::SharedNodeTracker(
+    std::function<void(util::SimTime, const std::string&)> collect,
+    util::SimTime collection_time)
+    : collect_(std::move(collect)), collection_time_(collection_time) {}
+
+void SharedNodeTracker::signal(util::SimTime now, const std::string& mark) {
+  ++stats_.signals_received;
+  // The queue slot frees as soon as the queued collection begins running.
+  if (pending_ && now >= pending_start_) pending_ = false;
+  if (now >= busy_until_) {
+    // Idle: collect immediately.
+    collect_(now, mark);
+    ++stats_.collections_triggered;
+    busy_until_ = now + collection_time_;
+    pending_ = false;
+    return;
+  }
+  if (!pending_) {
+    // One signal can be captured while a collection is in flight; it is
+    // serviced as soon as the current collection finishes.
+    pending_ = true;
+    pending_start_ = busy_until_;
+    collect_(busy_until_, mark);
+    ++stats_.collections_triggered;
+    ++stats_.signals_coalesced;
+    busy_until_ += collection_time_;
+    return;
+  }
+  // Busy and a signal already queued: this one is lost until the next
+  // interval collection.
+  ++stats_.signals_missed;
+}
+
+void SharedNodeTracker::process_started(util::SimTime now, int pid,
+                                        long jobid) {
+  (void)pid;
+  job_procs_.insert(jobid);
+  signal(now, "procstart");
+}
+
+void SharedNodeTracker::process_ended(util::SimTime now, int pid,
+                                      long jobid) {
+  (void)pid;
+  const auto it = job_procs_.find(jobid);
+  if (it != job_procs_.end()) job_procs_.erase(it);
+  signal(now, "procstop");
+}
+
+std::vector<long> SharedNodeTracker::current_jobs() const {
+  std::vector<long> out;
+  for (auto it = job_procs_.begin(); it != job_procs_.end();
+       it = job_procs_.upper_bound(*it)) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace tacc::core

@@ -1,0 +1,10 @@
+// Library identity.
+#pragma once
+
+namespace tacc {
+
+/// Version of this reproduction (tracks the paper's "major new version" of
+/// the tool, which identified itself as tacc_stats 2.x).
+inline constexpr const char* kVersion = "2.1.0";
+
+}  // namespace tacc

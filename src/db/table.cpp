@@ -1,0 +1,244 @@
+#include "db/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tacc::db {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("table needs at least one column");
+  }
+}
+
+std::size_t Table::column_index(const std::string& name) const {
+  if (const auto idx = find_column(name)) return *idx;
+  throw std::out_of_range("no column '" + name + "' in table " + name_);
+}
+
+std::optional<std::size_t> Table::find_column(
+    const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+RowId Table::insert(Row row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("row arity mismatch for table " + name_);
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const ValueType have = row[i].type();
+    const ValueType want = columns_[i].type;
+    if (have == ValueType::Null || have == want) continue;
+    if (have == ValueType::Int && want == ValueType::Real) {
+      row[i] = Value(row[i].as_real());
+      continue;
+    }
+    throw std::invalid_argument("type mismatch in column " +
+                                columns_[i].name);
+  }
+  const RowId id = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    index.emplace(row[col], id);
+  }
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+void Table::create_index(const std::string& column) {
+  const std::size_t col = column_index(column);
+  auto& index = indexes_[col];
+  index.clear();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index.emplace(rows_[id][col], id);
+  }
+}
+
+bool Table::has_index(const std::string& column) const noexcept {
+  const auto idx = find_column(column);
+  return idx && indexes_.count(*idx) > 0;
+}
+
+bool Table::matches(const Row& row, const Predicate& pred,
+                    std::size_t col) const noexcept {
+  const Value& v = row[col];
+  if (pred.op == Op::Contains) {
+    return v.as_text().find(pred.rhs.as_text()) != std::string::npos;
+  }
+  const int c = v.compare(pred.rhs);
+  switch (pred.op) {
+    case Op::Eq:
+      return c == 0;
+    case Op::Ne:
+      return c != 0;
+    case Op::Lt:
+      return c < 0;
+    case Op::Lte:
+      return c <= 0;
+    case Op::Gt:
+      return c > 0;
+    case Op::Gte:
+      return c >= 0;
+    case Op::Contains:
+      return false;  // handled above
+  }
+  return false;
+}
+
+std::vector<RowId> Table::select(const std::vector<Predicate>& preds) const {
+  std::vector<std::size_t> cols;
+  cols.reserve(preds.size());
+  for (const auto& p : preds) cols.push_back(column_index(p.column));
+
+  // If some equality/range predicate has an index, seed candidates from it.
+  std::optional<std::vector<RowId>> candidates;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const auto it = indexes_.find(cols[i]);
+    if (it == indexes_.end()) continue;
+    const auto& index = it->second;
+    std::vector<RowId> ids;
+    const auto& p = preds[i];
+    switch (p.op) {
+      case Op::Eq: {
+        const auto [lo, hi] = index.equal_range(p.rhs);
+        for (auto jt = lo; jt != hi; ++jt) ids.push_back(jt->second);
+        break;
+      }
+      case Op::Lt:
+      case Op::Lte: {
+        auto hi = p.op == Op::Lt ? index.lower_bound(p.rhs)
+                                 : index.upper_bound(p.rhs);
+        for (auto jt = index.begin(); jt != hi; ++jt) {
+          ids.push_back(jt->second);
+        }
+        break;
+      }
+      case Op::Gt:
+      case Op::Gte: {
+        auto lo = p.op == Op::Gt ? index.upper_bound(p.rhs)
+                                 : index.lower_bound(p.rhs);
+        for (auto jt = lo; jt != index.end(); ++jt) {
+          ids.push_back(jt->second);
+        }
+        break;
+      }
+      default:
+        continue;  // Ne/Contains don't benefit from the index
+    }
+    std::sort(ids.begin(), ids.end());
+    candidates = std::move(ids);
+    break;  // one index seed is enough; remaining predicates filter
+  }
+
+  std::vector<RowId> out;
+  auto check_all = [&](RowId id) {
+    const Row& row = rows_[id];
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (!matches(row, preds[i], cols[i])) return false;
+    }
+    return true;
+  };
+  if (candidates) {
+    for (const RowId id : *candidates) {
+      if (check_all(id)) out.push_back(id);
+    }
+  } else {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (check_all(id)) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<RowId> Table::select_ordered(const std::vector<Predicate>& preds,
+                                         const std::string& order_by,
+                                         bool descending,
+                                         std::size_t limit) const {
+  auto rows = select(preds);
+  const std::size_t col = column_index(order_by);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](RowId a, RowId b) {
+                     const int c = rows_[a][col].compare(rows_[b][col]);
+                     return descending ? c > 0 : c < 0;
+                   });
+  if (limit != 0 && rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
+double Table::aggregate(Agg agg, const std::string& column,
+                        const std::vector<RowId>& rows) const {
+  if (agg == Agg::Count) return static_cast<double>(rows.size());
+  const std::size_t col = column_index(column);
+  double sum = 0.0;
+  double mn = 0.0;
+  double mx = 0.0;
+  std::size_t n = 0;
+  for (const RowId id : rows) {
+    const Value& v = rows_.at(id)[col];
+    if (v.is_null()) continue;
+    const double x = v.as_real();
+    if (n == 0) {
+      mn = mx = x;
+    } else {
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+    }
+    sum += x;
+    ++n;
+  }
+  switch (agg) {
+    case Agg::Sum:
+      return sum;
+    case Agg::Avg:
+      return n ? sum / static_cast<double>(n) : 0.0;
+    case Agg::Min:
+      return mn;
+    case Agg::Max:
+      return mx;
+    case Agg::Count:
+      break;
+  }
+  return 0.0;
+}
+
+std::vector<double> Table::column_values(
+    const std::string& column, const std::vector<RowId>& rows) const {
+  const std::size_t col = column_index(column);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const RowId id : rows) {
+    const Value& v = rows_.at(id)[col];
+    if (!v.is_null()) out.push_back(v.as_real());
+  }
+  return out;
+}
+
+Table& Database::create_table(std::string name, std::vector<Column> columns) {
+  const auto [it, inserted] = tables_.emplace(
+      name, Table(name, std::move(columns)));
+  if (!inserted) {
+    throw std::invalid_argument("table already exists: " + name);
+  }
+  return it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw std::out_of_range("no table " + name);
+  return it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw std::out_of_range("no table " + name);
+  return it->second;
+}
+
+bool Database::has_table(const std::string& name) const noexcept {
+  return tables_.count(name) > 0;
+}
+
+}  // namespace tacc::db

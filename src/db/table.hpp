@@ -1,0 +1,117 @@
+// Tables: typed columns, row storage, secondary indexes, and query
+// execution with predicate conjunctions and aggregates. This is the
+// minimal relational core the analysis framework needs (the paper maps
+// job metadata + computed metrics into PostgreSQL and queries it through
+// the portal and the Django ORM).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace tacc::db {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::Real;
+};
+
+using Row = std::vector<Value>;
+using RowId = std::size_t;
+
+/// Comparison operators, matching the portal's search-field suffixes
+/// (metric__gte=x style, like the Django ORM).
+enum class Op { Eq, Ne, Lt, Lte, Gt, Gte, Contains };
+
+struct Predicate {
+  std::string column;
+  Op op = Op::Eq;
+  Value rhs;
+};
+
+/// Aggregate functions for Query::aggregate.
+enum class Agg { Count, Sum, Avg, Min, Max };
+
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Column>& columns() const noexcept { return columns_; }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Column position; throws std::out_of_range for unknown names.
+  std::size_t column_index(const std::string& name) const;
+  /// Column position, or nullopt.
+  std::optional<std::size_t> find_column(const std::string& name) const
+      noexcept;
+
+  /// Inserts a row. Arity must match; Int coerces into Real columns; Null
+  /// is allowed anywhere. Throws std::invalid_argument otherwise.
+  RowId insert(Row row);
+
+  const Row& row(RowId id) const { return rows_.at(id); }
+  const Value& at(RowId id, const std::string& column) const {
+    return rows_.at(id).at(column_index(column));
+  }
+
+  /// Builds (or rebuilds) a secondary index on a column. Equality and
+  /// range predicates on indexed columns use it automatically.
+  void create_index(const std::string& column);
+  bool has_index(const std::string& column) const noexcept;
+
+  /// Row ids satisfying the conjunction of predicates, in insertion order.
+  std::vector<RowId> select(const std::vector<Predicate>& preds) const;
+
+  /// select + ORDER BY <column> [DESC] + LIMIT. Stable within equal keys
+  /// (insertion order). limit 0 = unlimited.
+  std::vector<RowId> select_ordered(const std::vector<Predicate>& preds,
+                                    const std::string& order_by,
+                                    bool descending = false,
+                                    std::size_t limit = 0) const;
+
+  /// Applies an aggregate to a column over a selection. Count ignores the
+  /// column. Null values are skipped (SQL semantics). Avg of an empty
+  /// selection is 0.
+  double aggregate(Agg agg, const std::string& column,
+                   const std::vector<RowId>& rows) const;
+
+  /// Convenience: select + aggregate in one call.
+  double aggregate_where(Agg agg, const std::string& column,
+                         const std::vector<Predicate>& preds) const {
+    return aggregate(agg, column, select(preds));
+  }
+
+  /// Extracts a numeric column over a selection (for correlations).
+  std::vector<double> column_values(const std::string& column,
+                                    const std::vector<RowId>& rows) const;
+
+ private:
+  bool matches(const Row& row, const Predicate& pred,
+               std::size_t col) const noexcept;
+
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  // column index -> (value -> row ids)
+  std::map<std::size_t, std::multimap<Value, RowId>> indexes_;
+};
+
+/// A named collection of tables.
+class Database {
+ public:
+  /// Creates a table; throws std::invalid_argument if the name exists.
+  Table& create_table(std::string name, std::vector<Column> columns);
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+  bool has_table(const std::string& name) const noexcept;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace tacc::db

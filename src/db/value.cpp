@@ -1,0 +1,64 @@
+#include "db/value.hpp"
+
+#include <cstdio>
+
+namespace tacc::db {
+namespace {
+
+int type_rank(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::Null:
+      return 0;
+    case ValueType::Int:
+    case ValueType::Real:
+      return 1;
+    case ValueType::Text:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int Value::compare(const Value& other) const noexcept {
+  const int ra = type_rank(type());
+  const int rb = type_rank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::Null:
+      return 0;
+    case ValueType::Int:
+    case ValueType::Real: {
+      const double a = as_real();
+      const double b = other.as_real();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    case ValueType::Text: {
+      const auto& a = as_text();
+      const auto& b = other.as_text();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::Null:
+      return "NULL";
+    case ValueType::Int:
+      return std::to_string(as_int());
+    case ValueType::Real: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.6g", as_real());
+      return buf;
+    }
+    case ValueType::Text:
+      return as_text();
+  }
+  return {};
+}
+
+}  // namespace tacc::db

@@ -1,0 +1,85 @@
+// Typed values for the embedded relational store (the PostgreSQL
+// substitute). Values are null, 64-bit integers, doubles, or text; integer
+// values coerce to real where a real column expects them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace tacc::db {
+
+enum class ValueType { Null, Int, Real, Text };
+
+class Value {
+ public:
+  Value() noexcept : v_(std::monostate{}) {}
+  Value(std::int64_t x) noexcept : v_(x) {}          // NOLINT(google-explicit-constructor)
+  Value(int x) noexcept : v_(std::int64_t{x}) {}     // NOLINT
+  Value(std::uint64_t x) noexcept                    // NOLINT
+      : v_(static_cast<std::int64_t>(x)) {}
+  Value(double x) noexcept : v_(x) {}                // NOLINT
+  Value(std::string x) noexcept : v_(std::move(x)) {}  // NOLINT
+  Value(const char* x) : v_(std::string(x)) {}       // NOLINT
+
+  ValueType type() const noexcept {
+    switch (v_.index()) {
+      case 1:
+        return ValueType::Int;
+      case 2:
+        return ValueType::Real;
+      case 3:
+        return ValueType::Text;
+      default:
+        return ValueType::Null;
+    }
+  }
+
+  bool is_null() const noexcept { return type() == ValueType::Null; }
+
+  /// Integer content; 0 for non-integers.
+  std::int64_t as_int() const noexcept {
+    if (const auto* p = std::get_if<std::int64_t>(&v_)) return *p;
+    if (const auto* p = std::get_if<double>(&v_)) {
+      return static_cast<std::int64_t>(*p);
+    }
+    return 0;
+  }
+
+  /// Numeric content as double (ints coerce); 0 for text/null.
+  double as_real() const noexcept {
+    if (const auto* p = std::get_if<double>(&v_)) return *p;
+    if (const auto* p = std::get_if<std::int64_t>(&v_)) {
+      return static_cast<double>(*p);
+    }
+    return 0.0;
+  }
+
+  /// Text content; empty for non-text.
+  const std::string& as_text() const noexcept {
+    static const std::string empty;
+    if (const auto* p = std::get_if<std::string>(&v_)) return *p;
+    return empty;
+  }
+
+  /// SQL-style three-way comparison used by predicates and indexes:
+  /// numerics compare numerically across Int/Real; text compares
+  /// lexicographically; null sorts first; mixed text/numeric compares by
+  /// type rank.
+  int compare(const Value& other) const noexcept;
+
+  bool operator==(const Value& other) const noexcept {
+    return compare(other) == 0;
+  }
+  bool operator<(const Value& other) const noexcept {
+    return compare(other) < 0;
+  }
+
+  /// Display form (used by the portal views).
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> v_;
+};
+
+}  // namespace tacc::db

@@ -1,0 +1,88 @@
+#include "pipeline/flags.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tacc::pipeline {
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Flag> evaluate_flags(const workload::AccountingRecord& acct,
+                                 const JobMetrics& m,
+                                 const FlagThresholds& t) {
+  std::vector<Flag> flags;
+  auto add = [&](const char* name, std::string detail) {
+    flags.push_back({name, std::move(detail)});
+  };
+
+  if (!std::isnan(m.MetaDataRate) && m.MetaDataRate > t.metadata_rate) {
+    add("high_metadata_rate",
+        fmt("peak MDS request rate %.0f reqs/s stresses the filesystem",
+            m.MetaDataRate));
+  }
+  if (!std::isnan(m.GigEBW) && m.GigEBW > t.gige_mb_s) {
+    add("high_gige",
+        fmt("%.1f MB/s over Ethernet suggests a user MPI build not using "
+            "InfiniBand",
+            m.GigEBW));
+  }
+  if (acct.queue == "largemem" && !std::isnan(m.MemUsage) &&
+      m.MemUsage < t.largemem_min_gb) {
+    add("largemem_underuse",
+        fmt("job in the 1 TB largemem queue used only %.1f GB", m.MemUsage));
+  }
+  if (!std::isnan(m.idle) && m.idle < t.idle_ratio) {
+    add("idle_nodes",
+        fmt("node CPU usage imbalance (min/max = %.2f): some reserved nodes "
+            "are idle",
+            m.idle));
+  }
+  if (!std::isnan(m.catastrophe) && m.catastrophe < t.catastrophe_ratio) {
+    add("cpu_time_variation",
+        fmt("CPU usage varied strongly over time (min/max = %.2f)",
+            m.catastrophe));
+  }
+  if (!std::isnan(m.RampUp) && m.RampUp < t.ramp_ratio &&
+      (!std::isnan(m.TailDrop) && m.TailDrop >= t.tail_ratio)) {
+    add("cpu_ramp_up",
+        fmt("slow start (first window %.2f of peak): likely a compile step "
+            "before the run",
+            m.RampUp));
+  }
+  if (!std::isnan(m.TailDrop) && m.TailDrop < t.tail_ratio) {
+    add("cpu_tail_drop",
+        fmt("CPU usage collapsed before the job ended (last window %.2f of "
+            "peak): likely an application failure",
+            m.TailDrop));
+  }
+  if (!std::isnan(m.cpi) && m.cpi > t.high_cpi) {
+    add("high_cpi",
+        fmt("%.1f cycles per instruction: memory layout or I/O pattern may "
+            "not be performant",
+            m.cpi));
+  }
+  if (!std::isnan(m.VecPercent) && m.VecPercent < t.low_vec &&
+      !std::isnan(m.flops) && m.flops > 0.1) {
+    add("low_vectorization",
+        fmt("only %.2f%% of FP work vectorized", m.VecPercent * 100.0));
+  }
+  return flags;
+}
+
+std::string flag_names(const std::vector<Flag>& flags) {
+  std::string out;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (i) out += ',';
+    out += flags[i].name;
+  }
+  return out;
+}
+
+}  // namespace tacc::pipeline

@@ -1,0 +1,39 @@
+// Flag rules (paper section V-A): every job's metrics are tested against
+// thresholds chosen with system administrators and consultants; flagged
+// jobs appear in a sublist of every portal search and in the daily report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/metrics.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::pipeline {
+
+struct Flag {
+  std::string name;    // rule key, e.g. "high_metadata_rate"
+  std::string detail;  // human-readable explanation with the offending value
+};
+
+struct FlagThresholds {
+  double metadata_rate = 10000.0;   // reqs/s node-summed peak
+  double gige_mb_s = 1.0;           // Ethernet MPI suspicion
+  double largemem_min_gb = 64.0;    // minimum justified use of a 1 TB node
+  double idle_ratio = 0.15;         // min/max node CPU_Usage
+  double catastrophe_ratio = 0.25;  // min/max interval CPU usage
+  double ramp_ratio = 0.30;         // first/peak interval CPU usage
+  double tail_ratio = 0.30;         // last/peak interval CPU usage
+  double high_cpi = 3.0;            // cycles per instruction
+  double low_vec = 0.01;            // VecPercent considered unvectorized
+};
+
+/// Evaluates every rule; returns the flags that fired (possibly empty).
+std::vector<Flag> evaluate_flags(const workload::AccountingRecord& acct,
+                                 const JobMetrics& metrics,
+                                 const FlagThresholds& thresholds = {});
+
+/// Joins flag names with commas (the DB column form).
+std::string flag_names(const std::vector<Flag>& flags);
+
+}  // namespace tacc::pipeline

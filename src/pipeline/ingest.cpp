@@ -1,0 +1,84 @@
+#include "pipeline/ingest.hpp"
+
+#include <cmath>
+
+namespace tacc::pipeline {
+
+db::Table& create_jobs_table(db::Database& database) {
+  using db::Column;
+  using db::ValueType;
+  std::vector<Column> columns = {
+      {"jobid", ValueType::Int},      {"user", ValueType::Text},
+      {"account", ValueType::Text},
+      {"jobname", ValueType::Text},   {"exe", ValueType::Text},
+      {"queue", ValueType::Text},     {"status", ValueType::Text},
+      {"nodes", ValueType::Int},      {"wayness", ValueType::Int},
+      {"submit", ValueType::Int},     {"start", ValueType::Int},
+      {"end", ValueType::Int},        {"runtime", ValueType::Real},
+      {"queue_wait", ValueType::Real}, {"node_hours", ValueType::Real},
+      {"flags", ValueType::Text},
+  };
+  for (const auto& label : JobMetrics::labels()) {
+    columns.push_back({label, ValueType::Real});
+  }
+  auto& table = database.create_table(kJobsTable, std::move(columns));
+  table.create_index("exe");
+  table.create_index("user");
+  table.create_index("queue");
+  return table;
+}
+
+db::RowId ingest_job(db::Table& jobs, const workload::AccountingRecord& acct,
+                     const JobMetrics& metrics,
+                     const std::vector<Flag>& flags) {
+  const double runtime_s = util::to_seconds(acct.end_time - acct.start_time);
+  const double wait_s = util::to_seconds(acct.start_time - acct.submit_time);
+  db::Row row = {
+      acct.jobid,
+      acct.user,
+      acct.account,
+      acct.jobname,
+      acct.exe,
+      acct.queue,
+      acct.status,
+      acct.nodes,
+      acct.wayness,
+      acct.submit_time / util::kSecond,
+      acct.start_time / util::kSecond,
+      acct.end_time / util::kSecond,
+      runtime_s,
+      wait_s,
+      runtime_s / 3600.0 * acct.nodes,
+      flag_names(flags),
+  };
+  const auto values = metrics.as_map();
+  for (const auto& label : JobMetrics::labels()) {
+    const double v = values.at(label);
+    if (std::isnan(v)) {
+      row.emplace_back();  // NULL
+    } else {
+      row.emplace_back(v);
+    }
+  }
+  return jobs.insert(std::move(row));
+}
+
+std::size_t ingest_from_archive(
+    db::Database& database, const transport::RawArchive& archive,
+    const std::vector<workload::AccountingRecord>& accounting) {
+  auto& jobs = database.has_table(kJobsTable)
+                   ? database.table(kJobsTable)
+                   : create_jobs_table(database);
+  std::size_t ingested = 0;
+  for (const auto& acct : accounting) {
+    const JobData data = extract_job(archive, acct);
+    if (data.hosts.empty()) continue;
+    const JobMetrics metrics = compute_metrics(data);
+    const auto flags = evaluate_flags(acct, metrics);
+    ingest_job(jobs, acct, metrics, flags);
+    ++ingested;
+  }
+  return ingested;
+}
+
+}  // namespace tacc::pipeline

@@ -1,0 +1,32 @@
+// Ingests job metadata + computed metrics into the relational store (the
+// paper's PostgreSQL step): one row per job in the "jobs" table, with the
+// metadata columns the portal's job list shows and one Real column per
+// Table I metric. Flags are stored as a comma-joined text column.
+#pragma once
+
+#include "db/table.hpp"
+#include "pipeline/flags.hpp"
+#include "pipeline/metrics.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::pipeline {
+
+/// Name of the jobs table.
+inline constexpr const char* kJobsTable = "jobs";
+
+/// Creates the jobs table (metadata + metric columns) with indexes on
+/// exe, user, and queue. Throws if it already exists.
+db::Table& create_jobs_table(db::Database& database);
+
+/// Inserts one job row. NaN metrics become SQL NULLs.
+db::RowId ingest_job(db::Table& jobs, const workload::AccountingRecord& acct,
+                     const JobMetrics& metrics,
+                     const std::vector<Flag>& flags);
+
+/// Convenience: extract + compute + flag + ingest a batch of jobs from the
+/// central archive. Returns the number of jobs with at least one record.
+std::size_t ingest_from_archive(
+    db::Database& database, const transport::RawArchive& archive,
+    const std::vector<workload::AccountingRecord>& accounting);
+
+}  // namespace tacc::pipeline

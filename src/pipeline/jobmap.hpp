@@ -1,0 +1,43 @@
+// Maps raw host record streams to jobs (paper section IV-A: "TACC Stats
+// maps the raw output from each node to job ids"). A record belongs to a
+// job when the scheduler job list captured at collection time contains the
+// job id; this works on shared nodes too, where a record may belong to
+// several jobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/rawfile.hpp"
+#include "transport/archive.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::pipeline {
+
+/// One host's slice of a job: its schemas and the records tagged with the
+/// job id, in time order.
+struct HostSeries {
+  std::string hostname;
+  std::string arch;  // codename ("hsw", ...) for width lookups
+  std::vector<collect::Schema> schemas;
+  std::vector<collect::Record> records;
+};
+
+/// Everything the metric stage needs for one job.
+struct JobData {
+  workload::AccountingRecord acct;
+  std::vector<HostSeries> hosts;
+};
+
+/// Extracts a job's records from the central archive using the accounting
+/// record's host list. Hosts with no matching records are omitted (e.g. a
+/// crashed node whose cron-mode data was lost).
+JobData extract_job(const transport::RawArchive& archive,
+                    const workload::AccountingRecord& acct);
+
+/// Extracts a job from an in-memory set of host logs (used by the per-job
+/// mini-simulations of the population benches).
+JobData extract_job(const std::vector<collect::HostLog>& logs,
+                    const workload::AccountingRecord& acct);
+
+}  // namespace tacc::pipeline

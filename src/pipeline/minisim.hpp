@@ -1,0 +1,41 @@
+// Per-job mini-simulation: runs one population job through the full stack
+// (simulated nodes -> workload engine -> collectors -> raw records) on a
+// private miniature cluster, so the large population analyses (paper
+// section V) exercise exactly the same demand model, collection path and
+// metric formulas as the cluster-scale experiments — just one job at a
+// time, which parallelizes perfectly across jobs.
+#pragma once
+
+#include "db/table.hpp"
+#include "pipeline/jobmap.hpp"
+#include "simhw/arch.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::pipeline {
+
+struct MiniSimOptions {
+  /// Interior samples between the prolog ("begin") and epilog ("end")
+  /// collections. The production cadence is one per 10 minutes; population
+  /// runs use a handful — the ARC metrics are interval-insensitive by
+  /// construction.
+  int samples = 6;
+  simhw::Microarch uarch = simhw::Microarch::Haswell;
+  int sockets = 2;
+  int cores_per_socket = 8;
+  bool hyperthreading = false;
+  std::uint64_t mem_total_kb = 32ULL * 1024 * 1024;
+};
+
+/// Simulates one job and returns its extracted records + accounting.
+JobData simulate_job(const workload::JobSpec& spec,
+                     const MiniSimOptions& options = {});
+
+/// Simulates, computes metrics, evaluates flags, and ingests a whole
+/// population into `database` (creating the jobs table if needed), using
+/// `threads` workers. Returns the number of jobs ingested.
+std::size_t ingest_population(db::Database& database,
+                              const std::vector<workload::JobSpec>& jobs,
+                              const MiniSimOptions& options = {},
+                              std::size_t threads = 0);
+
+}  // namespace tacc::pipeline

@@ -1,0 +1,74 @@
+#include "portal/plots.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tacc::portal {
+namespace {
+
+// Eight-level bar glyphs; pure ASCII fallback would be " .:-=+*#".
+constexpr const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+
+}  // namespace
+
+std::string render_panel(const std::string& title,
+                         const std::vector<std::string>& hostnames,
+                         const std::vector<std::vector<double>>& series,
+                         const std::string& unit) {
+  double peak = 0.0;
+  for (const auto& s : series) {
+    for (const double v : s) peak = std::max(peak, v);
+  }
+  char head[160];
+  std::snprintf(head, sizeof head, "%s  [0 .. %.4g %s]\n", title.c_str(),
+                peak, unit.c_str());
+  std::string out = head;
+  for (std::size_t n = 0; n < series.size(); ++n) {
+    char label[32];
+    std::snprintf(label, sizeof label, "  %-10s |",
+                  n < hostnames.size() ? hostnames[n].c_str() : "?");
+    out += label;
+    for (const double v : series[n]) {
+      const int level =
+          peak > 0.0
+              ? std::clamp(static_cast<int>(v / peak * 7.999), 0, 7)
+              : 0;
+      out += kLevels[level];
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string render_job_plots(const std::vector<pipeline::NodeSeries>& nodes) {
+  std::vector<std::string> hosts;
+  hosts.reserve(nodes.size());
+  for (const auto& n : nodes) hosts.push_back(n.hostname);
+
+  struct Panel {
+    const char* title;
+    const char* unit;
+    std::vector<double> pipeline::NodeSeries::* member;
+  };
+  const Panel panels[] = {
+      {"Gigaflops", "GF/s", &pipeline::NodeSeries::gflops},
+      {"Memory Bandwidth", "GB/s", &pipeline::NodeSeries::mem_bw_gbps},
+      {"Memory Usage", "GB", &pipeline::NodeSeries::mem_used_gb},
+      {"Lustre Filesystem Bandwidth", "MB/s",
+       &pipeline::NodeSeries::lustre_mbps},
+      {"Internode (MPI) InfiniBand Traffic", "MB/s",
+       &pipeline::NodeSeries::ib_mpi_mbps},
+      {"CPU User Fraction", "", &pipeline::NodeSeries::cpu_user},
+  };
+  std::string out;
+  for (const auto& p : panels) {
+    std::vector<std::vector<double>> series;
+    series.reserve(nodes.size());
+    for (const auto& n : nodes) series.push_back(n.*(p.member));
+    out += render_panel(p.title, hosts, series, p.unit);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tacc::portal

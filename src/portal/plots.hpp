@@ -1,0 +1,24 @@
+// ASCII rendering of the paper's Fig. 5 job detail plots: six stacked
+// panels (Gigaflops, memory bandwidth, memory usage, Lustre bandwidth,
+// internode InfiniBand traffic, CPU user fraction), one sparkline row per
+// node so per-node imbalance is visible exactly as in the paper's figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/metrics.hpp"
+
+namespace tacc::portal {
+
+/// Renders one panel: a title with the y-range, then one sparkline row per
+/// node. Values are scaled to the panel-wide maximum.
+std::string render_panel(const std::string& title,
+                         const std::vector<std::string>& hostnames,
+                         const std::vector<std::vector<double>>& series,
+                         const std::string& unit);
+
+/// Renders all six Fig. 5 panels for a job.
+std::string render_job_plots(const std::vector<pipeline::NodeSeries>& nodes);
+
+}  // namespace tacc::portal

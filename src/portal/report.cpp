@@ -1,0 +1,130 @@
+#include "portal/report.hpp"
+
+#include <map>
+
+#include "portal/views.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace tacc::portal {
+
+std::string population_summary(const db::Table& jobs,
+                               const std::vector<db::RowId>& rows) {
+  std::map<std::string, std::size_t> by_flag;
+  std::size_t flagged = 0;
+  for (const auto id : rows) {
+    const std::string flags = jobs.at(id, "flags").as_text();
+    if (flags.empty()) continue;
+    ++flagged;
+    for (const auto f : util::split(flags, ',')) {
+      ++by_flag[std::string(f)];
+    }
+  }
+  std::string out;
+  out += std::to_string(rows.size()) + " jobs, " + std::to_string(flagged) +
+         " flagged (" +
+         util::TextTable::num(
+             rows.empty() ? 0.0
+                          : 100.0 * static_cast<double>(flagged) /
+                                static_cast<double>(rows.size()),
+             3) +
+         "%)\n";
+  util::TextTable t;
+  t.header({"Flag", "Jobs", "% of population"});
+  for (const auto& [flag, count] : by_flag) {
+    t.row({flag, std::to_string(count),
+           util::TextTable::num(100.0 * static_cast<double>(count) /
+                                    static_cast<double>(rows.size()),
+                                3)});
+  }
+  out += t.render();
+  util::TextTable avg;
+  avg.header({"Metric", "Population average"});
+  for (const char* metric :
+       {"CPU_Usage", "VecPercent", "flops", "mbw", "MemUsage",
+        "MetaDataRate", "LnetAveBW", "PkgWatts"}) {
+    avg.row({metric,
+             util::TextTable::num(
+                 jobs.aggregate(db::Agg::Avg, metric, rows), 4)});
+  }
+  out += avg.render();
+  return out;
+}
+
+namespace {
+
+std::string grouped_report(const db::Table& jobs,
+                           const std::vector<db::RowId>& rows,
+                           const char* key_column, std::size_t limit) {
+  struct Group {
+    std::vector<db::RowId> rows;
+    double node_hours = 0.0;
+  };
+  std::map<std::string, Group> groups;
+  for (const auto id : rows) {
+    auto& g = groups[jobs.at(id, key_column).as_text()];
+    g.rows.push_back(id);
+    g.node_hours += jobs.at(id, "node_hours").as_real();
+  }
+  std::vector<std::pair<std::string, const Group*>> order;
+  order.reserve(groups.size());
+  for (const auto& [key, g] : groups) order.emplace_back(key, &g);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->node_hours > b.second->node_hours;
+            });
+  util::TextTable t;
+  t.header({key_column, "Jobs", "Node hrs", "CPU_Usage", "flops",
+            "VecPercent", "MetaDataRate"});
+  std::size_t shown = 0;
+  for (const auto& [key, group] : order) {
+    if (limit != 0 && shown++ >= limit) break;
+    t.row({key, std::to_string(group->rows.size()),
+           util::TextTable::num(group->node_hours, 5),
+           util::TextTable::num(
+               jobs.aggregate(db::Agg::Avg, "CPU_Usage", group->rows), 3),
+           util::TextTable::num(
+               jobs.aggregate(db::Agg::Avg, "flops", group->rows), 4),
+           util::TextTable::num(
+               jobs.aggregate(db::Agg::Avg, "VecPercent", group->rows), 3),
+           util::TextTable::num(
+               jobs.aggregate(db::Agg::Avg, "MetaDataRate", group->rows),
+               5)});
+  }
+  return t.render();
+}
+
+}  // namespace
+
+std::string app_report(const db::Table& jobs,
+                       const std::vector<db::RowId>& rows,
+                       std::size_t limit) {
+  return grouped_report(jobs, rows, "exe", limit);
+}
+
+std::string user_report(const db::Table& jobs,
+                        const std::vector<db::RowId>& rows,
+                        std::size_t limit) {
+  return grouped_report(jobs, rows, "user", limit);
+}
+
+std::string group_report(const db::Table& jobs,
+                         const std::vector<db::RowId>& rows,
+                         std::size_t limit) {
+  return grouped_report(jobs, rows, "account", limit);
+}
+
+std::string daily_report(const db::Table& jobs, util::SimTime day) {
+  const auto rows = jobs.select(
+      {{"start", db::Op::Gte, db::Value(day / util::kSecond)},
+       {"start", db::Op::Lt,
+        db::Value((day + util::kDay) / util::kSecond)}});
+  std::string out = "TACC Stats daily report for " + util::format_time(day) +
+                    "\n\n";
+  out += population_summary(jobs, rows);
+  out += "\n";
+  out += flagged_sublist(jobs, rows, 20);
+  return out;
+}
+
+}  // namespace tacc::portal

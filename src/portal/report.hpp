@@ -1,0 +1,39 @@
+// The daily resource-use report for consulting staff (paper section I-B:
+// "a report giving a resource use profile for every job"): per-day summary
+// counts, flag breakdown, and the top offenders per rule.
+#pragma once
+
+#include <string>
+
+#include "db/table.hpp"
+#include "util/clock.hpp"
+
+namespace tacc::portal {
+
+/// Renders the report for jobs whose start time falls in [day, day+24h).
+std::string daily_report(const db::Table& jobs, util::SimTime day);
+
+/// Renders a population summary over an arbitrary selection: job counts,
+/// flag breakdown with percentages, and average key metrics.
+std::string population_summary(const db::Table& jobs,
+                               const std::vector<db::RowId>& rows);
+
+/// Application-level aggregation (the paper: data "can be aggregated at
+/// the system, group, user, application, job, node, or core level"):
+/// one row per executable with job count, node-hours, and average
+/// CPU_Usage / flops / VecPercent / MetaDataRate, sorted by node-hours.
+std::string app_report(const db::Table& jobs,
+                       const std::vector<db::RowId>& rows,
+                       std::size_t limit = 20);
+
+/// Per-user aggregation with the same columns.
+std::string user_report(const db::Table& jobs,
+                        const std::vector<db::RowId>& rows,
+                        std::size_t limit = 20);
+
+/// Per-project (allocation/group) aggregation with the same columns.
+std::string group_report(const db::Table& jobs,
+                         const std::vector<db::RowId>& rows,
+                         std::size_t limit = 20);
+
+}  // namespace tacc::portal

@@ -1,0 +1,98 @@
+#include "portal/search.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tacc::portal {
+
+db::Predicate parse_search_field(const std::string& field) {
+  const auto eq = field.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("search field needs <name>[__op]=<value>: " +
+                                field);
+  }
+  std::string lhs = field.substr(0, eq);
+  const std::string value = field.substr(eq + 1);
+
+  db::Op op = db::Op::Eq;
+  const auto sep = lhs.rfind("__");
+  if (sep != std::string::npos) {
+    const std::string opname = lhs.substr(sep + 2);
+    lhs = lhs.substr(0, sep);
+    if (opname == "eq") {
+      op = db::Op::Eq;
+    } else if (opname == "ne") {
+      op = db::Op::Ne;
+    } else if (opname == "lt") {
+      op = db::Op::Lt;
+    } else if (opname == "lte") {
+      op = db::Op::Lte;
+    } else if (opname == "gt") {
+      op = db::Op::Gt;
+    } else if (opname == "gte") {
+      op = db::Op::Gte;
+    } else if (opname == "contains") {
+      op = db::Op::Contains;
+    } else {
+      throw std::invalid_argument("unknown search operator: " + opname);
+    }
+  }
+  db::Predicate pred;
+  pred.column = lhs;
+  pred.op = op;
+  if (const auto num = util::parse_f64(value)) {
+    pred.rhs = db::Value(*num);
+  } else {
+    pred.rhs = db::Value(value);
+  }
+  return pred;
+}
+
+std::vector<db::Predicate> compile_query(const PortalQuery& query) {
+  std::vector<db::Predicate> preds;
+  if (query.jobid) {
+    preds.push_back({"jobid", db::Op::Eq, db::Value(*query.jobid)});
+  }
+  if (query.user) preds.push_back({"user", db::Op::Eq, db::Value(*query.user)});
+  if (query.exe) preds.push_back({"exe", db::Op::Eq, db::Value(*query.exe)});
+  if (query.queue) {
+    preds.push_back({"queue", db::Op::Eq, db::Value(*query.queue)});
+  }
+  if (query.status) {
+    preds.push_back({"status", db::Op::Eq, db::Value(*query.status)});
+  }
+  if (query.date_start != 0) {
+    preds.push_back({"start", db::Op::Gte,
+                     db::Value(query.date_start / util::kSecond)});
+  }
+  if (query.date_end != 0) {
+    preds.push_back(
+        {"start", db::Op::Lt, db::Value(query.date_end / util::kSecond)});
+  }
+  if (query.min_runtime_s) {
+    preds.push_back(
+        {"runtime", db::Op::Gt, db::Value(*query.min_runtime_s)});
+  }
+  for (const auto& field : query.search_fields) {
+    preds.push_back(parse_search_field(field));
+  }
+  return preds;
+}
+
+std::vector<db::RowId> run_query(const db::Table& jobs,
+                                 const PortalQuery& query) {
+  return jobs.select(compile_query(query));
+}
+
+std::vector<db::RowId> browse_date(const db::Table& jobs,
+                                   util::SimTime day) {
+  const util::SimTime start = day - day % util::kDay;
+  return jobs.select_ordered(
+      {{"start", db::Op::Gte, db::Value(start / util::kSecond)},
+       {"start", db::Op::Lt,
+        db::Value((start + util::kDay) / util::kSecond)}},
+      "start", /*descending=*/true);
+}
+
+}  // namespace tacc::portal

@@ -1,0 +1,49 @@
+// Portal search (paper Fig. 3): queries combine metadata filters (user,
+// executable, queue, job id, date range, minimum runtime) with up to three
+// "Search fields" — a metric name plus a modifying suffix selecting the
+// comparison operator and a threshold value, e.g. "MetaDataRate__gte=1000".
+// The suffix grammar matches the Django ORM the paper's portal uses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/table.hpp"
+#include "util/clock.hpp"
+
+namespace tacc::portal {
+
+/// Parses one search field ("<column>__<op>=<value>" or "<column>=<value>",
+/// default op Eq). Numeric values become Real, others Text. Throws
+/// std::invalid_argument on malformed input or unknown operator.
+db::Predicate parse_search_field(const std::string& field);
+
+/// A portal query form.
+struct PortalQuery {
+  std::optional<long> jobid;
+  std::optional<std::string> user;
+  std::optional<std::string> exe;
+  std::optional<std::string> queue;
+  std::optional<std::string> status;
+  /// Start-time window [date_start, date_end); 0 = unbounded.
+  util::SimTime date_start = 0;
+  util::SimTime date_end = 0;
+  std::optional<double> min_runtime_s;
+  /// Up to three metric search fields (more are accepted but the paper's
+  /// portal form offers three).
+  std::vector<std::string> search_fields;
+};
+
+/// Compiles a query form into predicates against the jobs table.
+std::vector<db::Predicate> compile_query(const PortalQuery& query);
+
+/// Runs the query. Results are row ids in insertion order.
+std::vector<db::RowId> run_query(const db::Table& jobs,
+                                 const PortalQuery& query);
+
+/// "View all jobs for a given date" (paper Fig. 3): every job whose start
+/// time falls on `day`, newest first.
+std::vector<db::RowId> browse_date(const db::Table& jobs, util::SimTime day);
+
+}  // namespace tacc::portal

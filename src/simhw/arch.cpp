@@ -1,0 +1,122 @@
+#include "simhw/arch.hpp"
+
+#include <array>
+
+namespace tacc::simhw {
+namespace {
+
+// Event encodings are modeled on the Intel SDM encodings for each part;
+// what matters for the reproduction is that they differ per architecture so
+// that programming the wrong table yields wrong counts (verified by tests).
+std::vector<PmcEncoding> nhm_events() {
+  return {
+      {CoreEvent::FpScalar, 0x10, 0x01},   // FP_COMP_OPS_EXE.SSE_FP_SCALAR
+      {CoreEvent::FpVector, 0x10, 0x10},   // FP_COMP_OPS_EXE.SSE_FP_PACKED
+      {CoreEvent::LoadsAll, 0x0B, 0x01},   // MEM_INST_RETIRED.LOADS
+      {CoreEvent::L1Hits, 0xCB, 0x01},     // MEM_LOAD_RETIRED.L1D_HIT
+      {CoreEvent::L2Hits, 0xCB, 0x02},     // MEM_LOAD_RETIRED.L2_HIT
+      {CoreEvent::LlcHits, 0xCB, 0x04},    // MEM_LOAD_RETIRED.LLC_UNSHARED_HIT
+      {CoreEvent::Branches, 0xC4, 0x00},   // BR_INST_RETIRED.ALL_BRANCHES
+      {CoreEvent::StallsTotal, 0xA2, 0x01} // RESOURCE_STALLS.ANY
+  };
+}
+
+std::vector<PmcEncoding> snb_like_events() {
+  return {
+      {CoreEvent::FpScalar, 0x10, 0x80},   // FP_COMP_OPS_EXE.SSE_SCALAR_DOUBLE
+      {CoreEvent::FpVector, 0x11, 0x02},   // SIMD_FP_256.PACKED_DOUBLE
+      {CoreEvent::LoadsAll, 0xD0, 0x81},   // MEM_UOPS_RETIRED.ALL_LOADS
+      {CoreEvent::L1Hits, 0xD1, 0x01},     // MEM_LOAD_UOPS_RETIRED.L1_HIT
+      {CoreEvent::L2Hits, 0xD1, 0x02},     // MEM_LOAD_UOPS_RETIRED.L2_HIT
+      {CoreEvent::LlcHits, 0xD1, 0x04},    // MEM_LOAD_UOPS_RETIRED.LLC_HIT
+      {CoreEvent::Branches, 0xC4, 0x00},
+      {CoreEvent::StallsTotal, 0xA2, 0x01}};
+}
+
+std::vector<PmcEncoding> hsw_events() {
+  return {
+      {CoreEvent::FpScalar, 0xC7, 0x01},   // FP_ARITH style scalar-double slot
+      {CoreEvent::FpVector, 0xC7, 0x10},   // packed-double slot
+      {CoreEvent::LoadsAll, 0xD0, 0x81},   // MEM_UOPS_RETIRED.ALL_LOADS
+      {CoreEvent::L1Hits, 0xD1, 0x01},
+      {CoreEvent::L2Hits, 0xD1, 0x02},
+      {CoreEvent::LlcHits, 0xD1, 0x04},
+      {CoreEvent::Branches, 0xC4, 0x00},
+      {CoreEvent::StallsTotal, 0xA2, 0x01}};
+}
+
+const std::array<ArchSpec, 5>& catalog() {
+  static const std::array<ArchSpec, 5> specs = {{
+      {Microarch::Nehalem, "nhm",
+       "Intel(R) Xeon(R) CPU X5550 @ 2.67GHz", 6, 26,
+       /*vector_width_doubles=*/2, 2.67, /*uncore_in_pci=*/false,
+       nhm_events()},
+      {Microarch::Westmere, "wsm",
+       "Intel(R) Xeon(R) CPU X5680 @ 3.33GHz", 6, 44,
+       /*vector_width_doubles=*/2, 3.33, /*uncore_in_pci=*/false,
+       nhm_events()},
+      {Microarch::SandyBridge, "snb",
+       "Intel(R) Xeon(R) CPU E5-2680 0 @ 2.70GHz", 6, 45,
+       /*vector_width_doubles=*/4, 2.70, /*uncore_in_pci=*/true,
+       snb_like_events()},
+      {Microarch::IvyBridge, "ivb",
+       "Intel(R) Xeon(R) CPU E5-2680 v2 @ 2.80GHz", 6, 62,
+       /*vector_width_doubles=*/4, 2.80, /*uncore_in_pci=*/true,
+       snb_like_events()},
+      {Microarch::Haswell, "hsw",
+       "Intel(R) Xeon(R) CPU E5-2690 v3 @ 2.60GHz", 6, 63,
+       /*vector_width_doubles=*/4, 2.60, /*uncore_in_pci=*/true,
+       hsw_events()},
+  }};
+  return specs;
+}
+
+}  // namespace
+
+const ArchSpec& arch_spec(Microarch uarch) {
+  return catalog()[static_cast<std::size_t>(uarch)];
+}
+
+const std::vector<Microarch>& all_microarchs() {
+  static const std::vector<Microarch> all = {
+      Microarch::Nehalem, Microarch::Westmere, Microarch::SandyBridge,
+      Microarch::IvyBridge, Microarch::Haswell};
+  return all;
+}
+
+const ArchSpec* arch_from_cpuid(int family, int model) noexcept {
+  for (const auto& spec : catalog()) {
+    if (spec.cpuid_family == family && spec.cpuid_model == model) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::string_view to_string(Microarch uarch) noexcept {
+  return arch_spec(uarch).codename;
+}
+
+std::string_view to_string(CoreEvent ev) noexcept {
+  switch (ev) {
+    case CoreEvent::FpScalar:
+      return "fp_scalar";
+    case CoreEvent::FpVector:
+      return "fp_vector";
+    case CoreEvent::LoadsAll:
+      return "loads_all";
+    case CoreEvent::L1Hits:
+      return "l1_hits";
+    case CoreEvent::L2Hits:
+      return "l2_hits";
+    case CoreEvent::LlcHits:
+      return "llc_hits";
+    case CoreEvent::Branches:
+      return "branches";
+    case CoreEvent::StallsTotal:
+      return "stalls_total";
+  }
+  return "?";
+}
+
+}  // namespace tacc::simhw

@@ -1,0 +1,80 @@
+// Chip architecture catalog.
+//
+// The paper (section III-B) lists Nehalem, Westmere, Sandy Bridge,
+// Ivy Bridge and Haswell support with automatic runtime identification, plus
+// Xeon Phi (Knights Corner) coprocessors accessed from the host. Each
+// architecture here carries the CPUID signature used for detection, the
+// performance-counter event encodings the collector must program, and the
+// uncore access method (PCI config space on SNB+, MSR-based on NHM/WSM).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacc::simhw {
+
+enum class Microarch {
+  Nehalem,
+  Westmere,
+  SandyBridge,
+  IvyBridge,
+  Haswell,
+};
+
+/// Names every architecture-dependent core event the collectors know how to
+/// program. The encoding (event select / umask) differs per architecture.
+enum class CoreEvent : std::uint8_t {
+  FpScalar,   // scalar double-precision FP operations retired
+  FpVector,   // packed (SSE/AVX) double-precision FP instructions retired
+  LoadsAll,   // all retired load uops (any cache level)
+  L1Hits,     // load uops that hit L1D
+  L2Hits,     // load uops that hit L2
+  LlcHits,    // load uops that hit last-level cache
+  Branches,   // retired branch instructions (extra slot, HT-off only)
+  StallsTotal // cycles with no uops dispatched (extra slot, HT-off only)
+};
+
+/// A programmable-counter encoding: what gets written into IA32_PERFEVTSELx.
+struct PmcEncoding {
+  CoreEvent event;
+  std::uint8_t event_select;  // bits 0-7 of PERFEVTSEL
+  std::uint8_t umask;         // bits 8-15
+};
+
+/// Static description of one microarchitecture.
+struct ArchSpec {
+  Microarch uarch;
+  std::string codename;    // short tag used in raw stats files: "hsw" etc.
+  std::string model_name;  // /proc/cpuinfo "model name" string
+  int cpuid_family;        // always 6 for these parts
+  int cpuid_model;         // e.g. 63 for Haswell-EP
+  int vector_width_doubles;  // doubles per vector FP instruction (SSE=2, AVX=4)
+  double nominal_ghz;
+  bool uncore_in_pci;  // SNB+: uncore IMC/QPI counters live in PCI config
+                       // space; NHM/WSM expose them via uncore MSRs
+  /// Programmable events in priority order. With hyperthreading enabled a
+  /// core has 4 programmable counters, with it disabled 8; the collector
+  /// programs the first 4 or 8 entries accordingly (paper section III-B:
+  /// the tool "will detect the topology of a node and modify its collection
+  /// procedure appropriately for processors with and without hardware
+  /// threading").
+  std::vector<PmcEncoding> pmc_events;
+};
+
+/// Returns the catalog entry for a microarchitecture.
+const ArchSpec& arch_spec(Microarch uarch);
+
+/// All supported architectures (for parameterized tests and the registry).
+const std::vector<Microarch>& all_microarchs();
+
+/// Resolves a CPUID (family, model) pair to a microarchitecture.
+/// Returns nullptr for unknown signatures (the collector then falls back
+/// to architecture-independent devices only).
+const ArchSpec* arch_from_cpuid(int family, int model) noexcept;
+
+std::string_view to_string(Microarch uarch) noexcept;
+std::string_view to_string(CoreEvent ev) noexcept;
+
+}  // namespace tacc::simhw

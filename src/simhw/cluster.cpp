@@ -1,0 +1,43 @@
+#include "simhw/cluster.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace tacc::simhw {
+
+std::string Cluster::hostname_for(int index, int nodes_per_rack) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "c%03d-%03d", 400 + index / nodes_per_rack,
+                1 + index % nodes_per_rack);
+  return buf;
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  util::Rng rng("cluster.phi", 7);
+  nodes_.reserve(static_cast<std::size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    NodeConfig nc;
+    nc.hostname = hostname_for(i, config.nodes_per_rack);
+    nc.uarch = config.uarch;
+    nc.topology = config.topology;
+    nc.mem_total_kb = config.mem_total_kb;
+    nc.has_phi = rng.bernoulli(config.phi_fraction);
+    nc.has_lustre = config.has_lustre;
+    nc.has_ib = config.has_ib;
+    nodes_.push_back(std::make_unique<Node>(std::move(nc)));
+  }
+}
+
+Node* Cluster::find(const std::string& hostname) noexcept {
+  for (auto& n : nodes_) {
+    if (n->hostname() == hostname) return n.get();
+  }
+  return nullptr;
+}
+
+const Node* Cluster::find(const std::string& hostname) const noexcept {
+  return const_cast<Cluster*>(this)->find(hostname);
+}
+
+}  // namespace tacc::simhw

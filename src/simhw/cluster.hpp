@@ -1,0 +1,53 @@
+// A simulated cluster: a set of nodes with Stampede-style hostnames, plus
+// failure injection. Node placement/racking follows the "cRRR-NNN"
+// convention (rack, slot).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simhw/node.hpp"
+
+namespace tacc::simhw {
+
+struct ClusterConfig {
+  int num_nodes = 16;
+  Microarch uarch = Microarch::Haswell;
+  Topology topology{};
+  std::uint64_t mem_total_kb = 32ULL * 1024 * 1024;
+  /// Fraction of nodes carrying a Xeon Phi coprocessor (Stampede: all
+  /// compute nodes had one; smaller systems none).
+  double phi_fraction = 1.0;
+  bool has_lustre = true;
+  bool has_ib = true;
+  int nodes_per_rack = 40;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+  const Node& node(std::size_t i) const { return *nodes_.at(i); }
+
+  /// Returns nullptr if the hostname is unknown.
+  Node* find(const std::string& hostname) noexcept;
+  const Node* find(const std::string& hostname) const noexcept;
+
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  /// Marks a node failed/recovered (cron-mode data-loss experiments).
+  void fail_node(std::size_t i) { nodes_.at(i)->set_failed(true); }
+  void recover_node(std::size_t i) { nodes_.at(i)->set_failed(false); }
+
+  /// Builds the canonical hostname for node index i.
+  static std::string hostname_for(int index, int nodes_per_rack);
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace tacc::simhw

@@ -1,0 +1,189 @@
+// Ground-truth cumulative counter state for a simulated node. The workload
+// engine increments these; collectors never touch them directly — they go
+// through the register/procfs interfaces of Node, which apply hardware
+// quirks (counter widths, unit conversions, text formats).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tacc::simhw {
+
+/// Number of distinct CoreEvent values (see arch.hpp).
+inline constexpr std::size_t kNumCoreEvents = 8;
+
+/// Per-logical-cpu truth. Scheduler accounting is in jiffies (USER_HZ=100).
+struct CoreState {
+  std::uint64_t user = 0;
+  std::uint64_t nice = 0;
+  std::uint64_t system = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t iowait = 0;
+
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t ref_cycles = 0;
+  /// Indexed by static_cast<size_t>(CoreEvent).
+  std::array<std::uint64_t, kNumCoreEvents> events{};
+};
+
+/// Per-socket uncore + energy truth.
+struct SocketState {
+  std::uint64_t imc_cas_reads = 0;   // cache lines read from DRAM
+  std::uint64_t imc_cas_writes = 0;  // cache lines written to DRAM
+  std::uint64_t qpi_data_flits = 0;  // 8-byte flits on the socket's links
+  std::uint64_t energy_pkg_uj = 0;   // package energy, microjoules
+  std::uint64_t energy_pp0_uj = 0;   // core-only energy
+  std::uint64_t energy_dram_uj = 0;  // DRAM energy
+};
+
+/// Lustre client state for the single mounted filesystem ("work").
+/// OSC traffic is spread across kNumOsts object-storage targets, matching
+/// the striped layout a real client sees.
+struct LustreState {
+  static constexpr int kNumOsts = 4;
+  // llite (VFS-level) counters.
+  std::uint64_t open = 0;
+  std::uint64_t close = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t read_samples = 0;
+  std::uint64_t write_samples = 0;
+  // Metadata client.
+  std::uint64_t mdc_reqs = 0;
+  std::uint64_t mdc_wait_us = 0;
+  // Object storage clients, one slot per OST.
+  std::array<std::uint64_t, kNumOsts> osc_reqs{};
+  std::array<std::uint64_t, kNumOsts> osc_wait_us{};
+  std::array<std::uint64_t, kNumOsts> osc_read_bytes{};
+  std::array<std::uint64_t, kNumOsts> osc_write_bytes{};
+  // Round-robin cursor used by add_osc-style helpers in the engine.
+  int next_ost = 0;
+};
+
+/// LNET router/client counters (bytes carried for Lustre over the fabric).
+struct LnetState {
+  std::uint64_t send_count = 0;
+  std::uint64_t recv_count = 0;
+  std::uint64_t send_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+};
+
+/// InfiniBand HCA port counters (total fabric traffic: MPI + Lustre).
+struct IbState {
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+};
+
+/// GigE (management Ethernet) counters.
+struct EthState {
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+};
+
+/// Xeon Phi utilization truth, aggregated over the coprocessor's cores.
+struct MicState {
+  std::uint64_t user_jiffies = 0;
+  std::uint64_t sys_jiffies = 0;
+  std::uint64_t idle_jiffies = 0;
+};
+
+/// Node memory truth. `used_kb` is instantaneous (MemUsage in the paper is
+/// a snapshot metric that can miss spikes; only procfs per-process HWM
+/// records the true peak).
+struct MemState {
+  std::uint64_t total_kb = 32ULL * 1024 * 1024;  // 32 GB default (Stampede)
+  std::uint64_t used_kb = 600 * 1024;            // OS baseline
+};
+
+/// Per-NUMA-node allocation counters (sysfs numastat).
+struct NumaState {
+  std::uint64_t numa_hit = 0;
+  std::uint64_t numa_miss = 0;
+  std::uint64_t numa_foreign = 0;
+  std::uint64_t local_node = 0;
+  std::uint64_t other_node = 0;
+};
+
+/// Kernel VM activity (/proc/vmstat subset the tool reads).
+struct VmState {
+  std::uint64_t pgpgin = 0;    // KB paged in from disk
+  std::uint64_t pgpgout = 0;   // KB paged out
+  std::uint64_t pswpin = 0;
+  std::uint64_t pswpout = 0;
+  std::uint64_t pgfault = 0;
+  std::uint64_t pgmajfault = 0;
+};
+
+/// Local block device truth (/sys/block/<dev>/stat layout, sectors of
+/// 512 bytes).
+struct BlockState {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t sectors_read = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t sectors_written = 0;
+  std::uint64_t io_ticks_ms = 0;  // time the device was busy
+};
+
+/// VFS object counts (gauges from /proc/sys/fs).
+struct VfsState {
+  std::uint64_t dentry_count = 40000;
+  std::uint64_t inode_count = 35000;
+  std::uint64_t file_count = 1800;
+};
+
+/// SysV shared memory and /dev/shm tmpfs usage (gauges).
+struct ShmState {
+  std::uint64_t sysv_segments = 0;
+  std::uint64_t sysv_bytes = 0;
+  std::uint64_t tmpfs_bytes = 0;
+};
+
+/// One process visible in the simulated procfs.
+struct ProcessInfo {
+  int pid = 0;
+  std::string name;
+  int uid = 0;
+  long jobid = 0;  // which job spawned it (accounting knowledge, not procfs)
+  std::uint64_t vm_size_kb = 0;
+  std::uint64_t vm_peak_kb = 0;
+  std::uint64_t vm_lck_kb = 0;
+  std::uint64_t vm_rss_kb = 0;
+  std::uint64_t vm_hwm_kb = 0;
+  std::uint64_t vm_data_kb = 0;
+  std::uint64_t vm_stk_kb = 0;
+  std::uint64_t vm_exe_kb = 0;
+  int threads = 1;
+  std::uint64_t cpus_allowed = ~0ULL;  // affinity bitmask
+  std::uint64_t mems_allowed = 0x3;    // NUMA node mask
+};
+
+/// Full truth state of one node.
+struct NodeState {
+  /// Node-local clock in microseconds since the epoch; advanced by the
+  /// workload engine and used for snapshot_time fields in Lustre stats.
+  std::int64_t now_us = 0;
+  std::vector<CoreState> cores;     // one per logical cpu
+  std::vector<SocketState> sockets;
+  LustreState lustre;
+  LnetState lnet;
+  IbState ib;
+  EthState eth;
+  MicState mic;
+  MemState mem;
+  std::vector<NumaState> numa;  // one per socket/NUMA node
+  VmState vm;
+  BlockState block;  // the local scratch disk (sda)
+  VfsState vfs;
+  ShmState shm;
+  std::map<int, ProcessInfo> processes;  // keyed by pid
+};
+
+}  // namespace tacc::simhw

@@ -1,0 +1,50 @@
+// Model-specific register addresses understood by the simulated nodes.
+// These follow the real Intel layout so the collectors read the same
+// registers the C tool reads via /dev/cpu/<n>/msr.
+#pragma once
+
+#include <cstdint>
+
+namespace tacc::simhw::msr {
+
+// Fixed-function counters (IA32_FIXED_CTRx); always counting in the sim.
+inline constexpr std::uint32_t kFixedCtrInstructions = 0x309;
+inline constexpr std::uint32_t kFixedCtrCycles = 0x30A;
+inline constexpr std::uint32_t kFixedCtrRefCycles = 0x30B;
+
+// Programmable counters. PERFEVTSELx selects the event counted by PMCx.
+// With hyperthreading enabled, only 4 counters exist per logical core;
+// with it disabled, 8 (as on real SNB+ parts).
+inline constexpr std::uint32_t kPerfEvtSelBase = 0x186;  // 0x186..0x18D
+inline constexpr std::uint32_t kPmcBase = 0x0C1;         // 0x0C1..0x0C8
+inline constexpr int kMaxPmcs = 8;
+inline constexpr int kPmcsWithHt = 4;
+
+// PERFEVTSEL fields (subset the collectors use).
+inline constexpr std::uint64_t kEvtSelEnable = 1ULL << 22;
+inline constexpr std::uint64_t kEvtSelUser = 1ULL << 16;
+
+inline constexpr std::uint64_t make_evtsel(std::uint8_t event,
+                                           std::uint8_t umask) noexcept {
+  return static_cast<std::uint64_t>(event) |
+         (static_cast<std::uint64_t>(umask) << 8) | kEvtSelEnable |
+         kEvtSelUser;
+}
+
+// Running Average Power Limit. Energy status registers are 32-bit
+// cumulative counters in units of 1/2^ESU joules; kEnergyStatusUnits
+// encodes ESU in bits 12:8 (we model ESU = 16, i.e. ~15.26 uJ/LSB, the
+// common value on server parts).
+inline constexpr std::uint32_t kRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kPkgEnergyStatus = 0x611;   // cores + LLC + ...
+inline constexpr std::uint32_t kPp0EnergyStatus = 0x639;   // cores only
+inline constexpr std::uint32_t kDramEnergyStatus = 0x619;  // DRAM
+inline constexpr int kEnergyStatusUnitsShift = 8;
+inline constexpr int kEnergyStatusUnits = 16;  // 2^-16 J per LSB
+
+// Counter widths: programmable/fixed core counters are 48-bit, RAPL energy
+// status registers are 32-bit. The analysis pipeline corrects for wrap.
+inline constexpr int kCoreCounterBits = 48;
+inline constexpr int kRaplCounterBits = 32;
+
+}  // namespace tacc::simhw::msr

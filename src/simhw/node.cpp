@@ -1,0 +1,280 @@
+#include "simhw/node.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "simhw/pci.hpp"
+#include "simhw/procfs.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::simhw {
+namespace {
+
+constexpr std::uint64_t mask_bits(std::uint64_t v, int bits) noexcept {
+  return bits >= 64 ? v : v & ((1ULL << bits) - 1);
+}
+
+}  // namespace
+
+Node::Node(NodeConfig config) : config_(std::move(config)) {
+  state_.cores.resize(
+      static_cast<std::size_t>(config_.topology.logical_cpus()));
+  state_.sockets.resize(static_cast<std::size_t>(config_.topology.sockets));
+  state_.numa.resize(static_cast<std::size_t>(config_.topology.sockets));
+  state_.mem.total_kb = config_.mem_total_kb;
+  state_.mem.used_kb = std::min<std::uint64_t>(600 * 1024, config_.mem_total_kb / 8);
+  evtsel_.resize(state_.cores.size());
+  for (auto& regs : evtsel_) regs.fill(0);
+}
+
+void Node::check_alive() const {
+  if (failed_) throw NodeFailedError(config_.hostname);
+}
+
+CpuId Node::cpuid() const {
+  check_alive();
+  const auto& spec = arch();
+  return CpuId{spec.cpuid_family, spec.cpuid_model, spec.model_name};
+}
+
+std::uint64_t Node::read_pmc(int cpu, int index) const {
+  if (index >= config_.topology.pmcs_per_core()) {
+    throw MsrError("PMC index beyond available counters");
+  }
+  const std::uint64_t sel = evtsel_[static_cast<std::size_t>(cpu)]
+                                   [static_cast<std::size_t>(index)];
+  if (!(sel & msr::kEvtSelEnable)) return 0;
+  const auto event = static_cast<std::uint8_t>(sel & 0xFF);
+  const auto umask = static_cast<std::uint8_t>((sel >> 8) & 0xFF);
+  for (const auto& enc : arch().pmc_events) {
+    if (enc.event_select == event && enc.umask == umask) {
+      const auto& core = state_.cores[static_cast<std::size_t>(cpu)];
+      return mask_bits(core.events[static_cast<std::size_t>(enc.event)],
+                       msr::kCoreCounterBits);
+    }
+  }
+  // An encoding the PMU does not implement simply counts nothing.
+  return 0;
+}
+
+std::uint64_t Node::read_msr(int cpu, std::uint32_t reg) const {
+  check_alive();
+  if (cpu < 0 || cpu >= config_.topology.logical_cpus()) {
+    throw MsrError("bad cpu index");
+  }
+  const auto& core = state_.cores[static_cast<std::size_t>(cpu)];
+  switch (reg) {
+    case msr::kFixedCtrInstructions:
+      return mask_bits(core.instructions, msr::kCoreCounterBits);
+    case msr::kFixedCtrCycles:
+      return mask_bits(core.cycles, msr::kCoreCounterBits);
+    case msr::kFixedCtrRefCycles:
+      return mask_bits(core.ref_cycles, msr::kCoreCounterBits);
+    case msr::kRaplPowerUnit:
+      return static_cast<std::uint64_t>(msr::kEnergyStatusUnits)
+             << msr::kEnergyStatusUnitsShift;
+    default:
+      break;
+  }
+  if (reg >= msr::kPerfEvtSelBase &&
+      reg < msr::kPerfEvtSelBase + msr::kMaxPmcs) {
+    return evtsel_[static_cast<std::size_t>(cpu)][reg - msr::kPerfEvtSelBase];
+  }
+  if (reg >= msr::kPmcBase && reg < msr::kPmcBase + msr::kMaxPmcs) {
+    return read_pmc(cpu, static_cast<int>(reg - msr::kPmcBase));
+  }
+  // RAPL energy counters are per socket; readable from any cpu of the
+  // socket. Truth is microjoules; the register is in 2^-ESU joule units
+  // and 32 bits wide.
+  const auto& sock = state_.sockets[static_cast<std::size_t>(
+      config_.topology.socket_of_cpu(cpu))];
+  auto rapl = [](std::uint64_t uj) {
+    const unsigned __int128 units =
+        static_cast<unsigned __int128>(uj) * (1ULL << msr::kEnergyStatusUnits) /
+        1000000u;
+    return static_cast<std::uint64_t>(units) & 0xFFFFFFFFULL;
+  };
+  switch (reg) {
+    case msr::kPkgEnergyStatus:
+      return rapl(sock.energy_pkg_uj);
+    case msr::kPp0EnergyStatus:
+      return rapl(sock.energy_pp0_uj);
+    case msr::kDramEnergyStatus:
+      return rapl(sock.energy_dram_uj);
+    default:
+      throw MsrError("unimplemented MSR");
+  }
+}
+
+void Node::write_msr(int cpu, std::uint32_t reg, std::uint64_t value) {
+  check_alive();
+  if (cpu < 0 || cpu >= config_.topology.logical_cpus()) {
+    throw MsrError("bad cpu index");
+  }
+  if (reg >= msr::kPerfEvtSelBase &&
+      reg < msr::kPerfEvtSelBase +
+                static_cast<std::uint32_t>(config_.topology.pmcs_per_core())) {
+    evtsel_[static_cast<std::size_t>(cpu)][reg - msr::kPerfEvtSelBase] = value;
+    return;
+  }
+  throw MsrError("register not writable");
+}
+
+std::optional<std::uint64_t> Node::pci_read64(int bus, int device,
+                                              int function,
+                                              int offset) const {
+  check_alive();
+  if (!arch().uncore_in_pci) return std::nullopt;
+  if (bus < 0 || bus >= config_.topology.sockets) return std::nullopt;
+  const auto& sock = state_.sockets[static_cast<std::size_t>(bus)];
+  if (device == pci::kImcDevice && function == pci::kImcFunction) {
+    if (offset == pci::kImcCasReadsOffset) {
+      return mask_bits(sock.imc_cas_reads, pci::kUncoreCounterBits);
+    }
+    if (offset == pci::kImcCasWritesOffset) {
+      return mask_bits(sock.imc_cas_writes, pci::kUncoreCounterBits);
+    }
+  }
+  if (device == pci::kQpiDevice && function == pci::kQpiFunction &&
+      offset == pci::kQpiDataFlitsOffset) {
+    return mask_bits(sock.qpi_data_flits, pci::kUncoreCounterBits);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Node::read_file(const std::string& path) const {
+  check_alive();
+  using util::starts_with;
+  if (path == "/proc/stat") return procfs::render_stat(*this);
+  if (path == "/proc/meminfo") return procfs::render_meminfo(*this);
+  if (path == "/proc/cpuinfo") return procfs::render_cpuinfo(*this);
+  if (path == "/proc/net/dev") return procfs::render_net_dev(*this);
+  if (path == "/proc/sys/lnet/stats") {
+    if (!config_.has_lustre) return std::nullopt;
+    return procfs::render_lnet_stats(*this);
+  }
+  if (starts_with(path, "/proc/fs/lustre/")) {
+    if (!config_.has_lustre) return std::nullopt;
+    if (path == "/proc/fs/lustre/llite/" + procfs::llite_instance(*this) +
+                    "/stats") {
+      return procfs::render_llite_stats(*this);
+    }
+    if (path == "/proc/fs/lustre/mdc/" + procfs::mdc_instance(*this) +
+                    "/stats") {
+      return procfs::render_mdc_stats(*this);
+    }
+    for (int ost = 0; ost < LustreState::kNumOsts; ++ost) {
+      if (path == "/proc/fs/lustre/osc/" + procfs::osc_instance(*this, ost) +
+                      "/stats") {
+        return procfs::render_osc_stats(*this, ost);
+      }
+    }
+    return std::nullopt;
+  }
+  if (starts_with(path, "/sys/class/infiniband/")) {
+    if (!config_.has_ib) return std::nullopt;
+    const std::string base =
+        "/sys/class/infiniband/" + config_.ib_hca + "/ports/1/counters_ext/";
+    auto value = [](std::uint64_t v) {
+      return std::to_string(v) + "\n";
+    };
+    // port_*_data_64 counters are in units of 4-byte words (IB quirk).
+    if (path == base + "port_rcv_data_64") {
+      return value(state_.ib.rx_bytes / 4);
+    }
+    if (path == base + "port_xmit_data_64") {
+      return value(state_.ib.tx_bytes / 4);
+    }
+    if (path == base + "port_rcv_pkts_64") return value(state_.ib.rx_packets);
+    if (path == base + "port_xmit_pkts_64") return value(state_.ib.tx_packets);
+    return std::nullopt;
+  }
+  if (path == "/sys/class/mic/mic0/stats") {
+    if (!config_.has_phi) return std::nullopt;
+    return procfs::render_mic_stats(*this);
+  }
+  if (path == "/proc/vmstat") return procfs::render_vmstat(*this);
+  if (path == "/sys/block/sda/stat") return procfs::render_block_stat(*this);
+  if (path == "/proc/sys/fs/dentry-state") {
+    return procfs::render_dentry_state(*this);
+  }
+  if (path == "/proc/sys/fs/inode-nr") return procfs::render_inode_nr(*this);
+  if (path == "/proc/sys/fs/file-nr") return procfs::render_file_nr(*this);
+  if (path == "/proc/sysvipc/shm") return procfs::render_sysvipc_shm(*this);
+  if (path == "/sys/kernel/mm/tmpfs_bytes") {
+    return procfs::render_tmpfs_bytes(*this);
+  }
+  if (starts_with(path, "/sys/devices/system/node/node") &&
+      util::ends_with(path, "/numastat")) {
+    const std::string_view mid(path.data() + 29, path.size() - 29 - 9);
+    int numa_node = 0;
+    const auto [ptr, ec] =
+        std::from_chars(mid.data(), mid.data() + mid.size(), numa_node);
+    if (ec == std::errc{} && ptr == mid.data() + mid.size() &&
+        numa_node >= 0 && numa_node < config_.topology.sockets) {
+      return procfs::render_numastat(*this, numa_node);
+    }
+    return std::nullopt;
+  }
+  // /proc/<pid>/status
+  if (starts_with(path, "/proc/") && util::ends_with(path, "/status")) {
+    const std::string_view mid(path.data() + 6, path.size() - 6 - 7);
+    int pid = 0;
+    const auto [ptr, ec] =
+        std::from_chars(mid.data(), mid.data() + mid.size(), pid);
+    if (ec == std::errc{} && ptr == mid.data() + mid.size()) {
+      const auto it = state_.processes.find(pid);
+      if (it == state_.processes.end()) return std::nullopt;
+      return procfs::render_pid_status(*this, it->second);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Node::list_dir(const std::string& path) const {
+  check_alive();
+  std::vector<std::string> out;
+  if (path == "/proc/fs/lustre/llite") {
+    if (config_.has_lustre) out.push_back(procfs::llite_instance(*this));
+  } else if (path == "/proc/fs/lustre/mdc") {
+    if (config_.has_lustre) out.push_back(procfs::mdc_instance(*this));
+  } else if (path == "/proc/fs/lustre/osc") {
+    if (config_.has_lustre) {
+      for (int ost = 0; ost < LustreState::kNumOsts; ++ost) {
+        out.push_back(procfs::osc_instance(*this, ost));
+      }
+    }
+  } else if (path == "/sys/class/infiniband") {
+    if (config_.has_ib) out.push_back(config_.ib_hca);
+  } else if (path == "/sys/class/mic") {
+    if (config_.has_phi) out.push_back("mic0");
+  } else if (path == "/sys/devices/system/node") {
+    for (int s = 0; s < config_.topology.sockets; ++s) {
+      out.push_back("node" + std::to_string(s));
+    }
+  } else if (path == "/sys/block") {
+    out.push_back("sda");
+  } else if (path == "/proc") {
+    for (const auto& [pid, _] : state_.processes) {
+      out.push_back(std::to_string(pid));
+    }
+  }
+  return out;
+}
+
+std::vector<int> Node::list_pids() const {
+  check_alive();
+  std::vector<int> pids;
+  pids.reserve(state_.processes.size());
+  for (const auto& [pid, _] : state_.processes) pids.push_back(pid);
+  return pids;
+}
+
+void Node::spawn_process(ProcessInfo info) {
+  const int pid = info.pid;
+  state_.processes[pid] = std::move(info);
+}
+
+void Node::kill_process(int pid) { state_.processes.erase(pid); }
+
+}  // namespace tacc::simhw

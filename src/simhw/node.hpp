@@ -1,0 +1,121 @@
+// A simulated compute node.
+//
+// The node exposes the same low-level access surfaces the real tool uses:
+//   * MSR reads/writes keyed by (logical cpu, register address), including
+//     programmable-counter event-select semantics and counter-width masking;
+//   * PCI config-space reads for the uncore iMC/QPI counters;
+//   * procfs/sysfs text files rendered in genuine Linux/Lustre formats;
+//   * CPUID identity for architecture auto-detection.
+//
+// Ground truth lives in NodeState (counters.hpp) and is mutated only by the
+// workload engine. Collectors read through the hardware interfaces, so
+// every quirk (48-bit PMCs, 32-bit RAPL, IB data counters in 4-byte words)
+// is applied on the read path exactly once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simhw/arch.hpp"
+#include "simhw/counters.hpp"
+#include "simhw/topology.hpp"
+
+namespace tacc::simhw {
+
+/// Thrown when accessing a failed (crashed/powered-off) node, mirroring the
+/// I/O errors the real tool would see.
+class NodeFailedError : public std::runtime_error {
+ public:
+  explicit NodeFailedError(const std::string& host)
+      : std::runtime_error("node failed: " + host) {}
+};
+
+/// Thrown for reads of unimplemented MSRs / bad cpu indices (a real rdmsr
+/// of an unimplemented register raises #GP).
+class MsrError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// CPUID identity as the detection code sees it.
+struct CpuId {
+  int family = 0;
+  int model = 0;
+  std::string model_name;
+};
+
+struct NodeConfig {
+  std::string hostname = "c400-001";
+  Microarch uarch = Microarch::Haswell;
+  Topology topology{};
+  std::uint64_t mem_total_kb = 32ULL * 1024 * 1024;
+  bool has_phi = false;     // Xeon Phi coprocessor present
+  bool has_lustre = true;   // Lustre client mounted
+  bool has_ib = true;       // InfiniBand HCA present
+  std::string lustre_fs = "work";
+  std::string ib_hca = "mlx4_0";
+};
+
+class Node {
+ public:
+  explicit Node(NodeConfig config);
+
+  const std::string& hostname() const noexcept { return config_.hostname; }
+  const NodeConfig& config() const noexcept { return config_; }
+  const Topology& topology() const noexcept { return config_.topology; }
+  const ArchSpec& arch() const { return arch_spec(config_.uarch); }
+
+  /// Mutable truth state; only the workload engine should use this.
+  NodeState& state() noexcept { return state_; }
+  const NodeState& state() const noexcept { return state_; }
+
+  // -- failure injection ---------------------------------------------------
+  void set_failed(bool failed) noexcept { failed_ = failed; }
+  bool failed() const noexcept { return failed_; }
+
+  // -- CPUID ---------------------------------------------------------------
+  CpuId cpuid() const;
+
+  // -- MSR interface -------------------------------------------------------
+  /// Reads a register on a logical cpu. Throws MsrError for unknown
+  /// registers or bad cpu indices; NodeFailedError if the node is down.
+  std::uint64_t read_msr(int cpu, std::uint32_t reg) const;
+  /// Writes a register (only PERFEVTSELx are writable).
+  void write_msr(int cpu, std::uint32_t reg, std::uint64_t value);
+
+  // -- PCI config space ----------------------------------------------------
+  /// 64-bit read at (bus, device, function, offset). Returns nullopt when
+  /// the device does not exist (e.g. uncore on pre-SNB parts).
+  std::optional<std::uint64_t> pci_read64(int bus, int device, int function,
+                                          int offset) const;
+
+  // -- Filesystem surfaces ---------------------------------------------------
+  /// Renders a procfs/sysfs file. Returns nullopt for unknown paths or
+  /// absent hardware (no Lustre mount, no Phi, ...).
+  std::optional<std::string> read_file(const std::string& path) const;
+  /// Lists directory entries for the small set of directories collectors
+  /// enumerate (Lustre target dirs, IB HCAs, MIC devices, /proc pids).
+  std::vector<std::string> list_dir(const std::string& path) const;
+  /// Pids with live procfs entries.
+  std::vector<int> list_pids() const;
+
+  // -- Process lifecycle helpers (used by the engine / shared-node sim) ----
+  /// Registers a process; pid must be unique on the node.
+  void spawn_process(ProcessInfo info);
+  /// Removes a process; no-op if absent.
+  void kill_process(int pid);
+
+ private:
+  void check_alive() const;
+  std::uint64_t read_pmc(int cpu, int index) const;
+
+  NodeConfig config_;
+  NodeState state_;
+  bool failed_ = false;
+  /// PERFEVTSEL shadow registers, [cpu][counter index].
+  std::vector<std::array<std::uint64_t, msr::kMaxPmcs>> evtsel_;
+};
+
+}  // namespace tacc::simhw

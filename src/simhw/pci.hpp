@@ -1,0 +1,34 @@
+// Simulated PCI configuration-space layout for the uncore counters.
+// On SNB/IVB/HSW server parts the integrated memory controller (iMC) and
+// QPI link-layer performance counters are exposed as PCI devices; the real
+// tool reads them through /proc/bus/pci or /sys/bus/pci config space. The
+// simulated layout uses one bus per socket.
+#pragma once
+
+#include <cstdint>
+
+namespace tacc::simhw::pci {
+
+/// Bus number for a socket's uncore devices.
+inline constexpr int bus_of_socket(int socket) noexcept { return socket; }
+
+// iMC performance counter device (one per socket in the sim; real parts
+// have one per channel — the simulator aggregates channels).
+inline constexpr int kImcDevice = 0x10;
+inline constexpr int kImcFunction = 0;
+inline constexpr int kImcCasReadsOffset = 0xA0;   // 48-bit, cache lines
+inline constexpr int kImcCasWritesOffset = 0xA8;  // 48-bit, cache lines
+
+// QPI link-layer counter device.
+inline constexpr int kQpiDevice = 0x08;
+inline constexpr int kQpiFunction = 0;
+inline constexpr int kQpiDataFlitsOffset = 0xB0;  // 48-bit, 8-byte flits
+
+inline constexpr int kUncoreCounterBits = 48;
+
+/// Bytes per iMC CAS transaction (one cache line).
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+/// Bytes per QPI data flit.
+inline constexpr std::uint64_t kQpiFlitBytes = 8;
+
+}  // namespace tacc::simhw::pci

@@ -1,0 +1,364 @@
+#include "simhw/procfs.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "simhw/node.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::simhw::procfs {
+namespace {
+
+/// Deterministic 16-hex-digit instance suffix derived from the hostname,
+/// mimicking the kernel pointer Lustre embeds in target directory names.
+std::string instance_suffix(const Node& node, std::string_view salt) {
+  const std::uint64_t h =
+      util::fnv1a(node.hostname()) ^ util::fnv1a(salt);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "ffff%012llx",
+                static_cast<unsigned long long>(h & 0xffffffffffffULL));
+  return buf;
+}
+
+void append_kv_kb(std::ostringstream& os, const char* key,
+                  std::uint64_t kb) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%-16s%8llu kB\n", key,
+                static_cast<unsigned long long>(kb));
+  os << buf;
+}
+
+}  // namespace
+
+std::string render_stat(const Node& node) {
+  const auto& cores = node.state().cores;
+  std::uint64_t tot[5] = {0, 0, 0, 0, 0};
+  for (const auto& c : cores) {
+    tot[0] += c.user;
+    tot[1] += c.nice;
+    tot[2] += c.system;
+    tot[3] += c.idle;
+    tot[4] += c.iowait;
+  }
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "cpu  %llu %llu %llu %llu %llu 0 0 0 0 0\n",
+                static_cast<unsigned long long>(tot[0]),
+                static_cast<unsigned long long>(tot[1]),
+                static_cast<unsigned long long>(tot[2]),
+                static_cast<unsigned long long>(tot[3]),
+                static_cast<unsigned long long>(tot[4]));
+  os << buf;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const auto& c = cores[i];
+    std::snprintf(buf, sizeof buf,
+                  "cpu%zu %llu %llu %llu %llu %llu 0 0 0 0 0\n", i,
+                  static_cast<unsigned long long>(c.user),
+                  static_cast<unsigned long long>(c.nice),
+                  static_cast<unsigned long long>(c.system),
+                  static_cast<unsigned long long>(c.idle),
+                  static_cast<unsigned long long>(c.iowait));
+    os << buf;
+  }
+  os << "ctxt 0\nbtime 0\nprocesses 0\n";
+  return os.str();
+}
+
+std::string render_meminfo(const Node& node) {
+  const auto& mem = node.state().mem;
+  // A small fixed page-cache slice keeps MemFree = Total - Used - Cached
+  // consistent; collectors compute used = Total - Free - Cached.
+  const std::uint64_t cached = std::min<std::uint64_t>(
+      256 * 1024, mem.total_kb > mem.used_kb ? mem.total_kb - mem.used_kb : 0);
+  const std::uint64_t free_kb =
+      mem.total_kb > mem.used_kb + cached ? mem.total_kb - mem.used_kb - cached
+                                          : 0;
+  std::ostringstream os;
+  append_kv_kb(os, "MemTotal:", mem.total_kb);
+  append_kv_kb(os, "MemFree:", free_kb);
+  append_kv_kb(os, "Buffers:", 0);
+  append_kv_kb(os, "Cached:", cached);
+  append_kv_kb(os, "SwapTotal:", 0);
+  append_kv_kb(os, "SwapFree:", 0);
+  return os.str();
+}
+
+std::string render_cpuinfo(const Node& node) {
+  const auto& spec = node.arch();
+  std::ostringstream os;
+  for (int cpu = 0; cpu < node.topology().logical_cpus(); ++cpu) {
+    os << "processor\t: " << cpu << '\n'
+       << "vendor_id\t: GenuineIntel\n"
+       << "cpu family\t: " << spec.cpuid_family << '\n'
+       << "model\t\t: " << spec.cpuid_model << '\n'
+       << "model name\t: " << spec.model_name << '\n'
+       << "physical id\t: " << node.topology().socket_of_cpu(cpu) << '\n'
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string render_net_dev(const Node& node) {
+  const auto& eth = node.state().eth;
+  std::ostringstream os;
+  os << "Inter-|   Receive                                                |  "
+        "Transmit\n"
+     << " face |bytes    packets errs drop fifo frame compressed multicast|"
+        "bytes    packets errs drop fifo colls carrier compressed\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "    lo: %llu %llu 0 0 0 0 0 0 %llu %llu 0 0 0 0 0 0\n", 0ULL,
+                0ULL, 0ULL, 0ULL);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  eth0: %llu %llu 0 0 0 0 0 0 %llu %llu 0 0 0 0 0 0\n",
+                static_cast<unsigned long long>(eth.rx_bytes),
+                static_cast<unsigned long long>(eth.rx_packets),
+                static_cast<unsigned long long>(eth.tx_bytes),
+                static_cast<unsigned long long>(eth.tx_packets));
+  os << buf;
+  return os.str();
+}
+
+std::string render_pid_status(const Node& node, const ProcessInfo& proc) {
+  (void)node;
+  std::ostringstream os;
+  char buf[128];
+  os << "Name:\t" << proc.name << '\n';
+  os << "State:\tR (running)\n";
+  os << "Pid:\t" << proc.pid << '\n';
+  std::snprintf(buf, sizeof buf, "Uid:\t%d\t%d\t%d\t%d\n", proc.uid, proc.uid,
+                proc.uid, proc.uid);
+  os << buf;
+  auto vm = [&](const char* key, std::uint64_t kb) {
+    std::snprintf(buf, sizeof buf, "%s:\t%8llu kB\n", key,
+                  static_cast<unsigned long long>(kb));
+    os << buf;
+  };
+  vm("VmPeak", proc.vm_peak_kb);
+  vm("VmSize", proc.vm_size_kb);
+  vm("VmLck", proc.vm_lck_kb);
+  vm("VmHWM", proc.vm_hwm_kb);
+  vm("VmRSS", proc.vm_rss_kb);
+  vm("VmData", proc.vm_data_kb);
+  vm("VmStk", proc.vm_stk_kb);
+  vm("VmExe", proc.vm_exe_kb);
+  os << "Threads:\t" << proc.threads << '\n';
+  std::snprintf(buf, sizeof buf, "Cpus_allowed:\t%016llx\n",
+                static_cast<unsigned long long>(proc.cpus_allowed));
+  os << buf;
+  std::snprintf(buf, sizeof buf, "Mems_allowed:\t%llx\n",
+                static_cast<unsigned long long>(proc.mems_allowed));
+  os << buf;
+  return os.str();
+}
+
+std::string render_llite_stats(const Node& node) {
+  const auto& l = node.state().lustre;
+  const double now = static_cast<double>(node.state().now_us) / 1e6;
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "snapshot_time             %.6f secs.usecs\n",
+                now);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "read_bytes                %llu samples [bytes] 0 1048576 "
+                "%llu\n",
+                static_cast<unsigned long long>(l.read_samples),
+                static_cast<unsigned long long>(l.read_bytes));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "write_bytes               %llu samples [bytes] 0 1048576 "
+                "%llu\n",
+                static_cast<unsigned long long>(l.write_samples),
+                static_cast<unsigned long long>(l.write_bytes));
+  os << buf;
+  std::snprintf(buf, sizeof buf, "open                      %llu samples [regs]\n",
+                static_cast<unsigned long long>(l.open));
+  os << buf;
+  std::snprintf(buf, sizeof buf, "close                     %llu samples [regs]\n",
+                static_cast<unsigned long long>(l.close));
+  os << buf;
+  return os.str();
+}
+
+std::string render_mdc_stats(const Node& node) {
+  const auto& l = node.state().lustre;
+  const double now = static_cast<double>(node.state().now_us) / 1e6;
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "snapshot_time             %.6f secs.usecs\n",
+                now);
+  os << buf;
+  // req_waittime carries both the request count (samples) and the summed
+  // wait in microseconds, exactly like the real mdc stats file.
+  std::snprintf(buf, sizeof buf,
+                "req_waittime              %llu samples [usec] 0 500000 %llu\n",
+                static_cast<unsigned long long>(l.mdc_reqs),
+                static_cast<unsigned long long>(l.mdc_wait_us));
+  os << buf;
+  std::snprintf(buf, sizeof buf, "req_active                %llu samples [reqs]\n",
+                static_cast<unsigned long long>(l.mdc_reqs));
+  os << buf;
+  return os.str();
+}
+
+std::string render_osc_stats(const Node& node, int ost) {
+  const auto& l = node.state().lustre;
+  const double now = static_cast<double>(node.state().now_us) / 1e6;
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "snapshot_time             %.6f secs.usecs\n",
+                now);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "req_waittime              %llu samples [usec] 0 500000 %llu\n",
+                static_cast<unsigned long long>(l.osc_reqs[ost]),
+                static_cast<unsigned long long>(l.osc_wait_us[ost]));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "read_bytes                %llu samples [bytes] 0 4194304 "
+                "%llu\n",
+                static_cast<unsigned long long>(l.osc_reqs[ost] / 2),
+                static_cast<unsigned long long>(l.osc_read_bytes[ost]));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "write_bytes               %llu samples [bytes] 0 4194304 "
+                "%llu\n",
+                static_cast<unsigned long long>(l.osc_reqs[ost] / 2),
+                static_cast<unsigned long long>(l.osc_write_bytes[ost]));
+  os << buf;
+  return os.str();
+}
+
+std::string render_lnet_stats(const Node& node) {
+  const auto& n = node.state().lnet;
+  // Real format: msgs_alloc msgs_max errors send_count recv_count
+  //              route_count drop_count send_length recv_length
+  //              route_length drop_length
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "0 128 0 %llu %llu 0 0 %llu %llu 0 0\n",
+                static_cast<unsigned long long>(n.send_count),
+                static_cast<unsigned long long>(n.recv_count),
+                static_cast<unsigned long long>(n.send_bytes),
+                static_cast<unsigned long long>(n.recv_bytes));
+  return buf;
+}
+
+std::string render_mic_stats(const Node& node) {
+  const auto& m = node.state().mic;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "user: %llu nice: 0 sys: %llu idle: %llu\n",
+                static_cast<unsigned long long>(m.user_jiffies),
+                static_cast<unsigned long long>(m.sys_jiffies),
+                static_cast<unsigned long long>(m.idle_jiffies));
+  return buf;
+}
+
+std::string render_numastat(const Node& node, int numa_node) {
+  const auto& st = node.state();
+  if (numa_node < 0 ||
+      numa_node >= static_cast<int>(st.numa.size())) {
+    return {};
+  }
+  const auto& n = st.numa[static_cast<std::size_t>(numa_node)];
+  std::ostringstream os;
+  os << "numa_hit " << n.numa_hit << '\n'
+     << "numa_miss " << n.numa_miss << '\n'
+     << "numa_foreign " << n.numa_foreign << '\n'
+     << "interleave_hit 0\n"
+     << "local_node " << n.local_node << '\n'
+     << "other_node " << n.other_node << '\n';
+  return os.str();
+}
+
+std::string render_vmstat(const Node& node) {
+  const auto& vm = node.state().vm;
+  std::ostringstream os;
+  os << "pgpgin " << vm.pgpgin << '\n'
+     << "pgpgout " << vm.pgpgout << '\n'
+     << "pswpin " << vm.pswpin << '\n'
+     << "pswpout " << vm.pswpout << '\n'
+     << "pgfault " << vm.pgfault << '\n'
+     << "pgmajfault " << vm.pgmajfault << '\n';
+  return os.str();
+}
+
+std::string render_block_stat(const Node& node) {
+  const auto& b = node.state().block;
+  // Layout: reads_completed reads_merged sectors_read ms_reading
+  //         writes_completed writes_merged sectors_written ms_writing
+  //         ios_in_progress ms_doing_io weighted_ms
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%8llu %8u %8llu %8u %8llu %8u %8llu %8u %8u %8llu %8llu\n",
+                static_cast<unsigned long long>(b.reads_completed), 0u,
+                static_cast<unsigned long long>(b.sectors_read), 0u,
+                static_cast<unsigned long long>(b.writes_completed), 0u,
+                static_cast<unsigned long long>(b.sectors_written), 0u, 0u,
+                static_cast<unsigned long long>(b.io_ticks_ms),
+                static_cast<unsigned long long>(b.io_ticks_ms));
+  return buf;
+}
+
+std::string render_dentry_state(const Node& node) {
+  const auto& v = node.state().vfs;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%llu\t%llu\t45\t0\t0\t0\n",
+                static_cast<unsigned long long>(v.dentry_count),
+                static_cast<unsigned long long>(v.dentry_count / 2));
+  return buf;
+}
+
+std::string render_inode_nr(const Node& node) {
+  const auto& v = node.state().vfs;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu\t%llu\n",
+                static_cast<unsigned long long>(v.inode_count),
+                static_cast<unsigned long long>(v.inode_count / 8));
+  return buf;
+}
+
+std::string render_file_nr(const Node& node) {
+  const auto& v = node.state().vfs;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu\t0\t3255788\n",
+                static_cast<unsigned long long>(v.file_count));
+  return buf;
+}
+
+std::string render_sysvipc_shm(const Node& node) {
+  const auto& shm = node.state().shm;
+  std::ostringstream os;
+  os << "       key      shmid perms       size  cpid  lpid nattch\n";
+  // The simulator aggregates all segments into one summary row.
+  if (shm.sysv_segments > 0) {
+    os << "         0          1   600 " << shm.sysv_bytes << "  1000  1000 "
+       << shm.sysv_segments << '\n';
+  }
+  return os.str();
+}
+
+std::string render_tmpfs_bytes(const Node& node) {
+  return std::to_string(node.state().shm.tmpfs_bytes) + "\n";
+}
+
+std::string llite_instance(const Node& node) {
+  return node.config().lustre_fs + "-" + instance_suffix(node, "llite");
+}
+
+std::string mdc_instance(const Node& node) {
+  return node.config().lustre_fs + "-MDT0000-mdc-" +
+         instance_suffix(node, "mdc");
+}
+
+std::string osc_instance(const Node& node, int ost) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "OST%04d", ost);
+  return node.config().lustre_fs + "-" + buf + "-osc-" +
+         instance_suffix(node, "osc");
+}
+
+}  // namespace tacc::simhw::procfs

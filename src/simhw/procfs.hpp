@@ -1,0 +1,74 @@
+// Renders the procfs/sysfs text files a collector reads, in the genuine
+// Linux / Lustre formats (column layouts, units, header lines). Keeping the
+// renderers separate from Node makes them unit-testable against captured
+// fixtures.
+#pragma once
+
+#include <string>
+
+namespace tacc::simhw {
+
+class Node;
+struct ProcessInfo;
+
+namespace procfs {
+
+/// /proc/stat — per-cpu jiffies lines plus the aggregate "cpu" line.
+std::string render_stat(const Node& node);
+
+/// /proc/meminfo — MemTotal/MemFree/Buffers/Cached in kB.
+std::string render_meminfo(const Node& node);
+
+/// /proc/cpuinfo — enough fields for identification (processor, family,
+/// model, model name) per logical cpu.
+std::string render_cpuinfo(const Node& node);
+
+/// /proc/net/dev — header plus one line per interface (lo, eth0, ib0).
+std::string render_net_dev(const Node& node);
+
+/// /proc/<pid>/status — Name/Uid/Vm*/Threads/Cpus_allowed_list fields.
+std::string render_pid_status(const Node& node, const ProcessInfo& proc);
+
+/// /proc/fs/lustre/llite/<fs>-<id>/stats.
+std::string render_llite_stats(const Node& node);
+
+/// /proc/fs/lustre/mdc/<target>/stats.
+std::string render_mdc_stats(const Node& node);
+
+/// /proc/fs/lustre/osc/<target>/stats for one OST index.
+std::string render_osc_stats(const Node& node, int ost);
+
+/// /proc/sys/lnet/stats — the 11-column LNET counter line.
+std::string render_lnet_stats(const Node& node);
+
+/// /sys/class/mic/mic0/stats — host-side Phi utilization (modeled format).
+std::string render_mic_stats(const Node& node);
+
+/// /sys/devices/system/node/node<N>/numastat.
+std::string render_numastat(const Node& node, int numa_node);
+
+/// /proc/vmstat (the subset of fields the tool reads).
+std::string render_vmstat(const Node& node);
+
+/// /sys/block/<dev>/stat — the 11-column block device statistics line.
+std::string render_block_stat(const Node& node);
+
+/// /proc/sys/fs/{dentry-state,inode-nr,file-nr} single-file renderings.
+std::string render_dentry_state(const Node& node);
+std::string render_inode_nr(const Node& node);
+std::string render_file_nr(const Node& node);
+
+/// /proc/sysvipc/shm — header plus one row per segment (aggregated here).
+std::string render_sysvipc_shm(const Node& node);
+
+/// /sys/kernel/mm/tmpfs usage surrogate: the tool stats /dev/shm; the sim
+/// exposes the byte count directly.
+std::string render_tmpfs_bytes(const Node& node);
+
+/// Instance directory names, e.g. "work-ffff8803af1c7000" for llite.
+std::string llite_instance(const Node& node);
+std::string mdc_instance(const Node& node);
+std::string osc_instance(const Node& node, int ost);
+
+}  // namespace procfs
+}  // namespace tacc::simhw

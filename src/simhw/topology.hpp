@@ -1,0 +1,39 @@
+// Node topology: sockets, cores, hardware threading. The collector registry
+// probes this at runtime and adapts (4 programmable PMCs per core with
+// hyperthreading enabled, 8 without — paper section III-B).
+#pragma once
+
+#include "simhw/msr.hpp"
+
+namespace tacc::simhw {
+
+struct Topology {
+  int sockets = 2;
+  int cores_per_socket = 8;
+  bool hyperthreading = false;
+
+  int physical_cores() const noexcept { return sockets * cores_per_socket; }
+
+  /// Logical CPUs visible to the OS (and to /proc/stat).
+  int logical_cpus() const noexcept {
+    return physical_cores() * (hyperthreading ? 2 : 1);
+  }
+
+  /// Linux-like enumeration: cpus [0, physical) are the first hardware
+  /// thread of each core, socket-major; cpus [physical, 2*physical) are the
+  /// hyperthread siblings.
+  int socket_of_cpu(int cpu) const noexcept {
+    const int phys = cpu % physical_cores();
+    return phys / cores_per_socket;
+  }
+
+  /// Physical core index of a logical cpu.
+  int core_of_cpu(int cpu) const noexcept { return cpu % physical_cores(); }
+
+  /// Programmable counters available per logical cpu.
+  int pmcs_per_core() const noexcept {
+    return hyperthreading ? msr::kPmcsWithHt : msr::kMaxPmcs;
+  }
+};
+
+}  // namespace tacc::simhw

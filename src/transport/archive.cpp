@@ -1,0 +1,59 @@
+#include "transport/archive.hpp"
+
+namespace tacc::transport {
+
+void RawArchive::add_header(const std::string& hostname,
+                            const std::string& arch,
+                            std::vector<collect::Schema> schemas) {
+  std::lock_guard lock(mu_);
+  auto& host = hosts_[hostname];
+  if (host.log.hostname.empty()) {
+    host.log.hostname = hostname;
+    host.log.arch = arch;
+    host.log.schemas = std::move(schemas);
+  }
+}
+
+void RawArchive::append(const std::string& hostname, collect::Record record,
+                        util::SimTime ingest_time) {
+  std::lock_guard lock(mu_);
+  auto& host = hosts_[hostname];
+  if (host.log.hostname.empty()) host.log.hostname = hostname;
+  host.log.records.push_back(std::move(record));
+  host.ingest_times.push_back(ingest_time);
+}
+
+collect::HostLog RawArchive::log(const std::string& hostname) const {
+  std::lock_guard lock(mu_);
+  const auto it = hosts_.find(hostname);
+  return it == hosts_.end() ? collect::HostLog{} : it->second.log;
+}
+
+std::vector<std::string> RawArchive::hosts() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(hosts_.size());
+  for (const auto& [host, data] : hosts_) out.push_back(host);
+  return out;
+}
+
+std::size_t RawArchive::total_records() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [host, data] : hosts_) n += data.log.records.size();
+  return n;
+}
+
+util::RunningStat RawArchive::latency() const {
+  std::lock_guard lock(mu_);
+  util::RunningStat stat;
+  for (const auto& [host, data] : hosts_) {
+    for (std::size_t i = 0; i < data.ingest_times.size(); ++i) {
+      stat.add(util::to_seconds(data.ingest_times[i] -
+                                data.log.records[i].time));
+    }
+  }
+  return stat;
+}
+
+}  // namespace tacc::transport

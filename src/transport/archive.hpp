@@ -1,0 +1,50 @@
+// The central raw-stats archive: the per-host record streams both transport
+// modes ultimately deliver, with per-record ingest timestamps so the
+// latency/loss difference between the modes (paper Figs. 1 vs 2) is
+// measurable. Thread-safe: the daemon-mode consumer writes from its own
+// thread.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "collect/rawfile.hpp"
+#include "util/stats.hpp"
+
+namespace tacc::transport {
+
+class RawArchive {
+ public:
+  /// Registers a host's identity/schemas (idempotent; first write wins).
+  void add_header(const std::string& hostname, const std::string& arch,
+                  std::vector<collect::Schema> schemas);
+
+  /// Appends one record for a host. `ingest_time` is the simulated time at
+  /// which the record became centrally visible (immediately for daemon
+  /// mode; at the staged rsync for cron mode).
+  void append(const std::string& hostname, collect::Record record,
+              util::SimTime ingest_time);
+
+  /// Snapshot of a host's log (copy; safe across threads). Nullopt-like
+  /// empty log if the host is unknown.
+  collect::HostLog log(const std::string& hostname) const;
+
+  std::vector<std::string> hosts() const;
+
+  std::size_t total_records() const;
+
+  /// Distribution of (ingest_time - record.time) in seconds.
+  util::RunningStat latency() const;
+
+ private:
+  struct HostData {
+    collect::HostLog log;
+    std::vector<util::SimTime> ingest_times;  // parallel to log.records
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, HostData> hosts_;
+};
+
+}  // namespace tacc::transport

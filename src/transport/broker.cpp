@@ -1,0 +1,120 @@
+#include "transport/broker.hpp"
+
+#include <chrono>
+
+#include "util/strings.hpp"
+
+namespace tacc::transport {
+
+void Broker::declare_queue(const std::string& queue) {
+  std::lock_guard lock(mu_);
+  queues_.try_emplace(queue);
+}
+
+void Broker::bind(const std::string& queue, const std::string& pattern) {
+  std::lock_guard lock(mu_);
+  queues_.try_emplace(queue);
+  bindings_.emplace_back(queue, pattern);
+}
+
+bool Broker::key_matches(const std::string& pattern,
+                         const std::string& key) const noexcept {
+  if (pattern == "#") return true;
+  if (util::ends_with(pattern, ".*")) {
+    const std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return util::starts_with(key, prefix) &&
+           key.find('.', prefix.size()) == std::string::npos;
+  }
+  return pattern == key;
+}
+
+std::size_t Broker::publish(const std::string& routing_key,
+                            std::string body) {
+  std::size_t routed = 0;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.published;
+    for (const auto& [queue, pattern] : bindings_) {
+      if (!key_matches(pattern, routing_key)) continue;
+      Message msg;
+      msg.routing_key = routing_key;
+      msg.body = body;  // copy: fan-out to multiple queues
+      msg.delivery_tag = next_tag_++;
+      queues_[queue].messages.push_back(std::move(msg));
+      ++routed;
+    }
+    if (routed == 0) ++stats_.unroutable;
+  }
+  if (routed > 0) cv_.notify_all();
+  return routed;
+}
+
+std::optional<Message> Broker::consume(const std::string& queue,
+                                       std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    it = queues_.try_emplace(queue).first;
+  }
+  QueueState& q = it->second;
+  while (q.messages.empty() && !shutdown_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        q.messages.empty()) {
+      return std::nullopt;
+    }
+  }
+  if (q.messages.empty()) return std::nullopt;
+  Message msg = std::move(q.messages.front());
+  q.messages.pop_front();
+  q.unacked.emplace(msg.delivery_tag, msg);
+  ++stats_.delivered;
+  return msg;
+}
+
+void Broker::ack(const std::string& queue, std::uint64_t delivery_tag) {
+  std::lock_guard lock(mu_);
+  const auto it = queues_.find(queue);
+  if (it == queues_.end()) return;
+  if (it->second.unacked.erase(delivery_tag) > 0) ++stats_.acked;
+}
+
+void Broker::requeue(const std::string& queue, std::uint64_t delivery_tag) {
+  {
+    std::lock_guard lock(mu_);
+    const auto it = queues_.find(queue);
+    if (it == queues_.end()) return;
+    const auto uit = it->second.unacked.find(delivery_tag);
+    if (uit == it->second.unacked.end()) return;
+    it->second.messages.push_front(std::move(uit->second));
+    it->second.unacked.erase(uit);
+    ++stats_.redelivered;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Broker::depth(const std::string& queue) const {
+  std::lock_guard lock(mu_);
+  const auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.messages.size();
+}
+
+BrokerStats Broker::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void Broker::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Broker::is_shut_down() const {
+  std::lock_guard lock(mu_);
+  return shutdown_;
+}
+
+}  // namespace tacc::transport

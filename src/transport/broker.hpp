@@ -1,0 +1,89 @@
+// An in-process message broker with RabbitMQ-style semantics: a direct
+// exchange, named queues, bindings, blocking consumers, and at-least-once
+// delivery with acknowledgements. The daemon-mode transport (paper Fig. 2)
+// publishes raw stats chunks through it; real threads exercise real
+// concurrency.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tacc::transport {
+
+struct Message {
+  std::string routing_key;
+  std::string body;
+  std::uint64_t delivery_tag = 0;
+};
+
+/// Broker counters for monitoring tests/benches.
+struct BrokerStats {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t redelivered = 0;
+  std::uint64_t unroutable = 0;
+};
+
+class Broker {
+ public:
+  /// Declares a queue (idempotent).
+  void declare_queue(const std::string& queue);
+
+  /// Binds a queue to routing keys. A binding of "#" matches every key;
+  /// a trailing ".*" matches one more segment ("stats.*" matches
+  /// "stats.c401-101").
+  void bind(const std::string& queue, const std::string& pattern);
+
+  /// Publishes to the direct exchange; the message is copied into every
+  /// matching queue. Returns the number of queues it reached (0 =
+  /// unroutable, counted in stats).
+  std::size_t publish(const std::string& routing_key, std::string body);
+
+  /// Blocking consume with timeout; nullopt on timeout or shutdown. The
+  /// message stays "unacked" until ack() — if the consumer drops it and
+  /// calls reject/requeue it is redelivered.
+  std::optional<Message> consume(const std::string& queue,
+                                 std::chrono::milliseconds timeout);
+
+  /// Acknowledges a delivery.
+  void ack(const std::string& queue, std::uint64_t delivery_tag);
+
+  /// Returns an unacked message to the front of the queue (redelivery).
+  void requeue(const std::string& queue, std::uint64_t delivery_tag);
+
+  /// Messages waiting in a queue (excluding unacked in-flight ones).
+  std::size_t depth(const std::string& queue) const;
+
+  BrokerStats stats() const;
+
+  /// Wakes all blocked consumers and makes further consumes return
+  /// nullopt immediately.
+  void shutdown();
+  bool is_shut_down() const;
+
+ private:
+  struct QueueState {
+    std::deque<Message> messages;
+    std::map<std::uint64_t, Message> unacked;
+  };
+  bool key_matches(const std::string& pattern,
+                   const std::string& key) const noexcept;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, QueueState> queues_;
+  std::vector<std::pair<std::string, std::string>> bindings_;  // (queue, pat)
+  BrokerStats stats_;
+  std::uint64_t next_tag_ = 1;
+  bool shutdown_ = false;
+};
+
+}  // namespace tacc::transport

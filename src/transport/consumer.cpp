@@ -1,0 +1,62 @@
+#include "transport/consumer.hpp"
+
+#include "util/log.hpp"
+
+namespace tacc::transport {
+
+Consumer::Consumer(Broker& broker, RawArchive& archive, std::string queue,
+                   RecordCallback callback)
+    : broker_(&broker),
+      archive_(&archive),
+      queue_(std::move(queue)),
+      callback_(std::move(callback)),
+      thread_([this] { run(); }) {}
+
+Consumer::~Consumer() { stop(); }
+
+void Consumer::stop() {
+  stop_.store(true);
+  broker_->shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Consumer::drain() {
+  using namespace std::chrono_literals;
+  // Queue empty and the consumer has been idle for two consecutive polls.
+  while (broker_->depth(queue_) > 0 || idle_.load() < 2) {
+    std::this_thread::sleep_for(1ms);
+    if (stop_.load()) return;
+  }
+}
+
+void Consumer::run() {
+  using namespace std::chrono_literals;
+  while (!stop_.load()) {
+    auto msg = broker_->consume(queue_, 50ms);
+    if (!msg) {
+      idle_.fetch_add(1);
+      if (broker_->is_shut_down() && broker_->depth(queue_) == 0) return;
+      continue;
+    }
+    idle_.store(0);
+    try {
+      const auto chunk = collect::HostLog::parse(msg->body);
+      if (!chunk.records.empty()) {
+        archive_->add_header(chunk.hostname, chunk.arch, chunk.schemas);
+        for (const auto& record : chunk.records) {
+          archive_->append(chunk.hostname, record, record.time);
+        }
+        if (callback_) callback_(chunk.hostname, chunk);
+      }
+      broker_->ack(queue_, msg->delivery_tag);
+      consumed_.fetch_add(1);
+    } catch (const std::exception& e) {
+      // Malformed chunk: ack and drop (a real consumer dead-letters it).
+      parse_errors_.fetch_add(1);
+      broker_->ack(queue_, msg->delivery_tag);
+      TS_LOG(Warn, "consumer") << "parse error: " << e.what();
+    }
+  }
+}
+
+}  // namespace tacc::transport

@@ -1,0 +1,59 @@
+// The daemon-mode data consumer (paper Fig. 2): a real thread that drains
+// the broker queue, parses the self-describing chunks, writes them into the
+// central RawArchive immediately (real-time availability), and optionally
+// feeds an online-analysis callback with each record.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "transport/archive.hpp"
+#include "transport/broker.hpp"
+
+namespace tacc::transport {
+
+class Consumer {
+ public:
+  using RecordCallback = std::function<void(
+      const std::string& hostname, const collect::HostLog& chunk)>;
+
+  /// Starts the consumer thread on `queue`. Each parsed chunk is appended
+  /// to the archive with ingest time = the record's own timestamp (the
+  /// transport adds only sub-interval delay), then handed to `callback`
+  /// (may be null).
+  Consumer(Broker& broker, RawArchive& archive, std::string queue,
+           RecordCallback callback = nullptr);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Signals the thread to stop and joins it (also called by the dtor).
+  void stop();
+
+  /// Blocks until the queue is empty and everything consumed so far has
+  /// been archived (used by deterministic tests).
+  void drain();
+
+  std::uint64_t consumed() const noexcept { return consumed_.load(); }
+  std::uint64_t parse_errors() const noexcept {
+    return parse_errors_.load();
+  }
+
+ private:
+  void run();
+
+  Broker* broker_;
+  RawArchive* archive_;
+  std::string queue_;
+  RecordCallback callback_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> idle_{0};
+  std::thread thread_;
+};
+
+}  // namespace tacc::transport

@@ -1,0 +1,59 @@
+#include "transport/daemon.hpp"
+
+#include "simhw/node.hpp"
+#include "util/log.hpp"
+
+namespace tacc::transport {
+
+StatsDaemon::StatsDaemon(simhw::Node& node, Broker& broker,
+                         DaemonConfig config,
+                         std::function<std::vector<long>()> jobs_provider)
+    : node_(&node),
+      broker_(&broker),
+      config_(std::move(config)),
+      jobs_provider_(std::move(jobs_provider)),
+      sampler_(node, config_.build_options) {
+  header_ = sampler_.make_log().serialize_header();
+}
+
+const std::string& StatsDaemon::hostname() const noexcept {
+  return node_->hostname();
+}
+
+bool StatsDaemon::publish_record(util::SimTime now, const std::string& mark) {
+  util::WallTimer timer;
+  collect::Record record;
+  try {
+    record = sampler_.sample(now, jobs_provider_(), mark);
+  } catch (const simhw::NodeFailedError&) {
+    ++stats_.publish_failures;
+    return false;
+  }
+  stats_.total_collect_wall_s += timer.elapsed_s();
+  ++stats_.collections;
+  // Self-describing chunk: header + record, exactly what the consumer
+  // needs to parse in isolation.
+  std::string body = header_;
+  body += collect::HostLog::serialize_record(record);
+  const std::size_t routed =
+      broker_->publish(config_.routing_prefix + node_->hostname(),
+                       std::move(body));
+  if (routed == 0) {
+    ++stats_.publish_failures;
+    TS_LOG(Warn, "tacc_statsd")
+        << "unroutable publish from " << node_->hostname();
+  }
+  last_ = now;
+  return true;
+}
+
+bool StatsDaemon::on_time(util::SimTime now) {
+  if (last_ != 0 && now - last_ < config_.interval) return false;
+  return publish_record(now, {});
+}
+
+bool StatsDaemon::collect_now(util::SimTime now, const std::string& mark) {
+  return publish_record(now, mark);
+}
+
+}  // namespace tacc::transport

@@ -1,0 +1,67 @@
+// tacc_statsd: the daemon-mode collector (paper Fig. 2). One instance per
+// node; sampling is driven by simulated time (the real daemon's sleep()
+// loop), and every collection is serialized as a self-describing chunk
+// (header + one record) and published to the broker with routing key
+// "stats.<hostname>".
+//
+// The daemon also accepts out-of-band collection triggers: the scheduler
+// prolog/epilog ("begin"/"end" marks) and the shared-node process
+// start/stop signals of section VI-C.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "transport/broker.hpp"
+#include "util/clock.hpp"
+
+namespace tacc::transport {
+
+struct DaemonConfig {
+  util::SimTime interval = 10 * util::kMinute;
+  std::string routing_prefix = "stats.";
+  collect::BuildOptions build_options{};
+};
+
+struct DaemonStats {
+  std::uint64_t collections = 0;
+  std::uint64_t publish_failures = 0;  // node down or unroutable
+  double total_collect_wall_s = 0.0;   // real time spent collecting
+};
+
+class StatsDaemon {
+ public:
+  /// `jobs_provider` returns the job ids currently active on the node
+  /// (what the real daemon learns from the scheduler prolog/epilog).
+  StatsDaemon(simhw::Node& node, Broker& broker, DaemonConfig config,
+              std::function<std::vector<long>()> jobs_provider);
+
+  const std::string& hostname() const noexcept;
+
+  /// Advances the daemon's clock; performs and publishes a collection if
+  /// the sampling interval elapsed. Returns true if a collection ran.
+  bool on_time(util::SimTime now);
+
+  /// Immediate collection with a mark (prolog/epilog/process hooks).
+  /// Returns false if the node is down.
+  bool collect_now(util::SimTime now, const std::string& mark);
+
+  const DaemonStats& stats() const noexcept { return stats_; }
+  util::SimTime last_collection() const noexcept { return last_; }
+
+ private:
+  bool publish_record(util::SimTime now, const std::string& mark);
+
+  simhw::Node* node_;
+  Broker* broker_;
+  DaemonConfig config_;
+  std::function<std::vector<long>()> jobs_provider_;
+  collect::HostSampler sampler_;
+  std::string header_;
+  util::SimTime last_ = 0;
+  DaemonStats stats_;
+};
+
+}  // namespace tacc::transport

@@ -1,0 +1,102 @@
+#include "transport/spool.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tacc::transport {
+
+namespace fs = std::filesystem;
+
+Spool::Spool(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string Spool::day_key(util::SimTime t) {
+  return util::format_time(t - t % util::kDay).substr(0, 10);
+}
+
+std::size_t Spool::write_host(const collect::HostLog& log) {
+  // Bucket records by day.
+  std::map<std::string, std::vector<const collect::Record*>> by_day;
+  for (const auto& rec : log.records) {
+    by_day[day_key(rec.time)].push_back(&rec);
+  }
+  std::size_t files = 0;
+  for (const auto& [day, records] : by_day) {
+    const fs::path dir = root_ / day;
+    fs::create_directories(dir);
+    const fs::path file = dir / log.hostname;
+    const bool fresh = !fs::exists(file);
+    std::ofstream out(file, std::ios::app);
+    if (!out) {
+      throw std::runtime_error("cannot open spool file " + file.string());
+    }
+    if (fresh) out << log.serialize_header();
+    for (const auto* rec : records) {
+      out << collect::HostLog::serialize_record(*rec);
+    }
+    ++files;
+  }
+  return files;
+}
+
+std::size_t Spool::write_archive(const RawArchive& archive) {
+  std::size_t files = 0;
+  for (const auto& host : archive.hosts()) {
+    files += write_host(archive.log(host));
+  }
+  return files;
+}
+
+std::vector<std::string> Spool::days() const {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (entry.is_directory()) out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Spool::hosts(const std::string& day) const {
+  std::vector<std::string> out;
+  const fs::path dir = root_ / day;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+collect::HostLog Spool::read_host(const std::string& day,
+                                  const std::string& hostname) const {
+  const fs::path file = root_ / day / hostname;
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("no spool file " + file.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return collect::HostLog::parse(buffer.str());
+}
+
+std::size_t Spool::load_day(const std::string& day,
+                            RawArchive& archive) const {
+  std::size_t records = 0;
+  for (const auto& host : hosts(day)) {
+    const auto log = read_host(day, host);
+    archive.add_header(log.hostname, log.arch, log.schemas);
+    for (const auto& rec : log.records) {
+      archive.append(log.hostname, rec, rec.time);
+      ++records;
+    }
+  }
+  return records;
+}
+
+}  // namespace tacc::transport

@@ -1,0 +1,60 @@
+// File-backed raw-stats storage. The production tool persists everything
+// as text files: node-local daily logs in cron mode, and per-host archive
+// files the consumer writes. This module gives the in-memory RawArchive a
+// durable form with the same layout:
+//
+//   <root>/<YYYY-MM-DD>/<hostname>        one file per host per day
+//
+// Files are the exact serialized HostLog format, so they round-trip through
+// HostLog::parse and can be re-ingested by the analysis pipeline (the
+// "reprocess a historical day" workflow).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "collect/rawfile.hpp"
+#include "transport/archive.hpp"
+
+namespace tacc::transport {
+
+class Spool {
+ public:
+  /// Opens (creating if needed) a spool rooted at `root`.
+  explicit Spool(std::filesystem::path root);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Writes one host's records, splitting them into daily files by record
+  /// timestamp. Each file carries a full header so it is self-describing.
+  /// Appends to existing files (header written only when creating).
+  /// Returns the number of files touched.
+  std::size_t write_host(const collect::HostLog& log);
+
+  /// Persists an entire archive. Returns files touched.
+  std::size_t write_archive(const RawArchive& archive);
+
+  /// Days present in the spool, as "YYYY-MM-DD" strings, sorted.
+  std::vector<std::string> days() const;
+
+  /// Hosts present for a day, sorted.
+  std::vector<std::string> hosts(const std::string& day) const;
+
+  /// Reads one host-day file. Throws std::runtime_error if missing or
+  /// std::invalid_argument if malformed.
+  collect::HostLog read_host(const std::string& day,
+                             const std::string& hostname) const;
+
+  /// Re-ingests a whole day into an archive (ingest time = record time,
+  /// i.e. replay preserves the original timeline).
+  std::size_t load_day(const std::string& day, RawArchive& archive) const;
+
+  /// Formats a SimTime as the spool's day key.
+  static std::string day_key(util::SimTime t);
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace tacc::transport

@@ -1,0 +1,138 @@
+#include "tsdb/store.hpp"
+
+#include <algorithm>
+
+namespace tacc::tsdb {
+
+double aggregate(Aggregator agg, const std::vector<double>& values) noexcept {
+  if (agg == Aggregator::Count) return static_cast<double>(values.size());
+  if (values.empty()) return 0.0;
+  double out = values.front();
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    out = agg == Aggregator::Min ? std::min(out, v) : std::max(out, v);
+  }
+  switch (agg) {
+    case Aggregator::Sum:
+      return sum;
+    case Aggregator::Avg:
+      return sum / static_cast<double>(values.size());
+    case Aggregator::Min:
+    case Aggregator::Max:
+      return out;
+    case Aggregator::Count:
+      break;
+  }
+  return 0.0;
+}
+
+std::string Store::canonical(const TagSet& tags) {
+  std::string out;
+  for (const auto& [k, v] : tags) {
+    out += k;
+    out += '=';
+    out += v;
+    out += ',';
+  }
+  return out;
+}
+
+void Store::put(const std::string& metric, const TagSet& tags,
+                util::SimTime time, double value) {
+  auto& series = metrics_[metric][canonical(tags)];
+  if (series.tags.empty()) series.tags = tags;
+  if (!series.points.empty() && series.points.back().time > time) {
+    series.sorted = false;
+  }
+  series.points.push_back({time, value});
+  ++num_points_;
+}
+
+std::size_t Store::num_series() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [metric, series] : metrics_) n += series.size();
+  return n;
+}
+
+std::vector<SeriesResult> Store::query(const Query& q) const {
+  const auto mit = metrics_.find(q.metric);
+  if (mit == metrics_.end()) return {};
+
+  // Group key -> (timestamp -> values gathered across member series).
+  struct Group {
+    TagSet tags;
+    std::map<util::SimTime, std::vector<double>> buckets;
+  };
+  std::map<std::string, Group> groups;
+
+  for (const auto& [key, series] : mit->second) {
+    // Tag filters.
+    bool ok = true;
+    for (const auto& [fk, fv] : q.filters) {
+      const auto it = series.tags.find(fk);
+      if (it == series.tags.end() || it->second != fv) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    TagSet group_tags;
+    for (const auto& g : q.group_by) {
+      const auto it = series.tags.find(g);
+      group_tags[g] = it == series.tags.end() ? std::string{} : it->second;
+    }
+    auto& group = groups[canonical(group_tags)];
+    group.tags = group_tags;
+
+    // Sort lazily if needed, then downsample this series into the group's
+    // buckets.
+    std::vector<DataPoint> pts = series.points;
+    if (!series.sorted) {
+      std::sort(pts.begin(), pts.end(),
+                [](const DataPoint& a, const DataPoint& b) {
+                  return a.time < b.time;
+                });
+    }
+    if (q.rate) {
+      std::vector<DataPoint> rates;
+      rates.reserve(pts.size() > 0 ? pts.size() - 1 : 0);
+      for (std::size_t i = 1; i < pts.size(); ++i) {
+        const double dt = util::to_seconds(pts[i].time - pts[i - 1].time);
+        if (dt <= 0.0) continue;
+        const double delta = pts[i].value - pts[i - 1].value;
+        rates.push_back({pts[i].time, delta > 0.0 ? delta / dt : 0.0});
+      }
+      pts = std::move(rates);
+    }
+    std::map<util::SimTime, std::vector<double>> local;
+    for (const auto& p : pts) {
+      if (q.start != 0 || q.end != 0) {
+        if (p.time < q.start || (q.end != 0 && p.time >= q.end)) continue;
+      }
+      const util::SimTime t =
+          q.downsample > 0 ? p.time - p.time % q.downsample : p.time;
+      local[t].push_back(p.value);
+    }
+    for (const auto& [t, vals] : local) {
+      group.buckets[t].push_back(
+          aggregate(q.downsample_aggregator, vals));
+    }
+  }
+
+  std::vector<SeriesResult> out;
+  out.reserve(groups.size());
+  for (const auto& [key, group] : groups) {
+    SeriesResult r;
+    r.group_tags = group.tags;
+    r.points.reserve(group.buckets.size());
+    for (const auto& [t, vals] : group.buckets) {
+      r.points.push_back({t, aggregate(q.aggregator, vals)});
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace tacc::tsdb

@@ -1,0 +1,86 @@
+// Tag-indexed time-series store, modeled on the OpenTSDB layout the paper
+// adopts for time-series analysis (section VI-A): every series is labeled
+// by a tuple of tags — in the paper's setup host name, device type, device
+// name, and event name — and can be aggregated along any subset of the
+// tags, then joined with job metadata from the relational store.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace tacc::tsdb {
+
+/// Sorted key=value tag pairs identifying one series (plus the metric
+/// name kept separately).
+using TagSet = std::map<std::string, std::string>;
+
+struct DataPoint {
+  util::SimTime time = 0;
+  double value = 0.0;
+};
+
+enum class Aggregator { Sum, Avg, Min, Max, Count };
+
+struct Query {
+  std::string metric;
+  /// Convert each matched series from cumulative counts to per-second
+  /// rates (successive-point deltas / dt) before downsampling — OpenTSDB's
+  /// rate() for the monotonic counters this system stores. Negative deltas
+  /// (counter resets) clamp to 0.
+  bool rate = false;
+  /// Exact-match tag filters; series missing a filtered tag don't match.
+  TagSet filters;
+  /// Tags whose distinct values produce separate result groups; all other
+  /// tags are aggregated away (OpenTSDB group-by semantics).
+  std::vector<std::string> group_by;
+  Aggregator aggregator = Aggregator::Sum;
+  /// Downsample bucket; 0 = no downsampling (points aligned exactly).
+  util::SimTime downsample = 0;
+  Aggregator downsample_aggregator = Aggregator::Avg;
+  /// Inclusive-exclusive time range; both 0 = unbounded.
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+};
+
+struct SeriesResult {
+  TagSet group_tags;  // values of the group_by tags for this group
+  std::vector<DataPoint> points;  // sorted by time
+};
+
+class Store {
+ public:
+  /// Appends a point to the series (metric, tags). Out-of-order writes are
+  /// allowed; series are kept sorted.
+  void put(const std::string& metric, const TagSet& tags, util::SimTime time,
+           double value);
+
+  /// Number of distinct series across all metrics.
+  std::size_t num_series() const noexcept;
+  /// Total stored points.
+  std::size_t num_points() const noexcept { return num_points_; }
+
+  /// Runs a query: filter series, group, downsample, and aggregate across
+  /// series within each group (per aligned timestamp).
+  std::vector<SeriesResult> query(const Query& q) const;
+
+ private:
+  struct Series {
+    TagSet tags;
+    std::vector<DataPoint> points;
+    bool sorted = true;
+  };
+  // metric -> canonical tag string -> series
+  std::map<std::string, std::map<std::string, Series>> metrics_;
+  std::size_t num_points_ = 0;
+
+  static std::string canonical(const TagSet& tags);
+};
+
+/// Applies an aggregator to a set of values (empty -> 0, except Count).
+double aggregate(Aggregator agg, const std::vector<double>& values) noexcept;
+
+}  // namespace tacc::tsdb

@@ -1,0 +1,81 @@
+#include "util/clock.hpp"
+
+#include <cstdio>
+
+namespace tacc::util {
+namespace {
+
+constexpr bool is_leap(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) noexcept {
+  constexpr int d[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return m == 2 && is_leap(y) ? 29 : d[m - 1];
+}
+
+// Days since 1970-01-01 for a UTC date.
+std::int64_t days_from_epoch(int year, int month, int day) noexcept {
+  std::int64_t days = 0;
+  for (int y = 1970; y < year; ++y) days += is_leap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) days += days_in_month(year, m);
+  return days + (day - 1);
+}
+
+}  // namespace
+
+SimTime make_time(int year, int month, int day, int hour, int minute,
+                  int second) noexcept {
+  const std::int64_t secs = days_from_epoch(year, month, day) * 86400 +
+                            hour * 3600 + minute * 60 + second;
+  return secs * kSecond;
+}
+
+std::string format_time(SimTime t) {
+  std::int64_t secs = t / kSecond;
+  const int sec = static_cast<int>(secs % 60);
+  secs /= 60;
+  const int min = static_cast<int>(secs % 60);
+  secs /= 60;
+  const int hour = static_cast<int>(secs % 24);
+  std::int64_t days = secs / 24;
+
+  int year = 1970;
+  while (true) {
+    const int in_year = is_leap(year) ? 366 : 365;
+    if (days < in_year) break;
+    days -= in_year;
+    ++year;
+  }
+  int month = 1;
+  while (days >= days_in_month(year, month)) {
+    days -= days_in_month(year, month);
+    ++month;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", year, month,
+                static_cast<int>(days) + 1, hour, min, sec);
+  return buf;
+}
+
+std::string format_duration(SimTime dt) {
+  char buf[48];
+  if (dt < kSecond) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(dt / kMillisecond));
+  } else if (dt < kMinute) {
+    std::snprintf(buf, sizeof buf, "%.1fs", to_seconds(dt));
+  } else if (dt < kHour) {
+    std::snprintf(buf, sizeof buf, "%lldm %02llds",
+                  static_cast<long long>(dt / kMinute),
+                  static_cast<long long>((dt % kMinute) / kSecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldh %02lldm %02llds",
+                  static_cast<long long>(dt / kHour),
+                  static_cast<long long>((dt % kHour) / kMinute),
+                  static_cast<long long>((dt % kMinute) / kSecond));
+  }
+  return buf;
+}
+
+}  // namespace tacc::util

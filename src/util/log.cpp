@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace tacc::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mu;
+
+constexpr const char* level_name(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view tag, std::string_view msg) {
+  if (level < g_level.load() || level == LogLevel::Off) return;
+  std::lock_guard lock(g_mu);
+  std::fprintf(stderr, "%s [%.*s] %.*s\n", level_name(level),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace tacc::util

@@ -1,0 +1,41 @@
+// Minimal leveled, thread-safe logger. Components log with a tag
+// (e.g. "tacc_statsd", "broker", "ingest") so interleaved daemon output is
+// attributable. Defaults to Warn so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace tacc::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line: "LEVEL [tag] message". Thread-safe.
+void log_line(LogLevel level, std::string_view tag, std::string_view msg);
+
+/// Stream-style helper: LOG_STREAM(Info, "broker") << "queue depth " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view tag)
+      : level_(level), tag_(tag) {}
+  ~LogStream() { log_line(level_, tag_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+
+}  // namespace tacc::util
+
+#define TS_LOG(level, tag) \
+  ::tacc::util::LogStream(::tacc::util::LogLevel::level, (tag))

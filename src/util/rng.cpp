@@ -1,0 +1,122 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tacc::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::Rng(std::string_view name, std::uint64_t salt) noexcept
+    : Rng(fnv1a(name) ^ (salt * 0x9e3779b97f4a7c15ULL + 0x165667b19e3779f9ULL)) {}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection-free Lemire reduction; bias is negligible for span << 2^64
+  // but we keep the multiply-shift which is exact enough for simulation.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>((*this)()) * span;
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; u1 must be > 0.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_median(double median, double sigma) noexcept {
+  return median * std::exp(sigma * normal());
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) return 0;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split(std::uint64_t salt) noexcept {
+  return Rng((*this)() ^ (salt * 0xd1342543de82ef95ULL + 1));
+}
+
+}  // namespace tacc::util

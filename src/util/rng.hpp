@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for the cluster simulator.
+//
+// Every stochastic component (workload generator, scheduler jitter, staging
+// times, counter noise) derives its stream from a named seed so that whole
+// experiments are reproducible bit-for-bit across runs and platforms. The
+// generator is xoshiro256**, which is small, fast and high quality; we do
+// not use std::mt19937 because its distribution implementations are not
+// portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace tacc::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation re-expressed in C++). Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a 64-bit value via splitmix64 so that nearby seeds give
+  /// unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Seeds from a component name plus a numeric salt (e.g. node index).
+  /// Deterministic: FNV-1a over the name, mixed with the salt.
+  Rng(std::string_view name, std::uint64_t salt) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal() noexcept;
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Log-normal such that the *median* of the distribution is `median` and
+  /// sigma is the shape parameter of the underlying normal.
+  double lognormal_median(double median, double sigma) noexcept;
+  /// Exponential with the given mean (= 1/lambda).
+  double exponential(double mean) noexcept;
+  /// Pareto (heavy tail) with minimum xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Requires a non-empty vector with a positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Derives an independent child stream; children of distinct salts are
+  /// statistically independent of each other and of the parent.
+  Rng split(std::uint64_t salt) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// splitmix64 step; exposed because seeding helpers elsewhere reuse it.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a 64-bit hash of a string (used for name-based seeding).
+std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace tacc::util

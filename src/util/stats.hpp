@@ -1,0 +1,85 @@
+// Statistics helpers used by the analysis pipeline, the portal histogram
+// views, and the benchmark harnesses (e.g. the CPU_Usage / Lustre-metric
+// correlations of paper section V-B).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tacc::util {
+
+/// Numerically stable single-pass accumulator (Welford) for mean/variance
+/// plus min/max tracking. Suitable for streaming use in the online
+/// analyzer.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStat& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance or fewer than 2 points.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation; 0 for fewer than 2 points.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+/// Returns 0 for an empty span.
+double percentile(std::span<const double> xs, double p);
+
+/// Fixed-bin histogram over [lo, hi); values outside the range land in the
+/// first/last bin (clamping, like the portal's auto histograms).
+class Histogram {
+ public:
+  /// Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Convenience: builds a histogram spanning [min, max] of the data with
+  /// `bins` bins (empty data yields the [0,1) range).
+  static Histogram of(std::span<const double> xs, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// Renders an ASCII bar chart, one row per bin, like the portal's Fig. 4
+  /// histograms. `width` is the maximum bar length in characters.
+  std::string render(std::string_view title, std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tacc::util

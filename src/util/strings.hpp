@@ -1,0 +1,47 @@
+// String parsing helpers shared by the procfs renderers and the collector
+// parsers. The collectors read text exactly as the C tool reads
+// /proc//sys files, so fast line/field splitting matters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacc::util {
+
+/// Splits on a single character; does not merge adjacent delimiters
+/// (empty fields preserved).
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace (spaces/tabs); empty fields dropped.
+/// This matches how /proc text columns are parsed.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Splits into lines, dropping a trailing empty line.
+std::vector<std::string_view> split_lines(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Parses an unsigned 64-bit decimal; nullopt on any non-digit content.
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
+
+/// Parses a signed 64-bit decimal.
+std::optional<std::int64_t> parse_i64(std::string_view s) noexcept;
+
+/// Parses a double; nullopt on failure.
+std::optional<double> parse_f64(std::string_view s) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+/// Human-readable byte rate like "1.25 GB/s".
+std::string format_bytes(double bytes);
+
+}  // namespace tacc::util

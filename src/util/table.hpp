@@ -1,0 +1,35 @@
+// ASCII table rendering used by the benchmark harnesses to print
+// paper-shaped tables (Table I metric listings, section V population
+// statistics, EXPERIMENTS.md paper-vs-measured rows).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tacc::util {
+
+/// Column-aligned text table. Add a header row, then data rows; render()
+/// pads every column to its widest cell.
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  void header(std::vector<std::string> cells);
+  /// Adds a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are truncated to the header width.
+  void row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  std::string render() const;
+
+  /// Formats a double with `prec` significant digits.
+  static std::string num(double v, int prec = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tacc::util

@@ -1,0 +1,67 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tacc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  const std::size_t shards = std::min(n, workers_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    futs.push_back(submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tacc::util

@@ -1,0 +1,105 @@
+#include "workload/acctfile.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tacc::workload {
+namespace {
+
+constexpr const char* kHeader =
+    "JobID|User|UID|Account|JobName|ExePath|Partition|NNodes|Wayness|"
+    "Submit|Start|End|State|NodeList";
+constexpr std::size_t kFields = 14;
+
+}  // namespace
+
+std::string serialize_accounting(
+    const std::vector<AccountingRecord>& records) {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  for (const auto& r : records) {
+    os << r.jobid << '|' << r.user << '|' << r.uid << '|' << r.account << '|'
+       << r.jobname << '|' << r.exe << '|' << r.queue << '|' << r.nodes
+       << '|' << r.wayness << '|' << r.submit_time / util::kSecond << '|'
+       << r.start_time / util::kSecond << '|' << r.end_time / util::kSecond
+       << '|' << r.status << '|';
+    for (std::size_t i = 0; i < r.hostnames.size(); ++i) {
+      if (i) os << ',';
+      os << r.hostnames[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<AccountingRecord> parse_accounting(std::string_view text) {
+  const auto lines = util::split_lines(text);
+  if (lines.empty() || lines[0] != kHeader) {
+    throw std::invalid_argument("accounting dump missing header line");
+  }
+  std::vector<AccountingRecord> out;
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    const auto line = lines[li];
+    if (line.empty()) continue;
+    const auto fields = util::split(line, '|');
+    if (fields.size() != kFields) {
+      throw std::invalid_argument("accounting row has " +
+                                  std::to_string(fields.size()) +
+                                  " fields, want 14: " + std::string(line));
+    }
+    AccountingRecord r;
+    auto num = [&](std::size_t i) {
+      const auto v = util::parse_i64(fields[i]);
+      if (!v) {
+        throw std::invalid_argument("bad numeric accounting field: " +
+                                    std::string(fields[i]));
+      }
+      return *v;
+    };
+    r.jobid = static_cast<long>(num(0));
+    r.user = std::string(fields[1]);
+    r.uid = static_cast<int>(num(2));
+    r.account = std::string(fields[3]);
+    r.jobname = std::string(fields[4]);
+    r.exe = std::string(fields[5]);
+    r.queue = std::string(fields[6]);
+    r.nodes = static_cast<int>(num(7));
+    r.wayness = static_cast<int>(num(8));
+    r.submit_time = num(9) * util::kSecond;
+    r.start_time = num(10) * util::kSecond;
+    r.end_time = num(11) * util::kSecond;
+    r.status = std::string(fields[12]);
+    if (!fields[13].empty()) {
+      for (const auto host : util::split(fields[13], ',')) {
+        r.hostnames.emplace_back(host);
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void write_accounting_file(const std::filesystem::path& path,
+                           const std::vector<AccountingRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open accounting file " + path.string());
+  }
+  out << serialize_accounting(records);
+}
+
+std::vector<AccountingRecord> read_accounting_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("no accounting file " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_accounting(buffer.str());
+}
+
+}  // namespace tacc::workload

@@ -1,0 +1,35 @@
+// Scheduler accounting files. The real pipeline joins raw stats against
+// the batch scheduler's accounting dump (sacct/TACC's accounting logs);
+// this module serializes AccountingRecords in a pipe-separated layout
+// modeled on `sacct -P` and parses it back, so a spooled day on disk plus
+// an accounting file is everything needed to (re)run the analysis —
+// the offline/replay workflow.
+//
+//   JobID|User|UID|Account|JobName|ExePath|Partition|NNodes|Wayness|
+//   Submit|Start|End|State|NodeList
+//
+// Times are epoch seconds; NodeList is comma-joined hostnames.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "workload/jobs.hpp"
+
+namespace tacc::workload {
+
+/// Serializes records, header line first.
+std::string serialize_accounting(const std::vector<AccountingRecord>& records);
+
+/// Parses an accounting dump. Throws std::invalid_argument on malformed
+/// rows (wrong arity, non-numeric fields); the header line is required.
+std::vector<AccountingRecord> parse_accounting(std::string_view text);
+
+/// File convenience wrappers.
+void write_accounting_file(const std::filesystem::path& path,
+                           const std::vector<AccountingRecord>& records);
+std::vector<AccountingRecord> read_accounting_file(
+    const std::filesystem::path& path);
+
+}  // namespace tacc::workload

@@ -1,0 +1,107 @@
+// Application resource-demand profiles.
+//
+// The paper's analyses run over a production population (Stampede, Q4 2015:
+// 404,002 jobs; 110,438 production jobs; 16,741 WRF jobs). That population
+// is not available, so this catalog defines parametric profiles whose mix
+// is calibrated to reproduce the population shapes the paper reports in
+// section V: the vectorization split (52% of jobs >1% vectorized, 25% >50%),
+// MIC adoption (1.3%), memory use (3% of jobs >20 GB), idle-node rate
+// (>2%), the WRF cohort behaviour, and the negative CPU_Usage vs Lustre-
+// metric correlations.
+//
+// All rates are steady-state demands; the engine applies per-job and
+// per-interval stochastic multipliers around them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tacc::workload {
+
+struct AppProfile {
+  std::string name;  // profile key, e.g. "wrf", "wrf_mdstorm"
+  std::string exe;   // executable name as seen in accounting, e.g. "wrf.exe"
+
+  // -- compute demand (per busy core) --------------------------------------
+  double ipc = 1.2;        // instructions per cycle while busy
+  double fp_frac = 0.15;   // FP instructions / total instructions
+  double vec_frac = 0.5;   // fraction of FP instructions that are vector
+  double load_frac = 0.30; // load instructions / total instructions
+  double l1_hit = 0.90;    // per-load hit probabilities (l1+l2+llc <= 1;
+  double l2_hit = 0.06;    //  the remainder misses to DRAM)
+  double llc_hit = 0.03;
+  double mem_bw_per_core = 1.0e9;  // DRAM bytes/s per busy core
+
+  // -- utilization ----------------------------------------------------------
+  double user_frac_base = 0.90;  // time in user space absent I/O stalls
+  double sys_frac = 0.02;        // kernel time
+
+  // -- Lustre I/O demand (per node per second) ------------------------------
+  double mdc_reqs_ps = 1.0;
+  double mdc_wait_us_per_req = 150.0;
+  double osc_reqs_ps = 2.0;
+  double osc_wait_us_per_req = 600.0;
+  double lustre_read_bps = 0.5e6;
+  double lustre_write_bps = 1.5e6;
+  double open_close_ps = 0.1;  // opens per second (closes matched)
+
+  // -- network demand (per node per second) ---------------------------------
+  double ib_mpi_bps = 40e6;  // MPI traffic over InfiniBand
+  double gige_bps = 2e3;     // stray Ethernet traffic
+
+  // -- coprocessor -----------------------------------------------------------
+  double mic_util = 0.0;  // Phi utilization fraction (0 = unused)
+
+  // -- local disk & shared memory (per node) ---------------------------------
+  double local_disk_read_bps = 0.0;   // node-local scratch reads
+  double local_disk_write_bps = 0.0;  // node-local scratch writes
+  double tmpfs_bytes = 0.0;           // /dev/shm footprint while running
+  double sysv_shm_bytes = 0.0;        // SysV segments while running
+
+  // -- memory ----------------------------------------------------------------
+  double mem_per_node_gb = 3.0;  // steady working set per node
+  double mem_spike_gb = 0.0;     // transient mid-run spike (visible only in
+                                 //  procfs VmHWM, not in MemUsage snapshots)
+  int procs_per_node = 16;       // MPI ranks per node
+  int threads_per_proc = 1;
+
+  // -- behaviour -------------------------------------------------------------
+  double idle_node_frac = 0.0;   // fraction of allocated nodes left idle
+  bool compile_first = false;    // compile phase (scalar, no FLOPs) then run
+  double fail_prob = 0.0;        // chance the job dies mid-run
+  std::string queue = "normal";  // default submission queue
+
+  // -- job sizing (population generator draws) ------------------------------
+  double nodes_median = 4.0;      // lognormal median of node count
+  double nodes_sigma = 0.9;
+  int max_nodes = 256;
+  double runtime_median_s = 7200; // lognormal median of runtime
+  double runtime_sigma = 1.0;
+
+  // -- stochastic spread (lognormal sigma of per-job multipliers) -----------
+  double io_sigma = 0.8;       // spread of the per-job I/O multiplier
+  double compute_sigma = 0.25; // spread of the compute multiplier
+  double vec_sigma = 0.10;     // absolute jitter added to vec_frac
+  double mem_sigma = 0.35;     // spread of the memory multiplier
+};
+
+/// Weighted catalog entry for the population generator.
+struct CatalogEntry {
+  AppProfile profile;
+  double weight;  // share of the job population
+};
+
+/// The calibrated application catalog (see file header).
+const std::vector<CatalogEntry>& app_catalog();
+
+/// Looks up a profile by name in the catalog; also resolves the special
+/// out-of-catalog cohort profiles ("wrf_mdstorm"). Throws
+/// std::invalid_argument for unknown names.
+const AppProfile& find_profile(const std::string& name);
+
+/// The metadata-storm WRF variant of the section V-B case study: the same
+/// wrf.exe executable, but with an open/close-per-iteration loop driving
+/// tens of thousands of metadata requests per second per node.
+const AppProfile& wrf_mdstorm_profile();
+
+}  // namespace tacc::workload

@@ -1,0 +1,512 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simhw/pci.hpp"
+
+namespace tacc::workload {
+namespace {
+
+constexpr double kJiffiesPerSecond = 100.0;
+constexpr double kOsBaselineKb = 600.0 * 1024;
+
+// RAPL power model (kept under ~100 W/socket so the 32-bit energy-status
+// register wraps no more than once per 10-minute sampling interval; see
+// DESIGN.md).
+constexpr double kPkgIdleWatts = 35.0;
+constexpr double kPkgWattsPerBusyCore = 4.0;
+constexpr double kPp0IdleWatts = 10.0;
+constexpr double kPp0WattsPerBusyCore = 3.2;
+constexpr double kDramIdleWatts = 8.0;
+constexpr double kDramJoulesPerByte = 6.0e-10;
+
+constexpr double kMicThreads = 240.0;  // 60 cores x 4 threads
+
+std::uint64_t ull(double x) noexcept {
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(x));
+}
+
+/// The effective demand of a job on one node for one tick, after phase
+/// logic (compile/fail/idle-node) and jitter.
+struct TickDemand {
+  double user_frac = 0.0;
+  double sys_frac = 0.0;
+  double iowait_frac = 0.0;
+  double ipc = 0.0;
+  double fp_frac = 0.0;
+  double vec_frac = 0.0;
+  double load_frac = 0.0;
+  double mem_bw_per_core = 0.0;
+  double mdc_reqs_ps = 0.0;
+  double mdc_wait_us_per_req = 0.0;
+  double osc_reqs_ps = 0.0;
+  double osc_wait_us_per_req = 0.0;
+  double lustre_read_bps = 0.0;
+  double lustre_write_bps = 0.0;
+  double open_close_ps = 0.0;
+  double ib_mpi_bps = 0.0;
+  double gige_bps = 0.0;
+  double mic_util = 0.0;
+  bool active = true;
+};
+
+}  // namespace
+
+AccountingRecord to_accounting(const JobSpec& spec,
+                               std::vector<std::string> hostnames) {
+  AccountingRecord acct;
+  acct.jobid = spec.jobid;
+  acct.user = spec.user;
+  acct.uid = spec.uid;
+  acct.account = spec.account;
+  acct.jobname = spec.jobname;
+  acct.exe = spec.exe;
+  acct.queue = spec.queue;
+  acct.nodes = spec.nodes;
+  acct.wayness = spec.wayness;
+  acct.submit_time = spec.submit_time;
+  acct.start_time = spec.start_time;
+  acct.end_time = spec.end_time;
+  acct.status = spec.status;
+  acct.hostnames = std::move(hostnames);
+  return acct;
+}
+
+Engine::Engine(simhw::Cluster& cluster, util::SimTime start)
+    : cluster_(&cluster), now_(start) {
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    auto& node = cluster_->node(i);
+    if (!node.failed()) node.state().now_us = now_;
+  }
+}
+
+void Engine::start_job(const JobSpec& spec,
+                       std::vector<std::size_t> node_indices) {
+  Running job;
+  job.spec = spec;
+  job.profile = &find_profile(spec.profile);
+  job.nodes = std::move(node_indices);
+  job.rng = util::Rng("engine.job", static_cast<std::uint64_t>(spec.jobid));
+  // Spawn the job's processes on each node.
+  const double mem_node_kb =
+      job.profile->mem_per_node_gb * spec.mem_mult * 1024 * 1024;
+  for (const std::size_t ni : job.nodes) {
+    auto& node = cluster_->node(ni);
+    if (node.failed()) continue;
+    const int nprocs = std::max(1, job.profile->procs_per_node);
+    for (int r = 0; r < nprocs; ++r) {
+      simhw::ProcessInfo proc;
+      proc.pid = next_pid_++;
+      proc.name = spec.exe.substr(0, 15);  // kernel truncates comm to 15
+      proc.uid = spec.uid;
+      proc.jobid = spec.jobid;
+      proc.threads = job.profile->threads_per_proc;
+      const double share_kb = mem_node_kb / nprocs;
+      proc.vm_rss_kb = ull(share_kb);
+      proc.vm_hwm_kb = proc.vm_rss_kb;
+      proc.vm_size_kb = ull(share_kb * 1.3 + 80 * 1024);
+      proc.vm_peak_kb = proc.vm_size_kb;
+      proc.vm_data_kb = ull(share_kb * 1.1);
+      proc.vm_stk_kb = 8 * 1024;
+      proc.vm_exe_kb = 4 * 1024;
+      proc.vm_lck_kb = 0;
+      // Pin rank r (and its threads) to consecutive logical cpus.
+      const int ncpu = node.topology().logical_cpus();
+      std::uint64_t mask = 0;
+      for (int t = 0; t < proc.threads; ++t) {
+        mask |= 1ULL << ((r * proc.threads + t) % std::min(ncpu, 64));
+      }
+      proc.cpus_allowed = mask;
+      node.spawn_process(proc);
+    }
+  }
+  jobs_.emplace(spec.jobid, std::move(job));
+  for (const std::size_t ni : jobs_.at(spec.jobid).nodes) {
+    update_memory(cluster_->node(ni), ni);
+  }
+}
+
+void Engine::end_job(long jobid) {
+  const auto it = jobs_.find(jobid);
+  if (it == jobs_.end()) return;
+  for (const std::size_t ni : it->second.nodes) {
+    auto& node = cluster_->node(ni);
+    if (node.failed()) continue;
+    for (const int pid : node.list_pids()) {
+      const auto pit = node.state().processes.find(pid);
+      if (pit != node.state().processes.end() &&
+          pit->second.jobid == jobid) {
+        node.kill_process(pid);
+      }
+    }
+  }
+  const auto nodes = it->second.nodes;
+  jobs_.erase(it);
+  for (const std::size_t ni : nodes) update_memory(cluster_->node(ni), ni);
+}
+
+std::vector<long> Engine::jobs_on(std::size_t node_index) const {
+  std::vector<long> out;
+  for (const auto& [jobid, job] : jobs_) {
+    if (std::find(job.nodes.begin(), job.nodes.end(), node_index) !=
+        job.nodes.end()) {
+      out.push_back(jobid);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::size_t>* Engine::nodes_of(long jobid) const {
+  const auto it = jobs_.find(jobid);
+  return it == jobs_.end() ? nullptr : &it->second.nodes;
+}
+
+std::vector<std::string> Engine::hostnames_of(long jobid) const {
+  std::vector<std::string> out;
+  if (const auto* nodes = nodes_of(jobid)) {
+    for (const std::size_t ni : *nodes) {
+      out.push_back(cluster_->node(ni).hostname());
+    }
+  }
+  return out;
+}
+
+void Engine::update_memory(simhw::Node& node, std::size_t node_index) {
+  if (node.failed()) return;
+  double used = kOsBaselineKb;
+  double tmpfs = 0.0;
+  double sysv = 0.0;
+  int sysv_segments = 0;
+  for (const auto& [jobid, job] : jobs_) {
+    if (std::find(job.nodes.begin(), job.nodes.end(), node_index) ==
+        job.nodes.end()) {
+      continue;
+    }
+    used += job.profile->mem_per_node_gb * job.spec.mem_mult * 1024 * 1024;
+    tmpfs += job.profile->tmpfs_bytes;
+    if (job.profile->sysv_shm_bytes > 0.0) {
+      sysv += job.profile->sysv_shm_bytes * job.spec.mem_mult;
+      ++sysv_segments;
+    }
+  }
+  node.state().mem.used_kb =
+      std::min<std::uint64_t>(ull(used), node.state().mem.total_kb);
+  node.state().shm.tmpfs_bytes = ull(tmpfs);
+  node.state().shm.sysv_bytes = ull(sysv);
+  node.state().shm.sysv_segments =
+      static_cast<std::uint64_t>(sysv_segments);
+}
+
+void Engine::apply_baseline(simhw::Node& node, double dt_s) {
+  auto& st = node.state();
+  st.now_us += util::from_seconds(dt_s);
+  // Management-network heartbeat.
+  st.eth.rx_bytes += ull(1200.0 * dt_s);
+  st.eth.tx_bytes += ull(800.0 * dt_s);
+  st.eth.rx_packets += ull(4.0 * dt_s);
+  st.eth.tx_packets += ull(3.0 * dt_s);
+  // Idle-power energy accrues regardless of load.
+  for (auto& sock : st.sockets) {
+    sock.energy_pkg_uj += ull(kPkgIdleWatts * dt_s * 1e6);
+    sock.energy_pp0_uj += ull(kPp0IdleWatts * dt_s * 1e6);
+    sock.energy_dram_uj += ull(kDramIdleWatts * dt_s * 1e6);
+  }
+  if (node.config().has_phi) {
+    st.mic.idle_jiffies += ull(kMicThreads * dt_s * kJiffiesPerSecond);
+  }
+}
+
+int Engine::apply_job(Running& job, std::size_t local_index,
+                      simhw::Node& node, double dt_s, int core_offset) {
+  const AppProfile& p = *job.profile;
+  const JobSpec& spec = job.spec;
+  auto& st = node.state();
+
+  const double runtime_s = util::to_seconds(spec.runtime());
+  const double frac =
+      runtime_s > 0.0
+          ? util::to_seconds(now_ - spec.start_time) / runtime_s
+          : 0.0;
+
+  TickDemand d;
+  // Per-quantum jitter indexed by (job, node, absolute quantum) so the
+  // demand function of time is fixed regardless of advance() slicing.
+  const std::uint64_t quantum =
+      static_cast<std::uint64_t>(now_ / kQuantum);
+  util::Rng jitter_rng(
+      "engine.jitter",
+      static_cast<std::uint64_t>(spec.jobid) * 0x9e3779b97f4a7c15ULL ^
+          (static_cast<std::uint64_t>(local_index) << 48) ^ quantum);
+  const double io_jitter = std::exp(0.18 * jitter_rng.normal());
+  const double compute_jitter = std::exp(0.10 * jitter_rng.normal());
+
+  // Phase logic ------------------------------------------------------------
+  const int active_nodes = std::max(
+      1, static_cast<int>(std::lround((1.0 - p.idle_node_frac) *
+                                      static_cast<double>(spec.nodes))));
+  if (static_cast<int>(local_index) >= active_nodes) d.active = false;
+  if (spec.fail_at_frac > 0.0 && frac >= spec.fail_at_frac) d.active = false;
+
+  const bool compiling = p.compile_first && frac < 0.12;
+
+  if (d.active) {
+    d.ipc = (compiling ? 1.0 : p.ipc) * spec.compute_mult * compute_jitter;
+    d.fp_frac = compiling ? 0.02 : p.fp_frac;
+    d.vec_frac = compiling ? 0.0
+                           : (spec.vec_frac_eff >= 0.0 ? spec.vec_frac_eff
+                                                       : p.vec_frac);
+    d.load_frac = compiling ? 0.35 : p.load_frac;
+    d.mem_bw_per_core = p.mem_bw_per_core * compute_jitter;
+    d.mdc_reqs_ps = (compiling ? 25.0 : p.mdc_reqs_ps) * spec.io_mult *
+                    io_jitter;
+    d.mdc_wait_us_per_req = p.mdc_wait_us_per_req;
+    d.osc_reqs_ps = p.osc_reqs_ps * spec.io_mult * io_jitter;
+    d.osc_wait_us_per_req = p.osc_wait_us_per_req;
+    d.lustre_read_bps = p.lustre_read_bps * spec.io_mult * io_jitter;
+    d.lustre_write_bps = p.lustre_write_bps * spec.io_mult * io_jitter;
+    d.open_close_ps =
+        (compiling ? 40.0 : p.open_close_ps) * spec.io_mult * io_jitter;
+    d.ib_mpi_bps = p.ib_mpi_bps * io_jitter;
+    d.gige_bps = p.gige_bps * io_jitter;
+    d.mic_util = p.mic_util;
+    d.sys_frac = p.sys_frac;
+    const double io_penalty =
+        std::min(kMaxIoPenalty,
+                 kMdcPenaltyPerReq * d.mdc_reqs_ps +
+                     kOscPenaltyPerReq * d.osc_reqs_ps +
+                     kBwPenaltyPerByte *
+                         (d.lustre_read_bps + d.lustre_write_bps));
+    d.iowait_frac = io_penalty;
+    d.user_frac = std::clamp(
+        p.user_frac_base + spec.cpu_jitter - io_penalty - d.sys_frac,
+        0.02, 0.97);
+  }
+
+  // Per-core accounting ------------------------------------------------------
+  const auto& topo = node.topology();
+  const int want =
+      std::max(1, spec.wayness * std::max(1, p.threads_per_proc));
+  const int first = std::min(core_offset, topo.logical_cpus());
+  const int last = std::min(first + want, topo.logical_cpus());
+  const int claimed = last - first;
+  const std::array<double, 4> shares = {1.0, 0.97, 1.03, 0.99};
+  for (int cpu = first; cpu < last; ++cpu) {
+    auto& core = st.cores[static_cast<std::size_t>(cpu)];
+    const double skew = shares[static_cast<std::size_t>(cpu) % shares.size()];
+    const double user = d.active ? std::min(0.98, d.user_frac * skew) : 0.0;
+    const double sys = d.active ? d.sys_frac : 0.005;
+    const double iow = d.active ? d.iowait_frac : 0.0;
+    const double idle = std::max(0.0, 1.0 - user - sys - iow);
+    core.user += ull(user * dt_s * kJiffiesPerSecond);
+    core.system += ull(sys * dt_s * kJiffiesPerSecond);
+    core.iowait += ull(iow * dt_s * kJiffiesPerSecond);
+    core.idle += ull(idle * dt_s * kJiffiesPerSecond);
+    if (!d.active) continue;
+    const double ghz = node.arch().nominal_ghz;
+    const double cycles = user * dt_s * ghz * 1e9;
+    const double instructions = cycles * d.ipc;
+    core.cycles += ull(cycles);
+    core.ref_cycles += ull(cycles);
+    core.instructions += ull(instructions);
+    const double fp = instructions * d.fp_frac;
+    const double vec = fp * d.vec_frac;
+    using simhw::CoreEvent;
+    auto& ev = core.events;
+    ev[static_cast<std::size_t>(CoreEvent::FpScalar)] += ull(fp - vec);
+    ev[static_cast<std::size_t>(CoreEvent::FpVector)] += ull(vec);
+    const double loads = instructions * d.load_frac;
+    ev[static_cast<std::size_t>(CoreEvent::LoadsAll)] += ull(loads);
+    ev[static_cast<std::size_t>(CoreEvent::L1Hits)] += ull(loads * p.l1_hit);
+    ev[static_cast<std::size_t>(CoreEvent::L2Hits)] += ull(loads * p.l2_hit);
+    ev[static_cast<std::size_t>(CoreEvent::LlcHits)] +=
+        ull(loads * p.llc_hit);
+    ev[static_cast<std::size_t>(CoreEvent::Branches)] +=
+        ull(instructions * 0.20);
+    ev[static_cast<std::size_t>(CoreEvent::StallsTotal)] +=
+        ull(cycles * 0.12);
+  }
+
+  if (!d.active) return claimed;
+
+  // Socket-level: memory traffic and active power --------------------------
+  std::vector<double> busy_cores(static_cast<std::size_t>(topo.sockets), 0.0);
+  for (int cpu = first; cpu < last; ++cpu) {
+    busy_cores[static_cast<std::size_t>(topo.socket_of_cpu(cpu))] +=
+        d.user_frac;
+  }
+  for (int s = 0; s < topo.sockets; ++s) {
+    auto& sock = st.sockets[static_cast<std::size_t>(s)];
+    const double busy = busy_cores[static_cast<std::size_t>(s)];
+    const double bytes = d.mem_bw_per_core * busy * dt_s;
+    sock.imc_cas_reads += ull(bytes * (2.0 / 3.0) / simhw::pci::kCacheLineBytes);
+    sock.imc_cas_writes += ull(bytes * (1.0 / 3.0) / simhw::pci::kCacheLineBytes);
+    sock.qpi_data_flits += ull(bytes * 0.25 / simhw::pci::kQpiFlitBytes);
+    sock.energy_pkg_uj += ull(kPkgWattsPerBusyCore * busy * dt_s * 1e6);
+    sock.energy_pp0_uj += ull(kPp0WattsPerBusyCore * busy * dt_s * 1e6);
+    sock.energy_dram_uj += ull(bytes * kDramJoulesPerByte * 1e6);
+    // NUMA allocation flow: most pages land locally; QPI-crossing traffic
+    // shows up as misses on the remote node.
+    auto& numa = st.numa[static_cast<std::size_t>(s)];
+    const double pages = bytes / 4096.0;
+    numa.numa_hit += ull(pages * 0.92);
+    numa.numa_miss += ull(pages * 0.06);
+    numa.numa_foreign += ull(pages * 0.02);
+    numa.local_node += ull(pages * 0.92);
+    numa.other_node += ull(pages * 0.08);
+  }
+
+  // Kernel VM activity: faults track first-touch memory traffic, paging
+  // tracks the local scratch disk.
+  st.vm.pgfault += ull(d.mem_bw_per_core * claimed * d.user_frac * dt_s /
+                       (4096.0 * 220.0));
+  st.vm.pgmajfault += ull(p.local_disk_read_bps * dt_s / (4096.0 * 900.0));
+  st.vm.pgpgin += ull(p.local_disk_read_bps * dt_s / 1024.0);
+  st.vm.pgpgout += ull(p.local_disk_write_bps * dt_s / 1024.0);
+
+  // Node-local scratch disk.
+  if (p.local_disk_read_bps > 0.0 || p.local_disk_write_bps > 0.0) {
+    const double rd = p.local_disk_read_bps * spec.io_mult * dt_s;
+    const double wr = p.local_disk_write_bps * spec.io_mult * dt_s;
+    st.block.sectors_read += ull(rd / 512.0);
+    st.block.sectors_written += ull(wr / 512.0);
+    st.block.reads_completed += ull(rd / (128.0 * 1024.0));
+    st.block.writes_completed += ull(wr / (128.0 * 1024.0));
+    st.block.io_ticks_ms +=
+        ull(std::min(1.0, (rd + wr) / 120e6) * dt_s * 1000.0);
+  }
+
+  // Lustre ------------------------------------------------------------------
+  if (node.config().has_lustre) {
+    auto& lu = st.lustre;
+    const double reads = d.lustre_read_bps * dt_s;
+    const double writes = d.lustre_write_bps * dt_s;
+    lu.read_bytes += ull(reads);
+    lu.write_bytes += ull(writes);
+    lu.read_samples += ull(reads / 1048576.0) + (reads > 0 ? 1 : 0);
+    lu.write_samples += ull(writes / 1048576.0) + (writes > 0 ? 1 : 0);
+    lu.open += ull(d.open_close_ps * dt_s);
+    lu.close += ull(d.open_close_ps * dt_s);
+    const double mdc = d.mdc_reqs_ps * dt_s;
+    lu.mdc_reqs += ull(mdc);
+    // Shared-MDS queueing: service time grows with the cluster-wide load
+    // of the previous quantum.
+    const double mds_factor = 1.0 + mds_load_prev_ps_ / kMdsCapacityReqsPs;
+    lu.mdc_wait_us += ull(mdc * d.mdc_wait_us_per_req * mds_factor);
+    mds_load_accum_reqs_ += mdc;
+    const double osc = d.osc_reqs_ps * dt_s;
+    // Spread OSC traffic round-robin over the stripe targets; object
+    // storage servers queue like the MDS does.
+    const int ost = lu.next_ost;
+    lu.next_ost = (lu.next_ost + 1) % simhw::LustreState::kNumOsts;
+    const double oss_factor = 1.0 + oss_load_prev_ps_ / kOssCapacityReqsPs;
+    lu.osc_reqs[ost] += ull(osc);
+    lu.osc_wait_us[ost] += ull(osc * d.osc_wait_us_per_req * oss_factor);
+    oss_load_accum_reqs_ += osc;
+    lu.osc_read_bytes[ost] += ull(reads);
+    lu.osc_write_bytes[ost] += ull(writes);
+    // LNET carries the Lustre bytes plus ~1 KB of RPC overhead per request.
+    const double rpc_overhead = (mdc + osc) * 1024.0;
+    st.lnet.send_bytes += ull(writes + rpc_overhead);
+    st.lnet.recv_bytes += ull(reads + rpc_overhead * 0.5);
+    st.lnet.send_count += ull(mdc + osc + writes / 1048576.0);
+    st.lnet.recv_count += ull(mdc + osc + reads / 1048576.0);
+    // Lustre rides the InfiniBand fabric.
+    if (node.config().has_ib) {
+      st.ib.tx_bytes += ull(writes + rpc_overhead);
+      st.ib.rx_bytes += ull(reads + rpc_overhead * 0.5);
+      st.ib.tx_packets += ull((writes + rpc_overhead) / 2048.0);
+      st.ib.rx_packets += ull((reads + rpc_overhead * 0.5) / 2048.0);
+    }
+  }
+
+  // MPI over InfiniBand ------------------------------------------------------
+  if (node.config().has_ib && d.ib_mpi_bps > 0.0) {
+    const double bytes = d.ib_mpi_bps * dt_s;
+    st.ib.tx_bytes += ull(bytes);
+    st.ib.rx_bytes += ull(bytes);
+    st.ib.tx_packets += ull(bytes / 2048.0);
+    st.ib.rx_packets += ull(bytes / 2048.0);
+  }
+
+  // Stray / misconfigured Ethernet traffic ----------------------------------
+  if (d.gige_bps > 0.0) {
+    const double bytes = d.gige_bps * dt_s;
+    st.eth.rx_bytes += ull(bytes);
+    st.eth.tx_bytes += ull(bytes);
+    st.eth.rx_packets += ull(bytes / 1500.0);
+    st.eth.tx_packets += ull(bytes / 1500.0);
+  }
+
+  // Xeon Phi -----------------------------------------------------------------
+  if (node.config().has_phi && d.mic_util > 0.0) {
+    const double total = kMicThreads * dt_s * kJiffiesPerSecond;
+    st.mic.user_jiffies += ull(d.mic_util * total);
+    // The matching idle time was already added by the baseline; move it.
+    const std::uint64_t used = ull(d.mic_util * total);
+    st.mic.idle_jiffies -= std::min(st.mic.idle_jiffies, used);
+  }
+
+  // Mid-run memory spike: visible to procfs VmHWM but (usually) not to the
+  // 10-minute MemUsage snapshots (paper section IV-A).
+  if (p.mem_spike_gb > 0.0 && frac >= 0.45 && frac < 0.55) {
+    const double spike_kb = p.mem_spike_gb * 1024 * 1024;
+    for (auto& [pid, proc] : st.processes) {
+      if (proc.jobid != spec.jobid) continue;
+      const auto hwm = proc.vm_rss_kb + ull(spike_kb / std::max(
+          1, p.procs_per_node));
+      proc.vm_hwm_kb = std::max(proc.vm_hwm_kb, hwm);
+      proc.vm_peak_kb = std::max(proc.vm_peak_kb, hwm + 80 * 1024);
+    }
+  }
+  return claimed;
+}
+
+void Engine::advance(util::SimTime dt) {
+  const util::SimTime target = now_ + dt;
+  while (now_ < target) {
+    const util::SimTime quantum_end = now_ - now_ % kQuantum + kQuantum;
+    advance_step(std::min(quantum_end, target) - now_);
+  }
+}
+
+void Engine::advance_step(util::SimTime dt) {
+  const double dt_s = util::to_seconds(dt);
+
+  // Per-node list of (job, local node index).
+  std::vector<std::vector<std::pair<Running*, std::size_t>>> per_node(
+      cluster_->size());
+  for (auto& [jobid, job] : jobs_) {
+    for (std::size_t li = 0; li < job.nodes.size(); ++li) {
+      per_node[job.nodes[li]].emplace_back(&job, li);
+    }
+  }
+
+  for (std::size_t ni = 0; ni < cluster_->size(); ++ni) {
+    auto& node = cluster_->node(ni);
+    if (node.failed()) continue;
+    apply_baseline(node, dt_s);
+
+    // Jobs sharing a node occupy consecutive disjoint core ranges; cores
+    // beyond them idle away the interval.
+    int offset = 0;
+    for (const auto& [job, li] : per_node[ni]) {
+      offset += apply_job(*job, li, node, dt_s, offset);
+    }
+    for (int cpu = offset; cpu < node.topology().logical_cpus(); ++cpu) {
+      auto& core = node.state().cores[static_cast<std::size_t>(cpu)];
+      core.idle += ull(0.995 * dt_s * kJiffiesPerSecond);
+      core.system += ull(0.005 * dt_s * kJiffiesPerSecond);
+    }
+  }
+  now_ += dt;
+  // Close the shared-server accounting for this step.
+  if (dt_s > 0.0) {
+    mds_load_prev_ps_ = mds_load_accum_reqs_ / dt_s;
+    mds_load_accum_reqs_ = 0.0;
+    oss_load_prev_ps_ = oss_load_accum_reqs_ / dt_s;
+    oss_load_accum_reqs_ = 0.0;
+  }
+}
+
+}  // namespace tacc::workload

@@ -1,0 +1,113 @@
+// The workload engine drives the ground-truth counters of simulated nodes
+// according to the resource-demand profiles of the jobs running on them.
+//
+// The engine is the single source of demand semantics: both the
+// full-cluster experiments (figures 1/2/5, overhead, shared nodes) and the
+// per-job mini-simulations used for the large population analyses run
+// through Engine::advance, so there is exactly one mapping from profile
+// parameters to hardware counters.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "simhw/cluster.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workload/apps.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::workload {
+
+class Engine {
+ public:
+  /// The engine advances the given cluster's nodes from `start`.
+  Engine(simhw::Cluster& cluster, util::SimTime start);
+
+  util::SimTime now() const noexcept { return now_; }
+
+  /// Starts a job on the given node indices; spawns its processes. The
+  /// spec's profile name is resolved through find_profile.
+  void start_job(const JobSpec& spec, std::vector<std::size_t> node_indices);
+
+  /// Ends a job: removes its processes and releases its memory.
+  void end_job(long jobid);
+
+  /// Jobs currently running on a node (most nodes: 0 or 1; shared nodes
+  /// can host several).
+  std::vector<long> jobs_on(std::size_t node_index) const;
+
+  /// Node indices of a running job, or nullptr.
+  const std::vector<std::size_t>* nodes_of(long jobid) const;
+
+  /// Hostnames of a running job's nodes.
+  std::vector<std::string> hostnames_of(long jobid) const;
+
+  /// Advances simulated time by dt, applying every running job's demand
+  /// and the OS baseline to all nodes. Failed nodes are skipped (their
+  /// counters freeze, like a crashed host).
+  ///
+  /// Internally the engine integrates in fixed quanta (kQuantum) with
+  /// per-quantum jitter indexed by absolute time, so the accumulated
+  /// counters are independent of how advance() calls are sliced — this is
+  /// what makes the ARC metrics sampling-interval invariant end to end.
+  void advance(util::SimTime dt);
+
+  /// Demand-integration quantum.
+  static constexpr util::SimTime kQuantum = util::kMinute;
+
+  /// Aggregate Lustre metadata-server request rate (reqs/s) observed over
+  /// the previous quantum across the whole cluster. Service times scale
+  /// with this load (shared-MDS queueing), which is how one job's
+  /// metadata storm raises every other job's MDCWait — the interference
+  /// mechanism of paper section VI-A.
+  double mds_load_ps() const noexcept { return mds_load_prev_ps_; }
+
+  /// MDS throughput at which service time doubles.
+  static constexpr double kMdsCapacityReqsPs = 100000.0;
+
+  /// Aggregate OSS request rate over the previous quantum (reqs/s).
+  double oss_load_ps() const noexcept { return oss_load_prev_ps_; }
+  /// OSS throughput at which service time doubles.
+  static constexpr double kOssCapacityReqsPs = 40000.0;
+
+ private:
+  struct Running {
+    JobSpec spec;
+    const AppProfile* profile;
+    std::vector<std::size_t> nodes;
+    util::Rng rng;
+  };
+
+  void apply_baseline(simhw::Node& node, double dt_s);
+  /// Applies one job's demand to one of its nodes. `core_offset` is the
+  /// first logical cpu assigned to this job on the node (jobs sharing a
+  /// node occupy disjoint core ranges). Returns the number of cpus claimed.
+  int apply_job(Running& job, std::size_t local_index, simhw::Node& node,
+                double dt_s, int core_offset);
+  void advance_step(util::SimTime dt);
+  void update_memory(simhw::Node& node, std::size_t node_index);
+
+  simhw::Cluster* cluster_;
+  util::SimTime now_;
+  std::map<long, Running> jobs_;
+  int next_pid_ = 4000;
+  // Shared-MDS queueing state: the previous quantum's aggregate request
+  // rate shapes this quantum's service times (one-quantum lag keeps the
+  // integration single-pass and deterministic).
+  double mds_load_prev_ps_ = 0.0;
+  double mds_load_accum_reqs_ = 0.0;
+  double oss_load_prev_ps_ = 0.0;
+  double oss_load_accum_reqs_ = 0.0;
+};
+
+/// Coefficients mapping Lustre demand to lost user-space time (the
+/// mechanism behind the paper's negative CPU_Usage correlations): the
+/// penalty fraction is min(kMaxIoPenalty, kMdcPenalty*mdc_reqs_ps +
+/// kOscPenalty*osc_reqs_ps + kBwPenalty*lustre_bytes_ps).
+inline constexpr double kMdcPenaltyPerReq = 3.6e-6;
+inline constexpr double kOscPenaltyPerReq = 6.0e-5;
+inline constexpr double kBwPenaltyPerByte = 5.0e-10;
+inline constexpr double kMaxIoPenalty = 0.60;
+
+}  // namespace tacc::workload

@@ -1,0 +1,208 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <queue>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/apps.hpp"
+
+namespace tacc::workload {
+namespace {
+
+struct User {
+  std::string name;
+  int uid;
+  std::string account;  // project allocation
+  double activity;                  // relative job-submission rate
+  std::vector<std::size_t> apps;    // indices into app_catalog()
+  std::vector<double> app_weights;
+};
+
+std::vector<User> make_users(const PopulationConfig& config, util::Rng& rng) {
+  const auto& catalog = app_catalog();
+  std::vector<double> weights;
+  weights.reserve(catalog.size());
+  for (const auto& e : catalog) weights.push_back(e.weight);
+
+  std::vector<User> users;
+  users.reserve(static_cast<std::size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    User user;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "user%03d", u);
+    user.name = buf;
+    user.uid = 10000 + u;
+    // ~3 users per project allocation on average.
+    std::snprintf(buf, sizeof buf, "TG-%03d", u / 3);
+    user.account = buf;
+    user.activity = rng.pareto(1.0, 1.3);  // heavy-tailed user activity
+    const int napps = static_cast<int>(rng.uniform_int(1, 3));
+    for (int a = 0; a < napps; ++a) {
+      const std::size_t idx = rng.weighted_index(weights);
+      if (std::find(user.apps.begin(), user.apps.end(), idx) ==
+          user.apps.end()) {
+        user.apps.push_back(idx);
+        user.app_weights.push_back(rng.uniform(0.5, 2.0));
+      }
+    }
+    users.push_back(std::move(user));
+  }
+  return users;
+}
+
+JobSpec draw_job(long jobid, const User& user, const AppProfile& profile,
+                 const PopulationConfig& config, util::Rng& rng) {
+  JobSpec job;
+  job.jobid = jobid;
+  job.user = user.name;
+  job.uid = user.uid;
+  job.account = user.account;
+  job.profile = profile.name;
+  job.exe = profile.exe;
+  job.queue = profile.queue;
+  job.jobname = profile.name + "_run";
+  job.wayness = profile.procs_per_node;
+
+  job.nodes = static_cast<int>(std::clamp<double>(
+      std::lround(rng.lognormal_median(profile.nodes_median,
+                                       profile.nodes_sigma)),
+      1.0, static_cast<double>(profile.max_nodes)));
+
+  const double runtime_s = std::clamp(
+      rng.lognormal_median(profile.runtime_median_s, profile.runtime_sigma),
+      180.0, 48.0 * 3600.0);
+  // Small quick-turnaround jobs go to the development queue.
+  if (job.queue == "normal" && job.nodes <= 2 && runtime_s < 7200.0 &&
+      rng.bernoulli(0.25)) {
+    job.queue = "development";
+  }
+
+  job.submit_time =
+      config.period_start +
+      static_cast<util::SimTime>(
+          rng.uniform() *
+          static_cast<double>(config.period_end - config.period_start));
+  job.requested_walltime =
+      util::from_seconds(std::min(48.0 * 3600.0, runtime_s * 1.8));
+
+  job.io_mult = rng.lognormal_median(1.0, profile.io_sigma);
+  job.cpu_jitter = rng.normal(0.0, 0.09);
+  job.compute_mult = rng.lognormal_median(1.0, profile.compute_sigma);
+  job.mem_mult = rng.lognormal_median(1.0, profile.mem_sigma);
+  job.vec_frac_eff = std::clamp(
+      profile.vec_frac + profile.vec_sigma * rng.normal(), 0.0, 0.98);
+
+  if (rng.bernoulli(profile.fail_prob)) {
+    job.status = "FAILED";
+    job.fail_at_frac = rng.uniform(0.15, 0.9);
+  } else if (rng.bernoulli(0.02)) {
+    job.status = "TIMEOUT";
+  }
+
+  // end_time is provisional until the scheduler assigns start_time.
+  job.end_time = util::from_seconds(runtime_s);
+  return job;
+}
+
+/// FCFS per-queue backfill-free scheduler: assigns start times against a
+/// fixed node capacity. Jobs keep their submit order.
+void schedule_fcfs(std::vector<JobSpec>& jobs, const PopulationConfig& config) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobSpec& a, const JobSpec& b) {
+              return a.submit_time < b.submit_time;
+            });
+  struct QueueState {
+    int capacity = 0;
+    int in_use = 0;
+    // Strict FCFS (no backfill): start times are non-decreasing in submit
+    // order, which keeps the release sweep monotone and the capacity
+    // accounting exact.
+    util::SimTime frontier = 0;
+    // (end_time, nodes) of running jobs.
+    std::priority_queue<std::pair<util::SimTime, int>,
+                        std::vector<std::pair<util::SimTime, int>>,
+                        std::greater<>>
+        running;
+  };
+  std::map<std::string, QueueState> queues;
+  queues["normal"].capacity = config.machine_nodes;
+  queues["largemem"].capacity = config.largemem_nodes;
+  queues["development"].capacity = config.development_nodes;
+
+  for (auto& job : jobs) {
+    auto& q = queues[job.queue.empty() ? "normal" : job.queue];
+    const util::SimTime runtime = job.end_time;  // provisional duration
+    const int need = std::min(job.nodes, q.capacity);
+    job.nodes = need;
+    util::SimTime start = std::max(job.submit_time, q.frontier);
+    // Release everything that ends before this job could start, then wait
+    // for capacity.
+    while (true) {
+      while (!q.running.empty() && q.running.top().first <= start) {
+        q.in_use -= q.running.top().second;
+        q.running.pop();
+      }
+      if (q.capacity - q.in_use >= need) break;
+      // Wait until the next job finishes.
+      start = std::max(start, q.running.top().first);
+    }
+    job.start_time = start;
+    job.end_time = start + runtime;
+    q.frontier = start;
+    q.in_use += need;
+    q.running.emplace(job.end_time, need);
+  }
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_population(const PopulationConfig& config) {
+  util::Rng rng("population", config.seed);
+  const auto users = make_users(config, rng);
+  std::vector<double> activity;
+  activity.reserve(users.size());
+  for (const auto& u : users) activity.push_back(u.activity);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.num_jobs) +
+               static_cast<std::size_t>(config.storm_jobs));
+  long next_jobid = 3000000;
+
+  for (int j = 0; j < config.num_jobs; ++j) {
+    const auto& user = users[rng.weighted_index(activity)];
+    const std::size_t app_idx =
+        user.apps[rng.weighted_index(user.app_weights)];
+    const auto& profile = app_catalog()[app_idx].profile;
+    jobs.push_back(draw_job(next_jobid++, user, profile, config, rng));
+  }
+
+  // The section V-B cohort: one user re-running the same metadata-storm
+  // WRF case throughout the period.
+  User storm_user;
+  storm_user.name = config.storm_user;
+  storm_user.uid = config.storm_uid;
+  storm_user.account = "TG-WRF42";
+  for (int j = 0; j < config.storm_jobs; ++j) {
+    auto job = draw_job(next_jobid++, storm_user, wrf_mdstorm_profile(),
+                        config, rng);
+    job.nodes = 16;  // the Fig. 5 job runs on 16 nodes
+    job.status = "COMPLETED";
+    job.fail_at_frac = -1.0;
+    jobs.push_back(std::move(job));
+  }
+
+  schedule_fcfs(jobs, config);
+  return jobs;
+}
+
+bool is_production(const JobSpec& job) noexcept {
+  return job.status == "COMPLETED" &&
+         (job.queue == "normal" || job.queue == "largemem") &&
+         job.runtime() > util::kHour;
+}
+
+}  // namespace tacc::workload

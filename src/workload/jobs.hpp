@@ -1,0 +1,73 @@
+// Job specifications and scheduler accounting.
+//
+// A JobSpec is everything the simulator knows about a job: the metadata the
+// batch scheduler would record (user, executable, queue, node count,
+// submit/start/end times, completion status) plus the per-job stochastic
+// multipliers the population generator drew. The analysis pipeline consumes
+// the metadata portion exactly the way the real tool consumes Slurm
+// accounting records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace tacc::workload {
+
+struct JobSpec {
+  long jobid = 0;
+  std::string user;
+  int uid = 0;
+  std::string account;  // project/allocation the job charges
+  std::string jobname;
+  std::string profile;  // app profile key (simulation-side knowledge)
+  std::string exe;      // executable name (accounting-side knowledge)
+  std::string queue = "normal";
+  int nodes = 1;
+  int wayness = 16;  // tasks per node
+
+  util::SimTime submit_time = 0;
+  util::SimTime start_time = 0;
+  util::SimTime end_time = 0;
+  util::SimTime requested_walltime = 48 * util::kHour;
+  std::string status = "COMPLETED";  // COMPLETED | FAILED | TIMEOUT
+
+  // Per-job stochastic multipliers (drawn once by the generator).
+  double io_mult = 1.0;
+  double compute_mult = 1.0;
+  double mem_mult = 1.0;
+  double cpu_jitter = 0.0;  // additive jitter on the user-space fraction
+  double vec_frac_eff = -1.0;  // resolved vectorization; <0 = use profile
+  double fail_at_frac = -1.0;  // if in (0,1): demand ceases at this point
+
+  util::SimTime runtime() const noexcept { return end_time - start_time; }
+  util::SimTime queue_wait() const noexcept {
+    return start_time - submit_time;
+  }
+};
+
+/// The accounting-only view handed to the analysis pipeline (what Slurm
+/// would know; no simulation-side fields are used downstream).
+struct AccountingRecord {
+  long jobid = 0;
+  std::string user;
+  int uid = 0;
+  std::string account;
+  std::string jobname;
+  std::string exe;
+  std::string queue;
+  int nodes = 1;
+  int wayness = 16;
+  util::SimTime submit_time = 0;
+  util::SimTime start_time = 0;
+  util::SimTime end_time = 0;
+  std::string status;
+  std::vector<std::string> hostnames;  // nodes the job ran on
+};
+
+/// Projects the accounting view out of a JobSpec.
+AccountingRecord to_accounting(const JobSpec& spec,
+                               std::vector<std::string> hostnames);
+
+}  // namespace tacc::workload

@@ -1,0 +1,136 @@
+#include "xalt/xalt.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "workload/apps.hpp"
+
+namespace tacc::xalt {
+namespace {
+
+struct Toolchain {
+  const char* compiler;
+  const char* mpi;  // nullptr = serial
+  std::vector<const char*> extra_modules;
+  std::vector<const char*> libraries;
+};
+
+/// Per-profile environments, modeled on the software stacks such codes use.
+Toolchain toolchain_for(const std::string& profile, util::Rng& rng) {
+  if (profile == "wrf" || profile == "wrf_mdstorm") {
+    return {"intel/15.0.2", "mvapich2/2.1",
+            {"netcdf/4.3.3.1", "pnetcdf/1.6.0", "hdf5/1.8.14"},
+            {"libnetcdff.so.6", "libmpich.so.12", "libhdf5.so.9",
+             "libifcore.so.5"}};
+  }
+  if (profile == "md_engine") {
+    return {"intel/15.0.2", "mvapich2/2.1", {"fftw3/3.3.4"},
+            {"libfftw3f.so.3", "libmpich.so.12", "libtcl8.5.so"}};
+  }
+  if (profile == "cfd_scalar") {
+    // The unvectorized cohort: built with the older GCC default flags.
+    return {"gcc/4.4.7", "mvapich2/2.1", {"openfoam/2.4.0"},
+            {"libOpenFOAM.so", "libmpich.so.12", "libstdc++.so.6"}};
+  }
+  if (profile == "qchem") {
+    return {"intel/15.0.2", nullptr, {"mkl/11.2"},
+            {"libmkl_core.so", "libmkl_intel_thread.so", "libiomp5.so"}};
+  }
+  if (profile == "genomics_io") {
+    return {"gcc/4.9.1", nullptr, {"boost/1.55.0", "blast/2.2.31"},
+            {"libstdc++.so.6", "libz.so.1", "libbz2.so.1"}};
+  }
+  if (profile == "python_analytics") {
+    return {"gcc/4.9.1", nullptr, {"python/2.7.9", "numpy/1.9.2"},
+            {"libpython2.7.so.1.0", "libopenblas.so.0"}};
+  }
+  if (profile == "mpi_gige") {
+    // The flagged cohort: a home-built OpenMPI over TCP.
+    return {"gcc/4.9.1", "home-built openmpi/1.8.4 (tcp btl)", {},
+            {"libmpi.so.1", "libopen-pal.so.6", "libstdc++.so.6"}};
+  }
+  if (profile == "mic_offload") {
+    return {"intel/15.0.2", "impi/5.0.3", {"mic/1.0"},
+            {"liboffload.so.5", "libcoi_host.so.0", "libimf.so"}};
+  }
+  if (rng.bernoulli(0.5)) {
+    return {"intel/15.0.2", "mvapich2/2.1", {"mkl/11.2"},
+            {"libmkl_core.so", "libmpich.so.12", "libifcore.so.5"}};
+  }
+  return {"gcc/4.9.1", "mvapich2/2.1", {},
+          {"libmpich.so.12", "libstdc++.so.6", "libm.so.6"}};
+}
+
+}  // namespace
+
+XaltRecord synthesize_record(const workload::JobSpec& job) {
+  util::Rng rng("xalt", static_cast<std::uint64_t>(job.jobid));
+  const auto tc = toolchain_for(job.profile, rng);
+  XaltRecord rec;
+  rec.jobid = job.jobid;
+  rec.exe_path = "/work/" + std::to_string(job.uid) + "/" + job.user +
+                 "/bin/" + job.exe;
+  rec.work_dir =
+      "/scratch/" + std::to_string(job.uid) + "/" + job.user + "/run" +
+      std::to_string(rng.uniform_int(1, 400));
+  rec.compiler = tc.compiler;
+  rec.mpi = tc.mpi == nullptr ? "" : tc.mpi;
+  rec.modules.push_back(tc.compiler);
+  if (tc.mpi != nullptr) rec.modules.push_back(tc.mpi);
+  for (const char* m : tc.extra_modules) rec.modules.push_back(m);
+  for (const char* l : tc.libraries) rec.libraries.push_back(l);
+  return rec;
+}
+
+db::Table& create_xalt_table(db::Database& database) {
+  auto& table = database.create_table(
+      kXaltTable, {{"jobid", db::ValueType::Int},
+                   {"exe_path", db::ValueType::Text},
+                   {"work_dir", db::ValueType::Text},
+                   {"compiler", db::ValueType::Text},
+                   {"mpi", db::ValueType::Text},
+                   {"modules", db::ValueType::Text},
+                   {"libraries", db::ValueType::Text}});
+  table.create_index("jobid");
+  return table;
+}
+
+db::RowId ingest_record(db::Table& table, const XaltRecord& record) {
+  return table.insert({record.jobid, record.exe_path, record.work_dir,
+                       record.compiler, record.mpi,
+                       util::join(record.modules, ","),
+                       util::join(record.libraries, ",")});
+}
+
+std::optional<XaltRecord> lookup(const db::Table& table, long jobid) {
+  const auto rows =
+      table.select({{"jobid", db::Op::Eq, db::Value(jobid)}});
+  if (rows.empty()) return std::nullopt;
+  const auto id = rows.front();
+  XaltRecord rec;
+  rec.jobid = table.at(id, "jobid").as_int();
+  rec.exe_path = table.at(id, "exe_path").as_text();
+  rec.work_dir = table.at(id, "work_dir").as_text();
+  rec.compiler = table.at(id, "compiler").as_text();
+  rec.mpi = table.at(id, "mpi").as_text();
+  for (const auto m : util::split(table.at(id, "modules").as_text(), ',')) {
+    if (!m.empty()) rec.modules.emplace_back(m);
+  }
+  for (const auto l :
+       util::split(table.at(id, "libraries").as_text(), ',')) {
+    if (!l.empty()) rec.libraries.emplace_back(l);
+  }
+  return rec;
+}
+
+std::string render_environment(const XaltRecord& record) {
+  std::ostringstream os;
+  os << "  Executable: " << record.exe_path << '\n';
+  os << "  Workdir:    " << record.work_dir << '\n';
+  os << "  Modules:    " << util::join(record.modules, ", ") << '\n';
+  os << "  Libraries:  " << util::join(record.libraries, ", ") << '\n';
+  return os.str();
+}
+
+}  // namespace tacc::xalt

@@ -1,0 +1,56 @@
+// XALT-style user-environment tracking (paper section IV-B: the job detail
+// view shows "which modules were loaded and libraries were linked to at
+// runtime. Note the modules and libraries are only available if the XALT
+// plugin is enabled").
+//
+// The real XALT wraps the linker and job launcher to capture the executable
+// path, the loaded environment modules, and the shared libraries resolved
+// at run time, keyed by job. This module reproduces that data model: a
+// per-job environment record, a deterministic synthesizer that derives
+// plausible environments from the application profiles (our substitute for
+// wrapping a real linker), a relational side table, and the detail-view
+// join.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/table.hpp"
+#include "workload/jobs.hpp"
+
+namespace tacc::xalt {
+
+/// One job's captured environment.
+struct XaltRecord {
+  long jobid = 0;
+  std::string exe_path;            // absolute path of the launched binary
+  std::string work_dir;            // working directory at launch
+  std::string compiler;            // toolchain module, e.g. "intel/15.0.2"
+  std::string mpi;                 // MPI module, empty for serial codes
+  std::vector<std::string> modules;    // all loaded modules
+  std::vector<std::string> libraries;  // resolved shared objects
+};
+
+/// Derives the environment record for a job from its application profile.
+/// Deterministic in (jobid, profile): re-synthesis yields the same record.
+XaltRecord synthesize_record(const workload::JobSpec& job);
+
+/// Name of the xalt side table.
+inline constexpr const char* kXaltTable = "xalt";
+
+/// Creates the xalt table (indexed by jobid): jobid, exe_path, work_dir,
+/// compiler, mpi, modules (comma-joined), libraries (comma-joined).
+db::Table& create_xalt_table(db::Database& database);
+
+/// Inserts one record.
+db::RowId ingest_record(db::Table& table, const XaltRecord& record);
+
+/// Looks a job's record up from the table; nullopt if absent (plugin
+/// disabled or job predates it).
+std::optional<XaltRecord> lookup(const db::Table& table, long jobid);
+
+/// Renders the detail-view section ("Modules: ...\nLibraries: ...").
+std::string render_environment(const XaltRecord& record);
+
+}  // namespace tacc::xalt

@@ -1,0 +1,87 @@
+// Scheduler accounting dump: serialization round trips, error handling,
+// interop with the pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "workload/acctfile.hpp"
+
+namespace tacc::workload {
+namespace {
+
+AccountingRecord sample(long id = 12345) {
+  AccountingRecord r;
+  r.jobid = id;
+  r.user = "alice";
+  r.uid = 10001;
+  r.account = "TG-007";
+  r.jobname = "conus12km";
+  r.exe = "wrf.exe";
+  r.queue = "normal";
+  r.nodes = 2;
+  r.wayness = 16;
+  r.submit_time = util::make_time(2016, 1, 4, 7, 40);
+  r.start_time = util::make_time(2016, 1, 4, 8, 0);
+  r.end_time = util::make_time(2016, 1, 4, 10, 0);
+  r.status = "COMPLETED";
+  r.hostnames = {"c400-001", "c400-002"};
+  return r;
+}
+
+TEST(AcctFile, SerializeLayout) {
+  const auto text = serialize_accounting({sample()});
+  EXPECT_NE(text.find("JobID|User|UID|Account|"), std::string::npos);
+  EXPECT_NE(text.find("12345|alice|10001|TG-007|conus12km|wrf.exe|normal|2|"
+                      "16|"),
+            std::string::npos);
+  EXPECT_NE(text.find("|COMPLETED|c400-001,c400-002"), std::string::npos);
+}
+
+TEST(AcctFile, RoundTrip) {
+  const auto a = sample(1);
+  auto b = sample(2);
+  b.hostnames.clear();  // a job with no recorded node list
+  b.status = "FAILED";
+  const auto parsed = parse_accounting(serialize_accounting({a, b}));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].jobid, 1);
+  EXPECT_EQ(parsed[0].user, "alice");
+  EXPECT_EQ(parsed[0].account, "TG-007");
+  EXPECT_EQ(parsed[0].submit_time, a.submit_time);
+  EXPECT_EQ(parsed[0].hostnames, a.hostnames);
+  EXPECT_EQ(parsed[1].status, "FAILED");
+  EXPECT_TRUE(parsed[1].hostnames.empty());
+}
+
+TEST(AcctFile, RejectsMalformedInput) {
+  EXPECT_THROW(parse_accounting(""), std::invalid_argument);
+  EXPECT_THROW(parse_accounting("not a header\n1|2|3\n"),
+               std::invalid_argument);
+  const auto good = serialize_accounting({sample()});
+  EXPECT_THROW(parse_accounting(good + "1|2|3\n"), std::invalid_argument);
+  EXPECT_THROW(
+      parse_accounting(good +
+                       "x|u|1|a|j|e|q|1|16|0|0|0|OK|\n"),  // bad jobid
+      std::invalid_argument);
+}
+
+TEST(AcctFile, EmptyDumpHasHeaderOnly) {
+  const auto text = serialize_accounting({});
+  const auto parsed = parse_accounting(text);
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(AcctFile, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ts_acct_test.txt";
+  std::filesystem::remove(path);
+  write_accounting_file(path, {sample(7), sample(8)});
+  const auto parsed = read_accounting_file(path);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].jobid, 8);
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_accounting_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tacc::workload

@@ -1,0 +1,124 @@
+// Architecture catalog: CPUID resolution, per-arch event encodings,
+// topology math.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simhw/arch.hpp"
+#include "simhw/topology.hpp"
+
+namespace tacc::simhw {
+namespace {
+
+class ArchSweep : public ::testing::TestWithParam<Microarch> {};
+
+TEST_P(ArchSweep, SpecIsSelfConsistent) {
+  const auto& spec = arch_spec(GetParam());
+  EXPECT_EQ(spec.uarch, GetParam());
+  EXPECT_FALSE(spec.codename.empty());
+  EXPECT_FALSE(spec.model_name.empty());
+  EXPECT_EQ(spec.cpuid_family, 6);
+  EXPECT_GT(spec.cpuid_model, 0);
+  EXPECT_GT(spec.nominal_ghz, 1.0);
+  EXPECT_TRUE(spec.vector_width_doubles == 2 || spec.vector_width_doubles == 4);
+  EXPECT_EQ(spec.pmc_events.size(), 8u);  // fills the HT-off budget
+}
+
+TEST_P(ArchSweep, CpuidRoundTrip) {
+  const auto& spec = arch_spec(GetParam());
+  const ArchSpec* found = arch_from_cpuid(spec.cpuid_family, spec.cpuid_model);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->uarch, GetParam());
+}
+
+TEST_P(ArchSweep, EncodingsAreDistinctWithinArch) {
+  const auto& spec = arch_spec(GetParam());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& e : spec.pmc_events) {
+    EXPECT_TRUE(seen.emplace(e.event_select, e.umask).second)
+        << "duplicate encoding in " << spec.codename;
+  }
+}
+
+TEST_P(ArchSweep, FirstFourEventsCoverTheHtBudget) {
+  // With hyperthreading only 4 counters exist; the first four events must
+  // include the FP and load counters the core metrics need.
+  const auto& spec = arch_spec(GetParam());
+  std::set<CoreEvent> first4;
+  for (int i = 0; i < 4; ++i) first4.insert(spec.pmc_events[i].event);
+  EXPECT_TRUE(first4.count(CoreEvent::FpScalar));
+  EXPECT_TRUE(first4.count(CoreEvent::FpVector));
+  EXPECT_TRUE(first4.count(CoreEvent::LoadsAll));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, ArchSweep, ::testing::ValuesIn(all_microarchs()),
+    [](const ::testing::TestParamInfo<Microarch>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST(Arch, UnknownCpuidIsNull) {
+  EXPECT_EQ(arch_from_cpuid(6, 999), nullptr);
+  EXPECT_EQ(arch_from_cpuid(15, 26), nullptr);
+}
+
+TEST(Arch, VectorWidthsMatchIsaGenerations) {
+  EXPECT_EQ(arch_spec(Microarch::Nehalem).vector_width_doubles, 2);   // SSE
+  EXPECT_EQ(arch_spec(Microarch::Westmere).vector_width_doubles, 2);  // SSE
+  EXPECT_EQ(arch_spec(Microarch::SandyBridge).vector_width_doubles, 4);
+  EXPECT_EQ(arch_spec(Microarch::Haswell).vector_width_doubles, 4);
+}
+
+TEST(Arch, UncoreAccessMethodPerGeneration) {
+  EXPECT_FALSE(arch_spec(Microarch::Nehalem).uncore_in_pci);
+  EXPECT_FALSE(arch_spec(Microarch::Westmere).uncore_in_pci);
+  EXPECT_TRUE(arch_spec(Microarch::SandyBridge).uncore_in_pci);
+  EXPECT_TRUE(arch_spec(Microarch::IvyBridge).uncore_in_pci);
+  EXPECT_TRUE(arch_spec(Microarch::Haswell).uncore_in_pci);
+}
+
+TEST(Arch, EncodingsDifferAcrossGenerations) {
+  // NHM and SNB use different load-event encodings; programming the NHM
+  // table on SNB must not match.
+  const auto& nhm = arch_spec(Microarch::Nehalem);
+  const auto& snb = arch_spec(Microarch::SandyBridge);
+  auto find = [](const ArchSpec& s, CoreEvent e) {
+    for (const auto& enc : s.pmc_events) {
+      if (enc.event == e) return std::make_pair(enc.event_select, enc.umask);
+    }
+    return std::make_pair<std::uint8_t, std::uint8_t>(0, 0);
+  };
+  EXPECT_NE(find(nhm, CoreEvent::LoadsAll), find(snb, CoreEvent::LoadsAll));
+  EXPECT_NE(find(nhm, CoreEvent::FpScalar), find(snb, CoreEvent::FpScalar));
+}
+
+TEST(Topology, LogicalCpuCounts) {
+  Topology t{2, 8, false};
+  EXPECT_EQ(t.physical_cores(), 16);
+  EXPECT_EQ(t.logical_cpus(), 16);
+  t.hyperthreading = true;
+  EXPECT_EQ(t.logical_cpus(), 32);
+}
+
+TEST(Topology, SocketOfCpuLayout) {
+  const Topology t{2, 8, true};
+  EXPECT_EQ(t.socket_of_cpu(0), 0);
+  EXPECT_EQ(t.socket_of_cpu(7), 0);
+  EXPECT_EQ(t.socket_of_cpu(8), 1);
+  EXPECT_EQ(t.socket_of_cpu(15), 1);
+  // Hyperthread siblings map back to the same socket.
+  EXPECT_EQ(t.socket_of_cpu(16), 0);
+  EXPECT_EQ(t.socket_of_cpu(24), 1);
+  EXPECT_EQ(t.core_of_cpu(16), 0);
+  EXPECT_EQ(t.core_of_cpu(31), 15);
+}
+
+TEST(Topology, PmcBudget) {
+  Topology t{2, 8, false};
+  EXPECT_EQ(t.pmcs_per_core(), 8);
+  t.hyperthreading = true;
+  EXPECT_EQ(t.pmcs_per_core(), 4);
+}
+
+}  // namespace
+}  // namespace tacc::simhw

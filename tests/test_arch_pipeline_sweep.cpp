@@ -1,0 +1,133 @@
+// Parameterized full-pipeline sweep over every supported architecture and
+// both hardware-threading configurations: detection, PMC programming,
+// uncore access method, vector-width scaling, and metric availability must
+// all adapt automatically (paper section III-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/metrics.hpp"
+#include "pipeline/minisim.hpp"
+
+namespace tacc::pipeline {
+namespace {
+
+struct SweepParam {
+  simhw::Microarch uarch;
+  bool hyperthreading;
+};
+
+class ArchPipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+workload::JobSpec sweep_job() {
+  workload::JobSpec job;
+  job.jobid = 4242;
+  job.user = "sweep";
+  job.profile = "fem_avx";
+  job.exe = "ls-dyna";
+  job.nodes = 2;
+  job.wayness = 8;
+  job.start_time = util::make_time(2016, 1, 5);
+  job.end_time = job.start_time + util::kHour;
+  job.vec_frac_eff = 0.5;
+  return job;
+}
+
+TEST_P(ArchPipelineSweep, MetricsAdaptToArchitecture) {
+  MiniSimOptions opts;
+  opts.uarch = GetParam().uarch;
+  opts.hyperthreading = GetParam().hyperthreading;
+  opts.cores_per_socket = 4;
+  opts.samples = 4;
+  const auto data = simulate_job(sweep_job(), opts);
+  const auto m = compute_metrics(data);
+  const auto& spec = simhw::arch_spec(GetParam().uarch);
+
+  // Core metrics present on every supported CPUID.
+  ASSERT_FALSE(std::isnan(m.cpi));
+  ASSERT_FALSE(std::isnan(m.flops));
+  ASSERT_FALSE(std::isnan(m.VecPercent));
+  EXPECT_NEAR(m.VecPercent, 0.5, 0.02);
+  EXPECT_GT(m.flops, 0.1);
+  EXPECT_NEAR(m.cpi, 1.0 / 1.5, 0.12);  // fem_avx ipc = 1.5
+
+  // Vector width: a job with vec_frac 0.5 sustains
+  // fp * (0.5 + 0.5*width) flops; SSE parts (width 2) therefore report
+  // ~1.5/2.5 of the AVX parts' flops at the same instruction rate.
+  const double width = spec.vector_width_doubles;
+  const double flops_per_fp = 0.5 + 0.5 * width;
+  // Normalize: node flops / (node instruction rate * fp_frac) must equal
+  // the per-FP flop factor of the architecture's vector width. Load_All is
+  // per logical cpu; scale back to the node.
+  ASSERT_FALSE(std::isnan(m.Load_All));
+  const int logical_cpus =
+      2 * opts.cores_per_socket * (GetParam().hyperthreading ? 2 : 1);
+  const double node_inst_rate =
+      m.Load_All * logical_cpus / 0.30;  // fem load_frac = 0.30
+  EXPECT_NEAR(m.flops * 1e9 / (node_inst_rate * 0.28), flops_per_fp,
+              flops_per_fp * 0.05);
+
+  // Uncore bandwidth only where the uncore is PCI-based.
+  if (spec.uncore_in_pci) {
+    EXPECT_FALSE(std::isnan(m.mbw));
+    EXPECT_GT(m.mbw, 0.1);
+  } else {
+    EXPECT_TRUE(std::isnan(m.mbw));
+  }
+
+  // Cache-hit breakdown only with the full 8-PMC budget (no HT).
+  if (GetParam().hyperthreading) {
+    EXPECT_TRUE(std::isnan(m.Load_L2Hits));
+    EXPECT_TRUE(std::isnan(m.Load_LLCHits));
+  } else {
+    EXPECT_FALSE(std::isnan(m.Load_L2Hits));
+    EXPECT_FALSE(std::isnan(m.Load_LLCHits));
+  }
+
+  // RAPL and OS metrics are architecture-independent.
+  EXPECT_FALSE(std::isnan(m.PkgWatts));
+  EXPECT_FALSE(std::isnan(m.CPU_Usage));
+  EXPECT_GT(m.CPU_Usage, 0.3);
+}
+
+TEST_P(ArchPipelineSweep, RawFilesCarryTheArchSchema) {
+  MiniSimOptions opts;
+  opts.uarch = GetParam().uarch;
+  opts.hyperthreading = GetParam().hyperthreading;
+  opts.cores_per_socket = 2;
+  opts.samples = 2;
+  const auto data = simulate_job(sweep_job(), opts);
+  const auto& spec = simhw::arch_spec(GetParam().uarch);
+  for (const auto& host : data.hosts) {
+    EXPECT_EQ(host.arch, spec.codename);
+    bool found = false;
+    for (const auto& schema : host.schemas) {
+      if (schema.type() == spec.codename) {
+        found = true;
+        // 2 fixed + 4 or 8 programmable counters.
+        EXPECT_EQ(schema.size(),
+                  GetParam().hyperthreading ? 6u : 10u);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (const auto uarch : simhw::all_microarchs()) {
+    out.push_back({uarch, false});
+    out.push_back({uarch, true});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, ArchPipelineSweep, ::testing::ValuesIn(sweep_params()),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(simhw::to_string(info.param.uarch)) +
+             (info.param.hyperthreading ? "_ht" : "_noht");
+    });
+
+}  // namespace
+}  // namespace tacc::pipeline

@@ -1,0 +1,135 @@
+// Automated real-time response (section VI-B): strike policy, suspension
+// through the live scheduler, administrator notification, end-to-end storm
+// containment.
+#include <gtest/gtest.h>
+
+#include "core/autoresponder.hpp"
+
+namespace tacc::core {
+namespace {
+
+constexpr util::SimTime kStart = 1451865600LL * util::kSecond;
+
+struct World {
+  simhw::Cluster cluster;
+  ClusterMonitor monitor;
+  LiveScheduler scheduler;
+
+  explicit World(int nodes)
+      : cluster([&] {
+          simhw::ClusterConfig cc;
+          cc.num_nodes = nodes;
+          cc.topology = simhw::Topology{2, 4, false};
+          cc.phi_fraction = 0.0;
+          return cc;
+        }()),
+        monitor(cluster,
+                [] {
+                  MonitorConfig mc;
+                  mc.start = kStart;
+                  return mc;
+                }()),
+        scheduler(monitor, static_cast<std::size_t>(nodes)) {}
+};
+
+workload::JobSpec storm_job(long id, int nodes, util::SimTime duration) {
+  workload::JobSpec j;
+  j.jobid = id;
+  j.user = "wrfuser42";
+  j.profile = "wrf_mdstorm";
+  j.exe = "wrf.exe";
+  j.nodes = nodes;
+  j.wayness = 8;
+  j.submit_time = kStart;
+  j.start_time = kStart;
+  j.end_time = kStart + duration;
+  return j;
+}
+
+TEST(AutoResponder, SuspendsStormAfterStrikes) {
+  World w(2);
+  AutoResponder responder(*w.monitor.online(), w.scheduler,
+                          ResponderConfig{/*strikes=*/3});
+  w.scheduler.submit(storm_job(800, 2, 6 * util::kHour));
+  // Advance in sampling steps, polling like a supervising daemon would.
+  bool acted = false;
+  for (int step = 0; step < 36 && !acted; ++step) {
+    w.scheduler.run_until(kStart + (step + 1) * 10 * util::kMinute);
+    w.monitor.drain();
+    acted = !responder.poll().empty();
+  }
+  ASSERT_TRUE(acted);
+  ASSERT_EQ(responder.actions().size(), 1u);
+  const auto& action = responder.actions()[0];
+  EXPECT_EQ(action.jobid, 800);
+  EXPECT_EQ(action.rule, "metadata_storm");
+  EXPECT_GE(action.strikes, 3);
+  EXPECT_TRUE(action.suspended);
+  // The job was cut short, its status records the intervention, and its
+  // nodes are free again.
+  ASSERT_EQ(w.scheduler.completed().size(), 1u);
+  EXPECT_EQ(w.scheduler.completed()[0].status, "SUSPENDED");
+  EXPECT_LT(w.scheduler.completed()[0].end_time, kStart + 6 * util::kHour);
+  EXPECT_EQ(w.scheduler.free_nodes(), 2u);
+}
+
+TEST(AutoResponder, StrikePolicyToleratesOneAlert) {
+  World w(1);
+  ResponderConfig config;
+  config.strikes = 1000;  // effectively never act
+  AutoResponder responder(*w.monitor.online(), w.scheduler, config);
+  w.scheduler.submit(storm_job(801, 1, util::kHour));
+  w.scheduler.run_until(kStart + util::kHour);
+  w.monitor.drain();
+  EXPECT_TRUE(responder.poll().empty());
+  // Job ran to normal completion.
+  w.scheduler.drain_jobs();
+  ASSERT_EQ(w.scheduler.completed().size(), 1u);
+  EXPECT_EQ(w.scheduler.completed()[0].status, "COMPLETED");
+}
+
+TEST(AutoResponder, HealthyJobNeverTouched) {
+  World w(1);
+  AutoResponder responder(*w.monitor.online(), w.scheduler,
+                          ResponderConfig{1});
+  auto j = storm_job(802, 1, 2 * util::kHour);
+  j.profile = "md_engine";
+  j.exe = "namd2";
+  w.scheduler.submit(j);
+  w.scheduler.drain_jobs();
+  w.monitor.drain();
+  EXPECT_TRUE(responder.poll().empty());
+  EXPECT_EQ(w.scheduler.completed()[0].status, "COMPLETED");
+}
+
+TEST(AutoResponder, NotifierReceivesAction) {
+  World w(1);
+  std::vector<ResponderAction> notified;
+  AutoResponder responder(
+      *w.monitor.online(), w.scheduler, ResponderConfig{1},
+      [&](const ResponderAction& a) { notified.push_back(a); });
+  w.scheduler.submit(storm_job(803, 1, 4 * util::kHour));
+  for (int step = 0; step < 12 && notified.empty(); ++step) {
+    w.scheduler.run_until(kStart + (step + 1) * 10 * util::kMinute);
+    w.monitor.drain();
+    responder.poll();
+  }
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0].jobid, 803);
+}
+
+TEST(AutoResponder, EachJobSuspendedOnce) {
+  World w(1);
+  AutoResponder responder(*w.monitor.online(), w.scheduler,
+                          ResponderConfig{1});
+  w.scheduler.submit(storm_job(804, 1, 4 * util::kHour));
+  for (int step = 0; step < 12; ++step) {
+    w.scheduler.run_until(kStart + (step + 1) * 10 * util::kMinute);
+    w.monitor.drain();
+    responder.poll();
+  }
+  EXPECT_EQ(responder.actions().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tacc::core

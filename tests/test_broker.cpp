@@ -1,0 +1,144 @@
+// Message broker: routing, acknowledgement, redelivery, concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/broker.hpp"
+
+namespace tacc::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Broker, DirectRouting) {
+  Broker broker;
+  broker.bind("q1", "stats.c400-001");
+  EXPECT_EQ(broker.publish("stats.c400-001", "hello"), 1u);
+  EXPECT_EQ(broker.publish("stats.c400-002", "nope"), 0u);
+  const auto msg = broker.consume("q1", 100ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body, "hello");
+  EXPECT_EQ(msg->routing_key, "stats.c400-001");
+  EXPECT_EQ(broker.stats().unroutable, 1u);
+}
+
+TEST(Broker, HashPatternMatchesEverything) {
+  Broker broker;
+  broker.bind("all", "#");
+  EXPECT_EQ(broker.publish("anything.at.all", "x"), 1u);
+  EXPECT_EQ(broker.depth("all"), 1u);
+}
+
+TEST(Broker, StarSuffixMatchesOneSegment) {
+  Broker broker;
+  broker.bind("q", "stats.*");
+  EXPECT_EQ(broker.publish("stats.c400-001", "a"), 1u);
+  EXPECT_EQ(broker.publish("stats.c400-001.extra", "b"), 0u);
+  EXPECT_EQ(broker.publish("other.c400-001", "c"), 0u);
+}
+
+TEST(Broker, FanOutCopiesToAllQueues) {
+  Broker broker;
+  broker.bind("q1", "#");
+  broker.bind("q2", "stats.*");
+  EXPECT_EQ(broker.publish("stats.n1", "x"), 2u);
+  EXPECT_EQ(broker.depth("q1"), 1u);
+  EXPECT_EQ(broker.depth("q2"), 1u);
+}
+
+TEST(Broker, ConsumeTimesOutOnEmpty) {
+  Broker broker;
+  broker.declare_queue("q");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(broker.consume("q", 30ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+}
+
+TEST(Broker, AckRemovesUnacked) {
+  Broker broker;
+  broker.bind("q", "#");
+  broker.publish("k", "m");
+  const auto msg = broker.consume("q", 100ms);
+  ASSERT_TRUE(msg);
+  broker.ack("q", msg->delivery_tag);
+  EXPECT_EQ(broker.stats().acked, 1u);
+  // Requeue after ack is a no-op.
+  broker.requeue("q", msg->delivery_tag);
+  EXPECT_EQ(broker.depth("q"), 0u);
+}
+
+TEST(Broker, RequeueRedelivers) {
+  Broker broker;
+  broker.bind("q", "#");
+  broker.publish("k", "m1");
+  const auto msg = broker.consume("q", 100ms);
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(broker.depth("q"), 0u);
+  broker.requeue("q", msg->delivery_tag);
+  EXPECT_EQ(broker.depth("q"), 1u);
+  const auto again = broker.consume("q", 100ms);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->body, "m1");
+  EXPECT_EQ(broker.stats().redelivered, 1u);
+}
+
+TEST(Broker, FifoOrder) {
+  Broker broker;
+  broker.bind("q", "#");
+  for (int i = 0; i < 10; ++i) broker.publish("k", std::to_string(i));
+  for (int i = 0; i < 10; ++i) {
+    const auto msg = broker.consume("q", 100ms);
+    ASSERT_TRUE(msg);
+    EXPECT_EQ(msg->body, std::to_string(i));
+    broker.ack("q", msg->delivery_tag);
+  }
+}
+
+TEST(Broker, ShutdownWakesConsumers) {
+  Broker broker;
+  broker.declare_queue("q");
+  std::thread waiter([&] {
+    EXPECT_FALSE(broker.consume("q", 10s).has_value());
+  });
+  std::this_thread::sleep_for(20ms);
+  broker.shutdown();
+  waiter.join();
+  EXPECT_TRUE(broker.is_shut_down());
+}
+
+TEST(Broker, ConcurrentProducersNoLoss) {
+  Broker broker;
+  broker.bind("q", "#");
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&broker, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        broker.publish("k", std::to_string(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  std::size_t received = 0;
+  std::thread consumer([&] {
+    while (received < kProducers * kPerProducer) {
+      const auto msg = broker.consume("q", 1s);
+      if (!msg) break;
+      seen[std::stoul(msg->body)] = true;
+      broker.ack("q", msg->delivery_tag);
+      ++received;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(received, static_cast<std::size_t>(kProducers * kPerProducer));
+  for (const bool s : seen) EXPECT_TRUE(s);
+  const auto stats = broker.stats();
+  EXPECT_EQ(stats.published, static_cast<std::uint64_t>(kProducers *
+                                                        kPerProducer));
+  EXPECT_EQ(stats.delivered, stats.acked);
+}
+
+}  // namespace
+}  // namespace tacc::transport

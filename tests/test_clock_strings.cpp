@@ -1,0 +1,130 @@
+// Sim-time calendar math and string parsing helpers.
+#include <gtest/gtest.h>
+
+#include "util/clock.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::util {
+namespace {
+
+TEST(Clock, EpochIsZero) {
+  EXPECT_EQ(make_time(1970, 1, 1), 0);
+}
+
+TEST(Clock, KnownTimestamps) {
+  // 2015-10-01 00:00:00 UTC = 1443657600 (paper's Q4 2015 start).
+  EXPECT_EQ(make_time(2015, 10, 1) / kSecond, 1443657600);
+  // 2016-01-01 00:00:00 UTC = 1451606400.
+  EXPECT_EQ(make_time(2016, 1, 1) / kSecond, 1451606400);
+}
+
+TEST(Clock, LeapYearHandling) {
+  // 2016 is a leap year: Feb 29 exists.
+  EXPECT_EQ(make_time(2016, 3, 1) - make_time(2016, 2, 28), 2 * kDay);
+  // 2015 is not.
+  EXPECT_EQ(make_time(2015, 3, 1) - make_time(2015, 2, 28), kDay);
+  // 2000 was a leap year (divisible by 400), 1900-style century rule.
+  EXPECT_EQ(make_time(2000, 3, 1) - make_time(2000, 2, 28), 2 * kDay);
+}
+
+TEST(Clock, FormatRoundTrip) {
+  const SimTime t = make_time(2016, 1, 14, 13, 45, 7);
+  EXPECT_EQ(format_time(t), "2016-01-14 13:45:07");
+}
+
+TEST(Clock, FormatEpoch) {
+  EXPECT_EQ(format_time(0), "1970-01-01 00:00:00");
+}
+
+TEST(Clock, SecondsConversions) {
+  EXPECT_EQ(from_seconds(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(to_seconds(2500000), 2.5);
+}
+
+TEST(Clock, FormatDuration) {
+  EXPECT_EQ(format_duration(850 * kMillisecond), "850ms");
+  EXPECT_EQ(format_duration(12 * kSecond), "12.0s");
+  EXPECT_EQ(format_duration(3 * kMinute + 5 * kSecond), "3m 05s");
+  EXPECT_EQ(format_duration(2 * kHour + 13 * kMinute + 5 * kSecond),
+            "2h 13m 05s");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsMergesRuns) {
+  const auto parts = split_ws("  cpu0   100\t200  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "cpu0");
+  EXPECT_EQ(parts[1], "100");
+  EXPECT_EQ(parts[2], "200");
+}
+
+TEST(Strings, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t ").empty());
+}
+
+TEST(Strings, SplitLinesDropsTrailingEmpty) {
+  const auto lines = split_lines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(split_lines("a\n\nb").size(), 3u);  // interior empties kept
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~0ULL);
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("1.5"));
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_FALSE(parse_i64("4 2"));
+}
+
+TEST(Strings, ParseF64) {
+  EXPECT_DOUBLE_EQ(*parse_f64("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_f64("-3e2"), -300.0);
+  EXPECT_FALSE(parse_f64("abc"));
+  EXPECT_FALSE(parse_f64(""));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("cpu0", "cpu"));
+  EXPECT_FALSE(starts_with("cp", "cpu"));
+  EXPECT_TRUE(ends_with("a/status", "/status"));
+  EXPECT_FALSE(ends_with("status", "/status"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KB");
+  EXPECT_EQ(format_bytes(1.25 * 1024 * 1024 * 1024), "1.25 GB");
+}
+
+}  // namespace
+}  // namespace tacc::util

@@ -1,0 +1,76 @@
+// Cluster construction: hostnames, lookup, failure injection, Phi fraction.
+#include <gtest/gtest.h>
+
+#include "simhw/cluster.hpp"
+
+namespace tacc::simhw {
+namespace {
+
+TEST(Cluster, HostnameConvention) {
+  EXPECT_EQ(Cluster::hostname_for(0, 40), "c400-001");
+  EXPECT_EQ(Cluster::hostname_for(39, 40), "c400-040");
+  EXPECT_EQ(Cluster::hostname_for(40, 40), "c401-001");
+  EXPECT_EQ(Cluster::hostname_for(85, 40), "c402-006");
+}
+
+TEST(Cluster, BuildsRequestedNodes) {
+  ClusterConfig cc;
+  cc.num_nodes = 5;
+  Cluster cluster(cc);
+  EXPECT_EQ(cluster.size(), 5u);
+  EXPECT_EQ(cluster.node(0).hostname(), "c400-001");
+  EXPECT_EQ(cluster.node(4).hostname(), "c400-005");
+}
+
+TEST(Cluster, FindByHostname) {
+  ClusterConfig cc;
+  cc.num_nodes = 3;
+  Cluster cluster(cc);
+  ASSERT_NE(cluster.find("c400-002"), nullptr);
+  EXPECT_EQ(cluster.find("c400-002")->hostname(), "c400-002");
+  EXPECT_EQ(cluster.find("c999-999"), nullptr);
+}
+
+TEST(Cluster, FailAndRecover) {
+  ClusterConfig cc;
+  cc.num_nodes = 2;
+  Cluster cluster(cc);
+  cluster.fail_node(1);
+  EXPECT_TRUE(cluster.node(1).failed());
+  EXPECT_FALSE(cluster.node(0).failed());
+  cluster.recover_node(1);
+  EXPECT_FALSE(cluster.node(1).failed());
+}
+
+TEST(Cluster, PhiFractionZeroAndOne) {
+  ClusterConfig cc;
+  cc.num_nodes = 20;
+  cc.phi_fraction = 0.0;
+  Cluster none(cc);
+  for (std::size_t i = 0; i < none.size(); ++i) {
+    EXPECT_FALSE(none.node(i).config().has_phi);
+  }
+  cc.phi_fraction = 1.0;
+  Cluster all(cc);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_TRUE(all.node(i).config().has_phi);
+  }
+}
+
+TEST(Cluster, ConfigPropagatesToNodes) {
+  ClusterConfig cc;
+  cc.num_nodes = 2;
+  cc.uarch = Microarch::SandyBridge;
+  cc.topology = Topology{2, 6, true};
+  cc.mem_total_kb = 64ULL * 1024 * 1024;
+  cc.has_lustre = false;
+  Cluster cluster(cc);
+  const auto& node = cluster.node(0);
+  EXPECT_EQ(node.arch().uarch, Microarch::SandyBridge);
+  EXPECT_EQ(node.topology().logical_cpus(), 24);
+  EXPECT_EQ(node.state().mem.total_kb, 64ULL * 1024 * 1024);
+  EXPECT_FALSE(node.config().has_lustre);
+}
+
+}  // namespace
+}  // namespace tacc::simhw

@@ -1,0 +1,184 @@
+// The extended device-collector set (block, numa, vm, vfs, sysv_shm,
+// tmpfs) and the engine demand that drives it.
+#include <gtest/gtest.h>
+
+#include "collect/collectors_extra.hpp"
+#include "collect/registry.hpp"
+#include "workload/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace tacc::collect {
+namespace {
+
+simhw::Node make_node() {
+  simhw::NodeConfig nc;
+  nc.topology = simhw::Topology{2, 2, false};
+  return simhw::Node(nc);
+}
+
+TEST(NumaCollector, OneBlockPerNumaNode) {
+  auto node = make_node();
+  node.state().numa[0].numa_hit = 1000;
+  node.state().numa[1].numa_miss = 50;
+  NumaCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].device, "0");
+  EXPECT_EQ(out[1].device, "1");
+  EXPECT_EQ(out[0].values[*c.schema().index_of("numa_hit")], 1000u);
+  EXPECT_EQ(out[1].values[*c.schema().index_of("numa_miss")], 50u);
+}
+
+TEST(VmCollector, ReadsVmstatFields) {
+  auto node = make_node();
+  node.state().vm.pgfault = 777;
+  node.state().vm.pgmajfault = 3;
+  node.state().vm.pgpgin = 123;
+  VmCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values[*c.schema().index_of("pgfault")], 777u);
+  EXPECT_EQ(out[0].values[*c.schema().index_of("pgmajfault")], 3u);
+  EXPECT_EQ(out[0].values[*c.schema().index_of("pgpgin")], 123u);
+}
+
+TEST(BlockCollector, SectorsScaleToBytes) {
+  auto node = make_node();
+  node.state().block.sectors_read = 100;  // 51200 bytes
+  node.state().block.reads_completed = 4;
+  node.state().block.io_ticks_ms = 250;
+  BlockCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].device, "sda");
+  const auto& sch = c.schema();
+  EXPECT_EQ(out[0].values[*sch.index_of("rd_bytes")], 100u);  // raw sectors
+  EXPECT_DOUBLE_EQ(sch.entry(*sch.index_of("rd_bytes")).scale, 512.0);
+  EXPECT_EQ(out[0].values[*sch.index_of("rd_ios")], 4u);
+  EXPECT_EQ(out[0].values[*sch.index_of("io_ticks")], 250u);
+}
+
+TEST(VfsCollector, GaugesFromProcSysFs) {
+  auto node = make_node();
+  node.state().vfs.dentry_count = 54321;
+  node.state().vfs.file_count = 222;
+  VfsCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values[*c.schema().index_of("dentry_use")], 54321u);
+  EXPECT_EQ(out[0].values[*c.schema().index_of("file_use")], 222u);
+  EXPECT_FALSE(c.schema().entry(0).cumulative);
+}
+
+TEST(SysvShmCollector, AggregatesSegments) {
+  auto node = make_node();
+  node.state().shm.sysv_segments = 2;
+  node.state().shm.sysv_bytes = 4096;
+  SysvShmCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values[0], 2u);
+  EXPECT_EQ(out[0].values[1], 4096u);
+}
+
+TEST(SysvShmCollector, ZeroSegmentsStillReports) {
+  auto node = make_node();
+  SysvShmCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values[0], 0u);
+}
+
+TEST(TmpfsCollector, ReadsBytes) {
+  auto node = make_node();
+  node.state().shm.tmpfs_bytes = 987654;
+  TmpfsCollector c;
+  std::vector<RawBlock> out;
+  c.collect(node, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values[0], 987654u);
+}
+
+TEST(Registry, ExtendedSetIncluded) {
+  auto node = make_node();
+  const auto collectors = make_collectors(node);
+  std::vector<std::string> types;
+  for (const auto& c : collectors) types.push_back(c->schema().type());
+  for (const char* t :
+       {"numa", "vm", "block", "vfs", "sysv_shm", "tmpfs"}) {
+    EXPECT_NE(std::find(types.begin(), types.end(), t), types.end()) << t;
+  }
+}
+
+TEST(EngineExtra, LocalDiskAppDrivesBlockAndVm) {
+  simhw::ClusterConfig cc;
+  cc.num_nodes = 1;
+  cc.topology = simhw::Topology{2, 4, false};
+  simhw::Cluster cluster(cc);
+  workload::Engine engine(cluster, 0);
+  workload::JobSpec job;
+  job.jobid = 1;
+  job.profile = "genomics_io";  // stages its database to local disk
+  job.exe = "blastn";
+  job.nodes = 1;
+  job.wayness = 8;
+  job.start_time = 0;
+  job.end_time = util::kHour;
+  engine.start_job(job, {0});
+  engine.advance(10 * util::kMinute);
+  const auto& st = cluster.node(0).state();
+  EXPECT_GT(st.block.sectors_read, 0u);
+  EXPECT_GT(st.vm.pgpgin, 0u);
+  EXPECT_GT(st.vm.pgfault, 0u);
+  EXPECT_GT(st.shm.tmpfs_bytes, 0u);  // mmapped index in /dev/shm
+  // NUMA allocations track memory traffic.
+  EXPECT_GT(st.numa[0].numa_hit, 0u);
+  EXPECT_GT(st.numa[0].local_node, 0u);
+}
+
+TEST(EngineExtra, ShmReleasedAtJobEnd) {
+  simhw::ClusterConfig cc;
+  cc.num_nodes = 1;
+  simhw::Cluster cluster(cc);
+  workload::Engine engine(cluster, 0);
+  workload::JobSpec job;
+  job.jobid = 2;
+  job.profile = "largemem_heavy";  // SysV segments
+  job.exe = "velvetg";
+  job.nodes = 1;
+  job.start_time = 0;
+  job.end_time = util::kHour;
+  engine.start_job(job, {0});
+  EXPECT_GT(cluster.node(0).state().shm.sysv_bytes, 0u);
+  EXPECT_EQ(cluster.node(0).state().shm.sysv_segments, 1u);
+  engine.end_job(2);
+  EXPECT_EQ(cluster.node(0).state().shm.sysv_bytes, 0u);
+  EXPECT_EQ(cluster.node(0).state().shm.sysv_segments, 0u);
+}
+
+TEST(EngineExtra, ComputeOnlyAppTouchesNoDisk) {
+  simhw::ClusterConfig cc;
+  cc.num_nodes = 1;
+  simhw::Cluster cluster(cc);
+  workload::Engine engine(cluster, 0);
+  workload::JobSpec job;
+  job.jobid = 3;
+  job.profile = "mc_scalar";
+  job.exe = "mcrun";
+  job.nodes = 1;
+  job.start_time = 0;
+  job.end_time = util::kHour;
+  engine.start_job(job, {0});
+  engine.advance(10 * util::kMinute);
+  EXPECT_EQ(cluster.node(0).state().block.sectors_read, 0u);
+  EXPECT_EQ(cluster.node(0).state().block.sectors_written, 0u);
+}
+
+}  // namespace
+}  // namespace tacc::collect

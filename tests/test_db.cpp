@@ -1,0 +1,185 @@
+// Embedded relational store: values, typing, predicates, indexes,
+// aggregates.
+#include <gtest/gtest.h>
+
+#include "db/table.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::db {
+namespace {
+
+Table people() {
+  Table t("people", {{"id", ValueType::Int},
+                     {"name", ValueType::Text},
+                     {"score", ValueType::Real}});
+  t.insert({1, "alice", 3.5});
+  t.insert({2, "bob", 1.0});
+  t.insert({3, "carol", 4.25});
+  t.insert({4, "bob", 2.0});
+  return t;
+}
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::Null);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(5).type(), ValueType::Int);
+  EXPECT_EQ(Value(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value(5).as_real(), 5.0);
+  EXPECT_EQ(Value(2.5).type(), ValueType::Real);
+  EXPECT_EQ(Value(2.5).as_int(), 2);
+  EXPECT_EQ(Value("x").type(), ValueType::Text);
+  EXPECT_EQ(Value(std::string("y")).as_text(), "y");
+  EXPECT_EQ(Value("z").as_real(), 0.0);
+}
+
+TEST(Value, CrossNumericComparison) {
+  EXPECT_EQ(Value(2).compare(Value(2.0)), 0);
+  EXPECT_LT(Value(2).compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.1).compare(Value(3)), 0);
+}
+
+TEST(Value, OrderingAcrossTypes) {
+  EXPECT_LT(Value().compare(Value(0)), 0);        // null first
+  EXPECT_LT(Value(999).compare(Value("a")), 0);   // numerics before text
+  EXPECT_LT(Value("a").compare(Value("b")), 0);
+  EXPECT_EQ(Value().compare(Value()), 0);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value().to_string(), "NULL");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("hi").to_string(), "hi");
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table("x", {}), std::invalid_argument);
+}
+
+TEST(Table, InsertTypeChecks) {
+  Table t("t", {{"i", ValueType::Int}, {"r", ValueType::Real}});
+  EXPECT_NO_THROW(t.insert({1, 2.0}));
+  EXPECT_NO_THROW(t.insert({1, 2}));        // int coerces to real
+  EXPECT_NO_THROW(t.insert({Value(), Value()}));  // nulls allowed
+  EXPECT_THROW(t.insert({1.5, 2.0}), std::invalid_argument);  // real->int no
+  EXPECT_THROW(t.insert({"x", 2.0}), std::invalid_argument);
+  EXPECT_THROW(t.insert({1}), std::invalid_argument);  // arity
+}
+
+TEST(Table, IntCoercionStoresReal) {
+  Table t("t", {{"r", ValueType::Real}});
+  const auto id = t.insert({7});
+  EXPECT_EQ(t.row(id)[0].type(), ValueType::Real);
+  EXPECT_DOUBLE_EQ(t.row(id)[0].as_real(), 7.0);
+}
+
+TEST(Table, ColumnLookup) {
+  const auto t = people();
+  EXPECT_EQ(t.column_index("name"), 1u);
+  EXPECT_THROW(t.column_index("missing"), std::out_of_range);
+  EXPECT_FALSE(t.find_column("missing").has_value());
+}
+
+TEST(Table, SelectEveryOperator) {
+  const auto t = people();
+  EXPECT_EQ(t.select({{"name", Op::Eq, Value("bob")}}).size(), 2u);
+  EXPECT_EQ(t.select({{"name", Op::Ne, Value("bob")}}).size(), 2u);
+  EXPECT_EQ(t.select({{"score", Op::Lt, Value(2.0)}}).size(), 1u);
+  EXPECT_EQ(t.select({{"score", Op::Lte, Value(2.0)}}).size(), 2u);
+  EXPECT_EQ(t.select({{"score", Op::Gt, Value(3.5)}}).size(), 1u);
+  EXPECT_EQ(t.select({{"score", Op::Gte, Value(3.5)}}).size(), 2u);
+  EXPECT_EQ(t.select({{"name", Op::Contains, Value("aro")}}).size(), 1u);
+}
+
+TEST(Table, SelectConjunction) {
+  const auto t = people();
+  const auto rows = t.select(
+      {{"name", Op::Eq, Value("bob")}, {"score", Op::Gt, Value(1.5)}});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.at(rows[0], "id").as_int(), 4);
+}
+
+TEST(Table, EmptyPredicatesSelectAll) {
+  const auto t = people();
+  EXPECT_EQ(t.select({}).size(), 4u);
+}
+
+TEST(Table, IndexMatchesScanOnEverything) {
+  // Property: indexed selection == unindexed selection for all ops.
+  util::Rng rng("db.prop", 11);
+  Table plain("plain", {{"k", ValueType::Int}, {"v", ValueType::Real}});
+  Table indexed("indexed", {{"k", ValueType::Int}, {"v", ValueType::Real}});
+  for (int i = 0; i < 500; ++i) {
+    const auto k = rng.uniform_int(0, 50);
+    const double v = rng.uniform(0.0, 10.0);
+    plain.insert({k, v});
+    indexed.insert({k, v});
+  }
+  indexed.create_index("k");
+  ASSERT_TRUE(indexed.has_index("k"));
+  for (const Op op : {Op::Eq, Op::Ne, Op::Lt, Op::Lte, Op::Gt, Op::Gte}) {
+    for (int probe = 0; probe <= 50; probe += 7) {
+      const std::vector<Predicate> preds = {{"k", op, Value(probe)}};
+      EXPECT_EQ(indexed.select(preds), plain.select(preds))
+          << "op=" << static_cast<int>(op) << " probe=" << probe;
+    }
+  }
+}
+
+TEST(Table, IndexCreatedAfterInsertsAndMaintained) {
+  Table t("t", {{"k", ValueType::Int}});
+  t.insert({1});
+  t.create_index("k");
+  t.insert({1});
+  t.insert({2});
+  EXPECT_EQ(t.select({{"k", Op::Eq, Value(1)}}).size(), 2u);
+  EXPECT_EQ(t.select({{"k", Op::Eq, Value(2)}}).size(), 1u);
+}
+
+TEST(Table, Aggregates) {
+  const auto t = people();
+  const auto all = t.select({});
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Count, "score", all), 4.0);
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Sum, "score", all), 10.75);
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Avg, "score", all), 10.75 / 4.0);
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Min, "score", all), 1.0);
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Max, "score", all), 4.25);
+}
+
+TEST(Table, AggregatesSkipNulls) {
+  Table t("t", {{"v", ValueType::Real}});
+  t.insert({1.0});
+  t.insert({Value()});
+  t.insert({3.0});
+  const auto all = t.select({});
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Avg, "v", all), 2.0);
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Count, "v", all), 3.0);  // count rows
+  EXPECT_EQ(t.column_values("v", all).size(), 2u);           // nulls dropped
+}
+
+TEST(Table, AggregateEmptySelection) {
+  const auto t = people();
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Avg, "score", {}), 0.0);
+  EXPECT_DOUBLE_EQ(t.aggregate(Agg::Count, "score", {}), 0.0);
+}
+
+TEST(Table, AggregateWhere) {
+  const auto t = people();
+  EXPECT_DOUBLE_EQ(
+      t.aggregate_where(Agg::Avg, "score", {{"name", Op::Eq, Value("bob")}}),
+      1.5);
+}
+
+TEST(Database, TableManagement) {
+  Database database;
+  database.create_table("a", {{"x", ValueType::Int}});
+  EXPECT_TRUE(database.has_table("a"));
+  EXPECT_FALSE(database.has_table("b"));
+  EXPECT_THROW(database.create_table("a", {{"x", ValueType::Int}}),
+               std::invalid_argument);
+  EXPECT_THROW(database.table("b"), std::out_of_range);
+  database.table("a").insert({1});
+  EXPECT_EQ(database.table("a").num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace tacc::db

@@ -1,0 +1,242 @@
+// Workload engine: jiffy conservation, counter monotonicity, phase logic
+// (idle nodes, failure, compile), shared-node core partitioning, memory and
+// process accounting.
+#include <gtest/gtest.h>
+
+#include "simhw/cluster.hpp"
+#include "workload/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace tacc::workload {
+namespace {
+
+constexpr util::SimTime kStart = 1451606400LL * util::kSecond;
+
+simhw::Cluster make_cluster(int nodes = 2) {
+  simhw::ClusterConfig cc;
+  cc.num_nodes = nodes;
+  cc.topology = simhw::Topology{2, 4, false};  // 8 cpus
+  cc.phi_fraction = 1.0;
+  return simhw::Cluster(cc);
+}
+
+JobSpec make_job(const char* profile = "wrf", int nodes = 2,
+                 util::SimTime runtime = util::kHour) {
+  JobSpec job;
+  job.jobid = 100;
+  job.user = "alice";
+  job.uid = 1001;
+  job.profile = profile;
+  job.exe = find_profile(profile).exe;
+  job.nodes = nodes;
+  job.wayness = 8;
+  job.submit_time = kStart - util::kMinute;
+  job.start_time = kStart;
+  job.end_time = kStart + runtime;
+  return job;
+}
+
+TEST(Engine, JiffiesConserveElapsedTime) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("wrf", 1), {0});
+  engine.advance(10 * util::kMinute);
+  // Every core's jiffies must sum to ~elapsed seconds * 100.
+  for (const auto& core : cluster.node(0).state().cores) {
+    const auto total =
+        core.user + core.nice + core.system + core.idle + core.iowait;
+    EXPECT_NEAR(static_cast<double>(total), 600.0 * 100.0, 150.0);
+  }
+}
+
+TEST(Engine, CountersAreMonotonic) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("genomics_io", 1), {0});
+  std::uint64_t last_inst = 0, last_mdc = 0, last_energy = 0;
+  for (int step = 0; step < 6; ++step) {
+    engine.advance(util::kMinute);
+    const auto& st = cluster.node(0).state();
+    EXPECT_GE(st.cores[0].instructions, last_inst);
+    EXPECT_GE(st.lustre.mdc_reqs, last_mdc);
+    EXPECT_GE(st.sockets[0].energy_pkg_uj, last_energy);
+    last_inst = st.cores[0].instructions;
+    last_mdc = st.lustre.mdc_reqs;
+    last_energy = st.sockets[0].energy_pkg_uj;
+  }
+  EXPECT_GT(last_inst, 0u);
+  EXPECT_GT(last_mdc, 0u);
+}
+
+TEST(Engine, BusyJobDrivesUserJiffies) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("mc_scalar", 1), {0});
+  engine.advance(10 * util::kMinute);
+  const auto& core = cluster.node(0).state().cores[0];
+  const double user_frac =
+      static_cast<double>(core.user) /
+      static_cast<double>(core.user + core.nice + core.system + core.idle +
+                          core.iowait);
+  EXPECT_GT(user_frac, 0.9);  // mc_scalar base is 0.96
+}
+
+TEST(Engine, IdleNodeFractionLeavesNodesIdle) {
+  auto cluster = make_cluster(4);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("idle_half", 4), {0, 1, 2, 3});
+  engine.advance(10 * util::kMinute);
+  // idle_half keeps the last half of the allocation idle.
+  const auto user_of = [&](int n) {
+    return cluster.node(n).state().cores[0].user;
+  };
+  EXPECT_GT(user_of(0), 100u);
+  EXPECT_GT(user_of(1), 100u);
+  EXPECT_EQ(user_of(2), 0u);
+  EXPECT_EQ(user_of(3), 0u);
+}
+
+TEST(Engine, FailAtStopsDemand) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  auto job = make_job("wrf", 1, util::kHour);
+  job.fail_at_frac = 0.5;
+  engine.start_job(job, {0});
+  engine.advance(20 * util::kMinute);  // frac ~0.33: running
+  const auto user_before = cluster.node(0).state().cores[0].user;
+  EXPECT_GT(user_before, 0u);
+  engine.advance(20 * util::kMinute);  // passes 0.5 in here
+  const auto user_mid = cluster.node(0).state().cores[0].user;
+  engine.advance(15 * util::kMinute);  // frac > 0.9: dead
+  const auto user_after = cluster.node(0).state().cores[0].user;
+  EXPECT_EQ(user_after, user_mid);  // no further user time
+}
+
+TEST(Engine, CompilePhaseHasNoVectorFlops) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("compile_run", 1, 10 * util::kHour), {0});
+  engine.advance(30 * util::kMinute);  // frac 0.05 < 0.12: compiling
+  const auto& core = cluster.node(0).state().cores[0];
+  EXPECT_EQ(core.events[static_cast<std::size_t>(
+                simhw::CoreEvent::FpVector)],
+            0u);
+  EXPECT_GT(core.instructions, 0u);
+  engine.advance(3 * util::kHour);  // well past the compile phase
+  EXPECT_GT(core.events[static_cast<std::size_t>(
+                simhw::CoreEvent::FpVector)],
+            0u);
+}
+
+TEST(Engine, SharedJobsClaimDisjointCores) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  auto a = make_job("mc_scalar", 1);
+  a.jobid = 1;
+  a.wayness = 4;
+  auto b = make_job("mc_scalar", 1);
+  b.jobid = 2;
+  b.wayness = 4;
+  engine.start_job(a, {0});
+  engine.start_job(b, {0});
+  EXPECT_EQ(engine.jobs_on(0), (std::vector<long>{1, 2}));
+  engine.advance(10 * util::kMinute);
+  // All 8 cores busy: 4 from each job.
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    EXPECT_GT(cluster.node(0).state().cores[cpu].user, 30000u)
+        << "cpu " << cpu;
+  }
+}
+
+TEST(Engine, ProcessesSpawnedAndKilled) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  auto job = make_job("wrf", 1);
+  engine.start_job(job, {0});
+  const auto pids = cluster.node(0).list_pids();
+  EXPECT_EQ(pids.size(), 16u);  // wrf: 16 ranks per node
+  const auto& proc = cluster.node(0).state().processes.at(pids[0]);
+  EXPECT_EQ(proc.name, "wrf.exe");
+  EXPECT_EQ(proc.jobid, 100);
+  EXPECT_EQ(proc.uid, 1001);
+  engine.end_job(100);
+  EXPECT_TRUE(cluster.node(0).list_pids().empty());
+}
+
+TEST(Engine, MemoryAccountingFollowsJobs) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  const auto baseline = cluster.node(0).state().mem.used_kb;
+  engine.start_job(make_job("wrf", 1), {0});
+  const auto with_job = cluster.node(0).state().mem.used_kb;
+  EXPECT_GT(with_job, baseline + 4ULL * 1024 * 1024);  // wrf ~6 GB
+  engine.end_job(100);
+  EXPECT_EQ(cluster.node(0).state().mem.used_kb, baseline);
+}
+
+TEST(Engine, MemUsageClampsAtTotal) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  auto job = make_job("largemem_heavy", 1);  // 640 GB on a 32 GB node
+  engine.start_job(job, {0});
+  EXPECT_EQ(cluster.node(0).state().mem.used_kb,
+            cluster.node(0).state().mem.total_kb);
+}
+
+TEST(Engine, MicUtilizationOnlyForOffloadApps) {
+  auto cluster = make_cluster(1);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("mic_offload", 1), {0});
+  engine.advance(10 * util::kMinute);
+  const auto& mic = cluster.node(0).state().mic;
+  EXPECT_GT(mic.user_jiffies, 0u);
+  const double util_frac =
+      static_cast<double>(mic.user_jiffies) /
+      static_cast<double>(mic.user_jiffies + mic.sys_jiffies +
+                          mic.idle_jiffies);
+  EXPECT_NEAR(util_frac, 0.55, 0.1);
+}
+
+TEST(Engine, FailedNodesFreeze) {
+  auto cluster = make_cluster(2);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("wrf", 2), {0, 1});
+  engine.advance(util::kMinute);
+  cluster.fail_node(1);
+  const auto frozen = cluster.node(1).state().cores[0].user;
+  engine.advance(10 * util::kMinute);
+  EXPECT_EQ(cluster.node(1).state().cores[0].user, frozen);
+  EXPECT_GT(cluster.node(0).state().cores[0].user, frozen);
+}
+
+TEST(Engine, HostnamesOfRunningJob) {
+  auto cluster = make_cluster(2);
+  Engine engine(cluster, kStart);
+  engine.start_job(make_job("wrf", 2), {0, 1});
+  EXPECT_EQ(engine.hostnames_of(100),
+            (std::vector<std::string>{"c400-001", "c400-002"}));
+  EXPECT_TRUE(engine.hostnames_of(999).empty());
+  EXPECT_EQ(engine.nodes_of(999), nullptr);
+}
+
+TEST(Engine, IoHeavyProfileLowersUserFraction) {
+  auto cluster = make_cluster(2);
+  Engine engine(cluster, kStart);
+  auto compute = make_job("mc_scalar", 1);
+  compute.jobid = 1;
+  auto io = make_job("genomics_io", 1);
+  io.jobid = 2;
+  engine.start_job(compute, {0});
+  engine.start_job(io, {1});
+  engine.advance(10 * util::kMinute);
+  auto user_frac = [&](int n) {
+    const auto& c = cluster.node(n).state().cores[0];
+    return static_cast<double>(c.user) /
+           static_cast<double>(c.user + c.nice + c.system + c.idle +
+                               c.iowait);
+  };
+  EXPECT_GT(user_frac(0), user_frac(1) + 0.1);
+}
+
+}  // namespace
+}  // namespace tacc::workload

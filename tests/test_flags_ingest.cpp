@@ -1,0 +1,160 @@
+// Flag rules and DB ingest: each rule's trigger boundary, NULL handling,
+// column population.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/ingest.hpp"
+
+namespace tacc::pipeline {
+namespace {
+
+workload::AccountingRecord acct(const char* queue = "normal") {
+  workload::AccountingRecord a;
+  a.jobid = 9;
+  a.user = "u";
+  a.exe = "x";
+  a.jobname = "j";
+  a.queue = queue;
+  a.status = "COMPLETED";
+  a.nodes = 4;
+  a.wayness = 16;
+  a.submit_time = 0;
+  a.start_time = 10 * util::kMinute;
+  a.end_time = 2 * util::kHour;
+  return a;
+}
+
+JobMetrics healthy() {
+  JobMetrics m;
+  m.MetaDataRate = 100.0;
+  m.GigEBW = 0.001;
+  m.MemUsage = 20.0;
+  m.idle = 0.95;
+  m.catastrophe = 0.9;
+  m.cpi = 0.8;
+  m.VecPercent = 0.6;
+  m.flops = 20.0;
+  return m;
+}
+
+bool has_flag(const std::vector<Flag>& flags, const std::string& name) {
+  for (const auto& f : flags) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+TEST(Flags, HealthyJobHasNone) {
+  EXPECT_TRUE(evaluate_flags(acct(), healthy()).empty());
+}
+
+TEST(Flags, HighMetadataRate) {
+  auto m = healthy();
+  m.MetaDataRate = 500000.0;
+  const auto flags = evaluate_flags(acct(), m);
+  EXPECT_TRUE(has_flag(flags, "high_metadata_rate"));
+  EXPECT_NE(flags[0].detail.find("500000"), std::string::npos);
+}
+
+TEST(Flags, HighGigE) {
+  auto m = healthy();
+  m.GigEBW = 50.0;
+  EXPECT_TRUE(has_flag(evaluate_flags(acct(), m), "high_gige"));
+}
+
+TEST(Flags, LargememUnderuseOnlyInLargememQueue) {
+  auto m = healthy();
+  m.MemUsage = 10.0;
+  EXPECT_FALSE(
+      has_flag(evaluate_flags(acct("normal"), m), "largemem_underuse"));
+  EXPECT_TRUE(
+      has_flag(evaluate_flags(acct("largemem"), m), "largemem_underuse"));
+  m.MemUsage = 700.0;
+  EXPECT_FALSE(
+      has_flag(evaluate_flags(acct("largemem"), m), "largemem_underuse"));
+}
+
+TEST(Flags, IdleNodes) {
+  auto m = healthy();
+  m.idle = 0.05;
+  EXPECT_TRUE(has_flag(evaluate_flags(acct(), m), "idle_nodes"));
+}
+
+TEST(Flags, CatastropheCpuVariation) {
+  auto m = healthy();
+  m.catastrophe = 0.1;
+  EXPECT_TRUE(has_flag(evaluate_flags(acct(), m), "cpu_time_variation"));
+}
+
+TEST(Flags, HighCpi) {
+  auto m = healthy();
+  m.cpi = 5.0;
+  EXPECT_TRUE(has_flag(evaluate_flags(acct(), m), "high_cpi"));
+}
+
+TEST(Flags, LowVectorizationNeedsRealFpWork) {
+  auto m = healthy();
+  m.VecPercent = 0.001;
+  EXPECT_TRUE(has_flag(evaluate_flags(acct(), m), "low_vectorization"));
+  m.flops = 0.0;  // no FP work -> not flagged
+  EXPECT_FALSE(has_flag(evaluate_flags(acct(), m), "low_vectorization"));
+}
+
+TEST(Flags, NaNMetricsNeverFlag) {
+  const JobMetrics m;  // all NaN
+  EXPECT_TRUE(evaluate_flags(acct("largemem"), m).empty());
+}
+
+TEST(Flags, CustomThresholds) {
+  auto m = healthy();
+  FlagThresholds t;
+  t.metadata_rate = 50.0;
+  EXPECT_TRUE(
+      has_flag(evaluate_flags(acct(), m, t), "high_metadata_rate"));
+}
+
+TEST(Flags, NamesJoin) {
+  EXPECT_EQ(flag_names({{"a", ""}, {"b", ""}}), "a,b");
+  EXPECT_EQ(flag_names({}), "");
+}
+
+TEST(Ingest, CreatesIndexedTable) {
+  db::Database database;
+  auto& jobs = create_jobs_table(database);
+  EXPECT_TRUE(jobs.has_index("exe"));
+  EXPECT_TRUE(jobs.has_index("user"));
+  EXPECT_TRUE(jobs.has_index("queue"));
+  // One column per metadata field + metric.
+  EXPECT_EQ(jobs.columns().size(), 16u + JobMetrics::labels().size());
+  EXPECT_THROW(create_jobs_table(database), std::invalid_argument);
+}
+
+TEST(Ingest, RowValuesAndDerivedColumns) {
+  db::Database database;
+  auto& jobs = create_jobs_table(database);
+  auto m = healthy();
+  m.CPU_Usage = 0.8;
+  const auto id = ingest_job(jobs, acct(), m, {{"high_cpi", "d"}});
+  EXPECT_EQ(jobs.at(id, "jobid").as_int(), 9);
+  EXPECT_EQ(jobs.at(id, "flags").as_text(), "high_cpi");
+  EXPECT_DOUBLE_EQ(jobs.at(id, "runtime").as_real(), 6600.0);
+  EXPECT_DOUBLE_EQ(jobs.at(id, "queue_wait").as_real(), 600.0);
+  EXPECT_DOUBLE_EQ(jobs.at(id, "node_hours").as_real(),
+                   6600.0 / 3600.0 * 4);
+  EXPECT_DOUBLE_EQ(jobs.at(id, "CPU_Usage").as_real(), 0.8);
+}
+
+TEST(Ingest, NaNBecomesNull) {
+  db::Database database;
+  auto& jobs = create_jobs_table(database);
+  const auto id = ingest_job(jobs, acct(), JobMetrics{}, {});
+  EXPECT_TRUE(jobs.at(id, "MetaDataRate").is_null());
+  EXPECT_TRUE(jobs.at(id, "MIC_Usage").is_null());
+  // NULLs never satisfy numeric range predicates.
+  EXPECT_TRUE(jobs.select({{"MetaDataRate", db::Op::Gt, db::Value(0.0)}})
+                  .empty());
+}
+
+}  // namespace
+}  // namespace tacc::pipeline

@@ -1,0 +1,212 @@
+// Robustness and cross-module property tests: the raw-file parser must
+// never crash on corrupted input (the consumer faces arbitrary broker
+// bytes), and several algebraic invariants must hold across modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collect/registry.hpp"
+#include "simhw/node.hpp"
+#include "tsdb/store.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/engine.hpp"
+
+namespace tacc {
+namespace {
+
+std::string sample_chunk() {
+  simhw::NodeConfig nc;
+  nc.topology = simhw::Topology{1, 2, false};
+  simhw::Node node(nc);
+  collect::HostSampler sampler(node);
+  auto log = sampler.make_log();
+  log.records.push_back(sampler.sample(1451606400LL * util::kSecond, {1},
+                                       "begin"));
+  return log.serialize();
+}
+
+TEST(FuzzParse, RandomMutationsNeverCrash) {
+  const std::string base = sample_chunk();
+  util::Rng rng("fuzz.mutate", 99);
+  int parsed = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        case 2:
+          text.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+        default:
+          text[pos] = '\n';
+          break;
+      }
+    }
+    try {
+      const auto log = collect::HostLog::parse(text);
+      ++parsed;
+      (void)log;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+    // Any other exception type (or a crash) fails the test.
+  }
+  EXPECT_EQ(parsed + rejected, 500);
+  EXPECT_GT(rejected, 0);  // mutations do get caught
+}
+
+TEST(FuzzParse, RandomGarbageNeverCrashes) {
+  util::Rng rng("fuzz.garbage", 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.uniform_int(0, 2000));
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.uniform_int(1, 255));
+    }
+    try {
+      (void)collect::HostLog::parse(text);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzParse, TruncationsNeverCrash) {
+  const std::string base = sample_chunk();
+  for (std::size_t cut = 0; cut < base.size(); cut += 7) {
+    try {
+      (void)collect::HostLog::parse(base.substr(0, cut));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(EngineProperty, CountersScaleLinearlyWithRuntime) {
+  // Doubling a steady job's runtime doubles every cumulative counter
+  // (within per-quantum rounding), because demand is stationary.
+  auto run = [](util::SimTime runtime) {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = 1;
+    cc.topology = simhw::Topology{2, 4, false};
+    simhw::Cluster cluster(cc);
+    workload::Engine engine(cluster, 0);
+    workload::JobSpec job;
+    job.jobid = 1;
+    job.profile = "md_engine";
+    job.exe = "namd2";
+    job.nodes = 1;
+    job.wayness = 8;
+    job.start_time = 0;
+    job.end_time = runtime * 4;  // phase logic far away
+    engine.start_job(job, {0});
+    engine.advance(runtime);
+    return cluster.node(0).state();
+  };
+  const auto one = run(util::kHour);
+  const auto two = run(2 * util::kHour);
+  EXPECT_NEAR(static_cast<double>(two.cores[0].instructions),
+              2.0 * static_cast<double>(one.cores[0].instructions),
+              0.02 * static_cast<double>(two.cores[0].instructions));
+  EXPECT_NEAR(static_cast<double>(two.sockets[0].energy_pkg_uj),
+              2.0 * static_cast<double>(one.sockets[0].energy_pkg_uj),
+              0.02 * static_cast<double>(two.sockets[0].energy_pkg_uj));
+  EXPECT_NEAR(static_cast<double>(two.ib.tx_bytes),
+              2.0 * static_cast<double>(one.ib.tx_bytes),
+              0.05 * static_cast<double>(two.ib.tx_bytes));
+}
+
+TEST(EngineProperty, AdvanceSlicingIsExactlyEquivalent) {
+  // One advance(1h) == sixty advance(1m): the quantum integration makes
+  // slicing invisible.
+  auto run = [](int slices) {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = 1;
+    cc.topology = simhw::Topology{2, 4, false};
+    simhw::Cluster cluster(cc);
+    workload::Engine engine(cluster, 0);
+    workload::JobSpec job;
+    job.jobid = 9;
+    job.profile = "genomics_io";
+    job.exe = "blastn";
+    job.nodes = 1;
+    job.wayness = 8;
+    job.start_time = 0;
+    job.end_time = 4 * util::kHour;
+    engine.start_job(job, {0});
+    const util::SimTime step = util::kHour / slices;
+    for (int i = 0; i < slices; ++i) engine.advance(step);
+    return cluster.node(0).state();
+  };
+  const auto coarse = run(1);
+  const auto fine = run(60);
+  EXPECT_EQ(coarse.cores[0].instructions, fine.cores[0].instructions);
+  EXPECT_EQ(coarse.lustre.mdc_reqs, fine.lustre.mdc_reqs);
+  EXPECT_EQ(coarse.ib.tx_bytes, fine.ib.tx_bytes);
+  EXPECT_EQ(coarse.sockets[0].energy_pkg_uj, fine.sockets[0].energy_pkg_uj);
+}
+
+TEST(TsdbProperty, GroupBySumsPartitionTheTotal) {
+  // Sum over group-by groups == ungrouped sum, for any tag partition.
+  util::Rng rng("tsdb.prop", 5);
+  tsdb::Store store;
+  for (int i = 0; i < 300; ++i) {
+    store.put("m",
+              {{"host", "h" + std::to_string(rng.uniform_int(0, 7))},
+               {"user", "u" + std::to_string(rng.uniform_int(0, 3))}},
+              rng.uniform_int(0, 9) * util::kMinute, rng.uniform(0.0, 10.0));
+  }
+  tsdb::Query total_q;
+  total_q.metric = "m";
+  total_q.aggregator = tsdb::Aggregator::Sum;
+  total_q.downsample = util::kHour;
+  const auto total = store.query(total_q);
+  ASSERT_EQ(total.size(), 1u);
+
+  for (const char* tag : {"host", "user"}) {
+    tsdb::Query grouped = total_q;
+    grouped.group_by = {tag};
+    double sum = 0.0;
+    for (const auto& series : store.query(grouped)) {
+      for (const auto& p : series.points) sum += p.value;
+    }
+    double expected = 0.0;
+    for (const auto& p : total[0].points) expected += p.value;
+    EXPECT_NEAR(sum, expected, 1e-9) << tag;
+  }
+}
+
+TEST(StatsProperty, MergeIsAssociativeAcrossRandomSplits) {
+  util::Rng rng("stats.prop", 31);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(5.0, 3.0));
+  util::RunningStat whole;
+  for (const double x : xs) whole.add(x);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto cut1 = static_cast<std::size_t>(rng.uniform_int(0, 999));
+    const auto cut2 = static_cast<std::size_t>(rng.uniform_int(0, 999));
+    const auto lo = std::min(cut1, cut2);
+    const auto hi = std::max(cut1, cut2);
+    util::RunningStat a, b, c;
+    for (std::size_t i = 0; i < lo; ++i) a.add(xs[i]);
+    for (std::size_t i = lo; i < hi; ++i) b.add(xs[i]);
+    for (std::size_t i = hi; i < xs.size(); ++i) c.add(xs[i]);
+    a.merge(b);
+    a.merge(c);
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,208 @@
+// Population generator: cohort composition, determinism, FCFS scheduling
+// invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace tacc::workload {
+namespace {
+
+PopulationConfig small_config() {
+  PopulationConfig config;
+  config.num_jobs = 1500;
+  config.storm_jobs = 20;
+  config.seed = 7;
+  return config;
+}
+
+TEST(AppCatalog, WeightsSumToOne) {
+  double total = 0.0;
+  for (const auto& e : app_catalog()) total += e.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AppCatalog, ProfilesAreWellFormed) {
+  for (const auto& e : app_catalog()) {
+    const auto& p = e.profile;
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.exe.empty());
+    EXPECT_GT(p.ipc, 0.0);
+    EXPECT_GE(p.vec_frac, 0.0);
+    EXPECT_LE(p.vec_frac, 1.0);
+    EXPECT_LE(p.l1_hit + p.l2_hit + p.llc_hit, 1.0 + 1e-9);
+    EXPECT_GE(p.user_frac_base, 0.0);
+    EXPECT_LE(p.user_frac_base + p.sys_frac, 1.0);
+    EXPECT_GE(p.nodes_median, 1.0);
+    EXPECT_GE(p.max_nodes, 1);
+  }
+}
+
+TEST(AppCatalog, FindProfileResolvesAllAndStorm) {
+  for (const auto& e : app_catalog()) {
+    EXPECT_EQ(&find_profile(e.profile.name), &e.profile);
+  }
+  EXPECT_EQ(find_profile("wrf_mdstorm").exe, "wrf.exe");
+  EXPECT_THROW(find_profile("no_such_app"), std::invalid_argument);
+}
+
+TEST(AppCatalog, StormProfileDwarfsRegularWrf) {
+  const auto& wrf = find_profile("wrf");
+  const auto& storm = wrf_mdstorm_profile();
+  EXPECT_GT(storm.mdc_reqs_ps, 100.0 * wrf.mdc_reqs_ps);
+  EXPECT_GT(storm.open_close_ps, 1000.0 * wrf.open_close_ps);
+  EXPECT_EQ(storm.exe, wrf.exe);  // same executable, different behaviour
+}
+
+TEST(Generator, ProducesRequestedCounts) {
+  const auto config = small_config();
+  const auto jobs = generate_population(config);
+  EXPECT_EQ(jobs.size(), static_cast<std::size_t>(config.num_jobs +
+                                                  config.storm_jobs));
+}
+
+TEST(Generator, DeterministicBySeed) {
+  const auto a = generate_population(small_config());
+  const auto b = generate_population(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].jobid, b[i].jobid);
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].start_time, b[i].start_time);
+    EXPECT_DOUBLE_EQ(a[i].io_mult, b[i].io_mult);
+  }
+  auto config = small_config();
+  config.seed = 8;
+  const auto c = generate_population(config);
+  int diff = 0;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    diff += a[i].user != c[i].user;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(Generator, StormCohortPresent) {
+  const auto config = small_config();
+  const auto jobs = generate_population(config);
+  int storm = 0;
+  for (const auto& j : jobs) {
+    if (j.user == config.storm_user) {
+      ++storm;
+      EXPECT_EQ(j.profile, "wrf_mdstorm");
+      EXPECT_EQ(j.exe, "wrf.exe");
+      EXPECT_EQ(j.nodes, 16);
+      EXPECT_EQ(j.status, "COMPLETED");
+    }
+  }
+  EXPECT_EQ(storm, config.storm_jobs);
+}
+
+TEST(Generator, SortedBySubmitAndCausal) {
+  const auto jobs = generate_population(small_config());
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_LE(jobs[i - 1].submit_time, jobs[i].submit_time);
+  }
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.start_time, j.submit_time);
+    EXPECT_GT(j.end_time, j.start_time);
+    EXPECT_GE(j.runtime(), util::from_seconds(180.0));
+  }
+}
+
+TEST(Generator, FcfsNeverExceedsCapacity) {
+  const auto config = small_config();
+  const auto jobs = generate_population(config);
+  // Sweep events and verify the normal queue's node usage stays within
+  // capacity at every instant.
+  std::map<std::string, int> capacity = {
+      {"normal", config.machine_nodes},
+      {"largemem", config.largemem_nodes},
+      {"development", config.development_nodes}};
+  for (const auto& [queue, cap] : capacity) {
+    std::vector<std::pair<util::SimTime, int>> events;
+    for (const auto& j : jobs) {
+      if (j.queue != queue) continue;
+      events.emplace_back(j.start_time, j.nodes);
+      events.emplace_back(j.end_time, -j.nodes);
+    }
+    std::sort(events.begin(), events.end());
+    int in_use = 0;
+    for (const auto& [t, delta] : events) {
+      in_use += delta;
+      EXPECT_LE(in_use, cap) << "queue " << queue;
+      EXPECT_GE(in_use, 0);
+    }
+  }
+}
+
+TEST(Generator, QueuesPopulated) {
+  const auto jobs = generate_population(small_config());
+  std::map<std::string, int> counts;
+  for (const auto& j : jobs) ++counts[j.queue];
+  EXPECT_GT(counts["normal"], 0);
+  EXPECT_GT(counts["largemem"], 0);
+  EXPECT_GT(counts["development"], 0);
+}
+
+TEST(Generator, SomeJobsWaitInQueue) {
+  // Shrink the machine so contention (and therefore queue waits) occurs.
+  auto config = small_config();
+  config.machine_nodes = 24;
+  config.largemem_nodes = 1;
+  config.development_nodes = 2;
+  const auto jobs = generate_population(config);
+  int waited = 0;
+  for (const auto& j : jobs) waited += j.queue_wait() > 0;
+  EXPECT_GT(waited, 0);
+}
+
+TEST(Generator, StatusMix) {
+  const auto jobs = generate_population(small_config());
+  std::map<std::string, int> statuses;
+  for (const auto& j : jobs) ++statuses[j.status];
+  EXPECT_GT(statuses["COMPLETED"], statuses["FAILED"]);
+  EXPECT_GT(statuses["FAILED"], 0);
+}
+
+TEST(Generator, VecFracEffResolvedAndBounded) {
+  const auto jobs = generate_population(small_config());
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.vec_frac_eff, 0.0);
+    EXPECT_LE(j.vec_frac_eff, 0.98);
+  }
+}
+
+TEST(Generator, IsProductionFilter) {
+  JobSpec j;
+  j.queue = "normal";
+  j.status = "COMPLETED";
+  j.start_time = 0;
+  j.end_time = 2 * util::kHour;
+  EXPECT_TRUE(is_production(j));
+  j.queue = "development";
+  EXPECT_FALSE(is_production(j));
+  j.queue = "normal";
+  j.status = "FAILED";
+  EXPECT_FALSE(is_production(j));
+  j.status = "COMPLETED";
+  j.end_time = 30 * util::kMinute;
+  EXPECT_FALSE(is_production(j));
+}
+
+TEST(ToAccounting, ProjectsMetadataOnly) {
+  JobSpec j;
+  j.jobid = 5;
+  j.user = "bob";
+  j.exe = "a.out";
+  j.nodes = 3;
+  const auto acct = to_accounting(j, {"c400-001", "c400-002", "c400-003"});
+  EXPECT_EQ(acct.jobid, 5);
+  EXPECT_EQ(acct.user, "bob");
+  EXPECT_EQ(acct.hostnames.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tacc::workload

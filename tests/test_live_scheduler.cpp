@@ -1,0 +1,181 @@
+// Live FCFS scheduler driving the monitored cluster: allocation, queueing,
+// prolog/epilog integration, strict FCFS ordering.
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "pipeline/ingest.hpp"
+#include "portal/report.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::core {
+namespace {
+
+constexpr util::SimTime kStart = 1451865600LL * util::kSecond;
+
+struct World {
+  simhw::Cluster cluster;
+  ClusterMonitor monitor;
+  LiveScheduler scheduler;
+
+  explicit World(int nodes)
+      : cluster([&] {
+          simhw::ClusterConfig cc;
+          cc.num_nodes = nodes;
+          cc.topology = simhw::Topology{1, 4, false};
+          cc.phi_fraction = 0.0;
+          return cc;
+        }()),
+        monitor(cluster,
+                [] {
+                  MonitorConfig mc;
+                  mc.start = kStart;
+                  mc.online_analysis = false;
+                  return mc;
+                }()),
+        scheduler(monitor, static_cast<std::size_t>(nodes)) {}
+};
+
+workload::JobSpec job(long id, int nodes, util::SimTime submit,
+                      util::SimTime duration) {
+  workload::JobSpec j;
+  j.jobid = id;
+  j.user = "u";
+  j.profile = "mc_scalar";
+  j.exe = "mcrun";
+  j.nodes = nodes;
+  j.wayness = 4;
+  j.submit_time = submit;
+  j.start_time = submit;
+  j.end_time = submit + duration;
+  return j;
+}
+
+TEST(LiveScheduler, RunsJobImmediatelyWhenNodesFree) {
+  World w(4);
+  w.scheduler.submit(job(1, 2, kStart, util::kHour));
+  w.scheduler.run_until(kStart + 10 * util::kMinute);
+  EXPECT_EQ(w.scheduler.running(), 1u);
+  EXPECT_EQ(w.scheduler.free_nodes(), 2u);
+  w.scheduler.run_until(kStart + 2 * util::kHour);
+  EXPECT_EQ(w.scheduler.running(), 0u);
+  ASSERT_EQ(w.scheduler.completed().size(), 1u);
+  EXPECT_EQ(w.scheduler.completed()[0].start_time, kStart);
+  EXPECT_EQ(w.scheduler.free_nodes(), 4u);
+}
+
+TEST(LiveScheduler, QueuesWhenFull) {
+  World w(4);
+  w.scheduler.submit(job(1, 4, kStart, 2 * util::kHour));
+  w.scheduler.submit(job(2, 2, kStart + util::kMinute, util::kHour));
+  w.scheduler.run_until(kStart + util::kHour);
+  EXPECT_EQ(w.scheduler.running(), 1u);
+  EXPECT_EQ(w.scheduler.waiting(), 1u);
+  // Job 2 starts when job 1 releases its nodes.
+  w.scheduler.run_until(kStart + 2 * util::kHour + util::kMinute);
+  EXPECT_EQ(w.scheduler.running(), 1u);
+  EXPECT_EQ(w.scheduler.waiting(), 0u);
+  w.scheduler.drain_jobs();
+  ASSERT_EQ(w.scheduler.completed().size(), 2u);
+  const auto& j2 = w.scheduler.completed()[1];
+  EXPECT_EQ(j2.jobid, 2);
+  EXPECT_GE(j2.start_time, kStart + 2 * util::kHour);
+  EXPECT_GT(j2.queue_wait(), 0);
+}
+
+TEST(LiveScheduler, StrictFcfsHeadBlocks) {
+  World w(4);
+  w.scheduler.submit(job(1, 3, kStart, 2 * util::kHour));
+  w.scheduler.submit(job(2, 4, kStart + util::kMinute, util::kHour));
+  // Job 3 would fit in the single free node but must wait behind job 2.
+  w.scheduler.submit(job(3, 1, kStart + 2 * util::kMinute, util::kHour));
+  w.scheduler.run_until(kStart + util::kHour);
+  EXPECT_EQ(w.scheduler.running(), 1u);
+  EXPECT_EQ(w.scheduler.waiting(), 2u);
+}
+
+TEST(LiveScheduler, PrologEpilogMarksArriveInArchive) {
+  World w(2);
+  w.scheduler.submit(job(5, 2, kStart, util::kHour));
+  w.scheduler.drain_jobs();
+  w.monitor.drain();
+  const auto log = w.monitor.archive().log("c400-001");
+  ASSERT_FALSE(log.records.empty());
+  EXPECT_EQ(log.records.front().mark, "begin");
+  bool saw_end = false;
+  for (const auto& rec : log.records) saw_end |= rec.mark == "end";
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(LiveScheduler, ManyJobsAllComplete) {
+  World w(8);
+  util::Rng rng("sched.test", 3);
+  for (long i = 0; i < 24; ++i) {
+    w.scheduler.submit(job(100 + i, 1 + static_cast<int>(i % 4),
+                           kStart + i * 7 * util::kMinute,
+                           util::from_seconds(rng.uniform(1800, 7200))));
+  }
+  w.scheduler.drain_jobs();
+  EXPECT_EQ(w.scheduler.completed().size(), 24u);
+  EXPECT_EQ(w.scheduler.free_nodes(), 8u);
+  // Accounting is consistent: starts never precede submits.
+  for (const auto& j : w.scheduler.completed()) {
+    EXPECT_GE(j.start_time, j.submit_time);
+    EXPECT_GT(j.end_time, j.start_time);
+  }
+}
+
+TEST(LiveScheduler, EndToEndMetricsFromScheduledJobs) {
+  World w(4);
+  auto j = job(9, 2, kStart, util::kHour);
+  j.profile = "wrf";
+  j.exe = "wrf.exe";
+  w.scheduler.submit(j);
+  w.scheduler.drain_jobs();
+  w.monitor.drain();
+  db::Database database;
+  const auto& done = w.scheduler.completed();
+  ASSERT_EQ(done.size(), 1u);
+  std::vector<workload::AccountingRecord> acct = {
+      workload::to_accounting(done[0], {"c400-001", "c400-002"})};
+  EXPECT_EQ(pipeline::ingest_from_archive(database, w.monitor.archive(),
+                                          acct),
+            1u);
+  const auto& jobs = database.table(pipeline::kJobsTable);
+  EXPECT_GT(jobs.at(0, "CPU_Usage").as_real(), 0.5);
+}
+
+TEST(PortalReports, AppAndUserAggregation) {
+  db::Database database;
+  auto& jobs = pipeline::create_jobs_table(database);
+  auto add = [&](long id, const char* user, const char* exe, int nodes,
+                 double hours, double cpu) {
+    workload::AccountingRecord a;
+    a.jobid = id;
+    a.user = user;
+    a.exe = exe;
+    a.queue = "normal";
+    a.status = "COMPLETED";
+    a.nodes = nodes;
+    a.start_time = 0;
+    a.end_time = util::from_seconds(hours * 3600.0);
+    pipeline::JobMetrics m;
+    m.CPU_Usage = cpu;
+    m.flops = 10.0;
+    m.VecPercent = 0.5;
+    m.MetaDataRate = 100.0;
+    pipeline::ingest_job(jobs, a, m, {});
+  };
+  add(1, "alice", "wrf.exe", 4, 2.0, 0.8);   // 8 node-hours
+  add(2, "alice", "wrf.exe", 2, 1.0, 0.7);   // 2 node-hours
+  add(3, "bob", "namd2", 8, 3.0, 0.9);       // 24 node-hours
+  const auto rows = jobs.select({});
+  const auto apps = portal::app_report(jobs, rows);
+  // namd2 leads by node-hours.
+  EXPECT_LT(apps.find("namd2"), apps.find("wrf.exe"));
+  EXPECT_NE(apps.find("10"), std::string::npos);  // node hours column
+  const auto users = portal::user_report(jobs, rows);
+  EXPECT_LT(users.find("bob"), users.find("alice"));
+}
+
+}  // namespace
+}  // namespace tacc::core

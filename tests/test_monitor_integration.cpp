@@ -1,0 +1,206 @@
+// End-to-end integration through the ClusterMonitor facade: both transport
+// modes, prolog/epilog marks, archive-to-metrics round trip, failure loss
+// asymmetry between the modes, and the online path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/monitor.hpp"
+#include "pipeline/ingest.hpp"
+
+namespace tacc::core {
+namespace {
+
+constexpr util::SimTime kStart = 1451865600LL * util::kSecond;  // 2016-01-04
+
+simhw::Cluster make_cluster(int n = 4) {
+  simhw::ClusterConfig cc;
+  cc.num_nodes = n;
+  cc.topology = simhw::Topology{2, 4, false};
+  cc.phi_fraction = 1.0;
+  return simhw::Cluster(cc);
+}
+
+workload::JobSpec wrf_job(int nodes, util::SimTime start,
+                          util::SimTime runtime, long id = 500) {
+  workload::JobSpec job;
+  job.jobid = id;
+  job.user = "alice";
+  job.uid = 1001;
+  job.profile = "wrf";
+  job.exe = "wrf.exe";
+  job.nodes = nodes;
+  job.wayness = 8;
+  job.submit_time = start - util::kMinute;
+  job.start_time = start;
+  job.end_time = start + runtime;
+  return job;
+}
+
+TEST(MonitorIntegration, DaemonModeEndToEnd) {
+  auto cluster = make_cluster(2);
+  MonitorConfig mc;
+  mc.mode = TransportMode::Daemon;
+  mc.start = kStart;
+  ClusterMonitor monitor(cluster, mc);
+
+  const auto job = wrf_job(2, kStart, 2 * util::kHour);
+  monitor.job_started(job, {0, 1});
+  monitor.advance_to(job.end_time);
+  monitor.job_ended(job.jobid);
+  monitor.drain();
+
+  // Per node: 1 begin + 12 interval + 1 end = 14.
+  EXPECT_EQ(monitor.daemon_stats().collections, 28u);
+  EXPECT_EQ(monitor.archive().total_records(), 28u);
+  // Real-time availability.
+  EXPECT_DOUBLE_EQ(monitor.archive().latency().max(), 0.0);
+
+  const auto log = monitor.archive().log("c400-001");
+  EXPECT_EQ(log.records.front().mark, "begin");
+  EXPECT_EQ(log.records.back().mark, "end");
+  EXPECT_EQ(log.records.front().jobids, std::vector<long>{500});
+
+  // Metrics from the archived stream.
+  db::Database database;
+  const auto n = pipeline::ingest_from_archive(
+      database, monitor.archive(),
+      {workload::to_accounting(job, {"c400-001", "c400-002"})});
+  EXPECT_EQ(n, 1u);
+  const auto& jobs = database.table(pipeline::kJobsTable);
+  const auto rows = jobs.select({});
+  EXPECT_NEAR(jobs.at(rows[0], "CPU_Usage").as_real(), 0.78, 0.08);
+  EXPECT_GT(jobs.at(rows[0], "flops").as_real(), 1.0);
+}
+
+TEST(MonitorIntegration, CronModeHasLatencyAndSameContent) {
+  auto cluster = make_cluster(2);
+  MonitorConfig mc;
+  mc.mode = TransportMode::Cron;
+  mc.start = kStart;
+  ClusterMonitor monitor(cluster, mc);
+
+  const auto job = wrf_job(2, kStart, 2 * util::kHour);
+  monitor.job_started(job, {0, 1});
+  monitor.advance_to(job.end_time);
+  monitor.job_ended(job.jobid);
+
+  // Nothing centrally visible until the next morning's staging window:
+  // today's records rotate at the following midnight and rsync during the
+  // 01:00-05:00 window after that.
+  EXPECT_EQ(monitor.archive().total_records(), 0u);
+  monitor.advance_to(kStart + util::kDay + 5 * util::kHour);
+  EXPECT_GE(monitor.archive().total_records(), 28u);
+  EXPECT_GT(monitor.archive().latency().mean(), 3600.0);
+
+  db::Database database;
+  const auto n = pipeline::ingest_from_archive(
+      database, monitor.archive(),
+      {workload::to_accounting(job, {"c400-001", "c400-002"})});
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(MonitorIntegration, FailureLossAsymmetry) {
+  // The same failure scenario in both modes: daemon mode keeps everything
+  // collected before the crash; cron mode loses the unstaged day.
+  for (const auto mode : {TransportMode::Daemon, TransportMode::Cron}) {
+    auto cluster = make_cluster(1);
+    MonitorConfig mc;
+    mc.mode = mode;
+    mc.start = kStart;
+    ClusterMonitor monitor(cluster, mc);
+    const auto job = wrf_job(1, kStart, 6 * util::kHour);
+    monitor.job_started(job, {0});
+    monitor.advance_to(kStart + 3 * util::kHour);
+    monitor.fail_node(0);
+    monitor.advance_to(kStart + util::kDay + 6 * util::kHour);
+    monitor.drain();
+    if (mode == TransportMode::Daemon) {
+      // ~19 records shipped before the crash are all safe.
+      EXPECT_GE(monitor.archive().total_records(), 18u);
+    } else {
+      EXPECT_EQ(monitor.archive().total_records(), 0u);
+      EXPECT_GE(monitor.cron_stats().lost_records, 18u);
+    }
+  }
+}
+
+TEST(MonitorIntegration, OnlineAnalyzerCatchesStormInRealTime) {
+  auto cluster = make_cluster(2);
+  MonitorConfig mc;
+  mc.mode = TransportMode::Daemon;
+  mc.start = kStart;
+  ClusterMonitor monitor(cluster, mc);
+  ASSERT_NE(monitor.online(), nullptr);
+
+  auto job = wrf_job(2, kStart, util::kHour, 900);
+  job.profile = "wrf_mdstorm";
+  monitor.job_started(job, {0, 1});
+  monitor.advance_to(job.end_time);
+  monitor.job_ended(job.jobid);
+  monitor.drain();
+
+  const auto alerts = monitor.online()->alerts();
+  ASSERT_FALSE(alerts.empty());
+  bool storm = false;
+  for (const auto& a : alerts) storm |= a.rule == "metadata_storm";
+  EXPECT_TRUE(storm);
+  EXPECT_EQ(monitor.online()->suspend_candidates(), std::set<long>{900});
+}
+
+TEST(MonitorIntegration, OnlineQuietOnHealthyJob) {
+  auto cluster = make_cluster(1);
+  MonitorConfig mc;
+  mc.start = kStart;
+  ClusterMonitor monitor(cluster, mc);
+  const auto job = wrf_job(1, kStart, util::kHour);
+  monitor.job_started(job, {0});
+  monitor.advance_to(job.end_time);
+  monitor.job_ended(job.jobid);
+  monitor.drain();
+  for (const auto& a : monitor.online()->alerts()) {
+    EXPECT_NE(a.rule, "metadata_storm");
+  }
+  EXPECT_TRUE(monitor.online()->suspend_candidates().empty());
+}
+
+TEST(MonitorIntegration, SharedNodeRecordsCarryBothJobs) {
+  auto cluster = make_cluster(1);
+  MonitorConfig mc;
+  mc.start = kStart;
+  ClusterMonitor monitor(cluster, mc);
+  auto a = wrf_job(1, kStart, util::kHour, 11);
+  a.wayness = 4;
+  auto b = wrf_job(1, kStart, util::kHour, 22);
+  b.wayness = 4;
+  monitor.job_started(a, {0});
+  monitor.job_started(b, {0});
+  monitor.advance_to(kStart + 30 * util::kMinute);
+  monitor.drain();
+  const auto log = monitor.archive().log("c400-001");
+  ASSERT_FALSE(log.records.empty());
+  bool both = false;
+  for (const auto& rec : log.records) {
+    both |= rec.jobids == std::vector<long>{11, 22};
+  }
+  EXPECT_TRUE(both);
+}
+
+TEST(MonitorIntegration, OverheadIsTinyAtTenMinuteSampling) {
+  // The paper estimates 0.02% overhead at 10-minute intervals and ~0.09 s
+  // per collection on real hardware. Here we check the structural claim:
+  // collection wall time is a vanishing fraction of the simulated interval.
+  auto cluster = make_cluster(1);
+  MonitorConfig mc;
+  mc.start = kStart;
+  ClusterMonitor monitor(cluster, mc);
+  const auto job = wrf_job(1, kStart, 2 * util::kHour);
+  monitor.job_started(job, {0});
+  monitor.advance_to(job.end_time);
+  const auto stats = monitor.daemon_stats();
+  EXPECT_GT(stats.collections, 0u);
+  EXPECT_LT(stats.total_collect_wall_s / stats.collections, 0.09);
+}
+
+}  // namespace
+}  // namespace tacc::core

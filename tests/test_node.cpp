@@ -1,0 +1,224 @@
+// Node hardware surfaces: MSR semantics (fixed counters, event-select
+// programming, PMC budget, RAPL units and 32-bit wrap), PCI config space,
+// failure injection, process lifecycle.
+#include <gtest/gtest.h>
+
+#include "simhw/msr.hpp"
+#include "simhw/node.hpp"
+#include "simhw/pci.hpp"
+
+namespace tacc::simhw {
+namespace {
+
+NodeConfig small_config(Microarch uarch = Microarch::Haswell,
+                        bool ht = false) {
+  NodeConfig nc;
+  nc.hostname = "c500-001";
+  nc.uarch = uarch;
+  nc.topology = Topology{2, 4, ht};
+  return nc;
+}
+
+TEST(Node, CpuidMatchesArch) {
+  Node node(small_config(Microarch::IvyBridge));
+  const auto id = node.cpuid();
+  EXPECT_EQ(id.family, 6);
+  EXPECT_EQ(id.model, 62);
+  EXPECT_NE(id.model_name.find("E5-2680 v2"), std::string::npos);
+}
+
+TEST(Node, FixedCountersReadTruth) {
+  Node node(small_config());
+  node.state().cores[3].instructions = 123456789;
+  node.state().cores[3].cycles = 987654321;
+  EXPECT_EQ(node.read_msr(3, msr::kFixedCtrInstructions), 123456789u);
+  EXPECT_EQ(node.read_msr(3, msr::kFixedCtrCycles), 987654321u);
+  EXPECT_EQ(node.read_msr(0, msr::kFixedCtrInstructions), 0u);
+}
+
+TEST(Node, FixedCountersMaskTo48Bits) {
+  Node node(small_config());
+  node.state().cores[0].instructions = (1ULL << 48) + 5;
+  EXPECT_EQ(node.read_msr(0, msr::kFixedCtrInstructions), 5u);
+}
+
+TEST(Node, UnprogrammedPmcReadsZero) {
+  Node node(small_config());
+  node.state().cores[0].events[0] = 42;
+  EXPECT_EQ(node.read_msr(0, msr::kPmcBase), 0u);
+}
+
+TEST(Node, ProgrammedPmcCountsSelectedEvent) {
+  Node node(small_config());
+  const auto& enc = node.arch().pmc_events[0];  // FpScalar on hsw
+  node.write_msr(0, msr::kPerfEvtSelBase,
+                 msr::make_evtsel(enc.event_select, enc.umask));
+  node.state().cores[0].events[static_cast<std::size_t>(enc.event)] = 777;
+  EXPECT_EQ(node.read_msr(0, msr::kPmcBase), 777u);
+}
+
+TEST(Node, DisabledEvtselCountsNothing) {
+  Node node(small_config());
+  const auto& enc = node.arch().pmc_events[0];
+  // Write encoding without the enable bit.
+  node.write_msr(0, msr::kPerfEvtSelBase,
+                 msr::make_evtsel(enc.event_select, enc.umask) &
+                     ~msr::kEvtSelEnable);
+  node.state().cores[0].events[static_cast<std::size_t>(enc.event)] = 777;
+  EXPECT_EQ(node.read_msr(0, msr::kPmcBase), 0u);
+}
+
+TEST(Node, WrongArchEncodingCountsNothing) {
+  // Program the Nehalem FpScalar encoding on a Haswell part: the PMU does
+  // not implement it, so the counter stays at zero.
+  Node node(small_config(Microarch::Haswell));
+  const auto& nhm = arch_spec(Microarch::Nehalem).pmc_events[0];
+  const auto& hsw = arch_spec(Microarch::Haswell).pmc_events[0];
+  ASSERT_TRUE(nhm.event_select != hsw.event_select ||
+              nhm.umask != hsw.umask);
+  node.write_msr(0, msr::kPerfEvtSelBase,
+                 msr::make_evtsel(nhm.event_select, nhm.umask));
+  node.state().cores[0].events[static_cast<std::size_t>(hsw.event)] = 777;
+  EXPECT_EQ(node.read_msr(0, msr::kPmcBase), 0u);
+}
+
+TEST(Node, HtLimitsPmcBudget) {
+  Node node(small_config(Microarch::Haswell, /*ht=*/true));
+  // Counter index 4 does not exist with hyperthreading on.
+  EXPECT_THROW(node.read_msr(0, msr::kPmcBase + 4), MsrError);
+  EXPECT_THROW(node.write_msr(0, msr::kPerfEvtSelBase + 4, 0), MsrError);
+  // Index 3 is fine.
+  EXPECT_NO_THROW(node.read_msr(0, msr::kPmcBase + 3));
+}
+
+TEST(Node, NoHtAllowsEightPmcs) {
+  Node node(small_config(Microarch::Haswell, /*ht=*/false));
+  EXPECT_NO_THROW(node.read_msr(0, msr::kPmcBase + 7));
+  EXPECT_THROW(node.read_msr(0, msr::kPmcBase + 8), MsrError);
+}
+
+TEST(Node, BadCpuAndUnknownMsrThrow) {
+  Node node(small_config());
+  EXPECT_THROW(node.read_msr(-1, msr::kFixedCtrCycles), MsrError);
+  EXPECT_THROW(node.read_msr(99, msr::kFixedCtrCycles), MsrError);
+  EXPECT_THROW(node.read_msr(0, 0xDEAD), MsrError);
+  EXPECT_THROW(node.write_msr(0, msr::kFixedCtrCycles, 1), MsrError);
+}
+
+TEST(Node, RaplUnitRegister) {
+  Node node(small_config());
+  const auto unit = node.read_msr(0, msr::kRaplPowerUnit);
+  EXPECT_EQ((unit >> msr::kEnergyStatusUnitsShift) & 0x1F,
+            static_cast<std::uint64_t>(msr::kEnergyStatusUnits));
+}
+
+TEST(Node, RaplEnergyConversion) {
+  Node node(small_config());
+  // 1 J = 1e6 uJ truth -> register counts in 2^-16 J units = 65536.
+  node.state().sockets[0].energy_pkg_uj = 1000000;
+  EXPECT_EQ(node.read_msr(0, msr::kPkgEnergyStatus), 65536u);
+}
+
+TEST(Node, RaplCounterWrapsAt32Bits) {
+  Node node(small_config());
+  // Truth energy equivalent to exactly 2^32 register units + 3.
+  const std::uint64_t uj =
+      (((1ULL << 32) + 3) * 1000000ULL) >> 16;  // inverse of the conversion
+  node.state().sockets[0].energy_pkg_uj = uj;
+  const auto reg = node.read_msr(0, msr::kPkgEnergyStatus);
+  EXPECT_LT(reg, 16u);  // wrapped near zero (rounding slack)
+}
+
+TEST(Node, RaplIsPerSocket) {
+  Node node(small_config());
+  node.state().sockets[1].energy_dram_uj = 2000000;
+  // cpu 4 is on socket 1 (2 sockets x 4 cores).
+  EXPECT_EQ(node.read_msr(4, msr::kDramEnergyStatus), 131072u);
+  EXPECT_EQ(node.read_msr(0, msr::kDramEnergyStatus), 0u);
+}
+
+TEST(Node, PciUncoreReads) {
+  Node node(small_config(Microarch::Haswell));
+  node.state().sockets[1].imc_cas_reads = 1111;
+  node.state().sockets[1].imc_cas_writes = 2222;
+  node.state().sockets[1].qpi_data_flits = 3333;
+  EXPECT_EQ(node.pci_read64(1, pci::kImcDevice, pci::kImcFunction,
+                            pci::kImcCasReadsOffset),
+            1111u);
+  EXPECT_EQ(node.pci_read64(1, pci::kImcDevice, pci::kImcFunction,
+                            pci::kImcCasWritesOffset),
+            2222u);
+  EXPECT_EQ(node.pci_read64(1, pci::kQpiDevice, pci::kQpiFunction,
+                            pci::kQpiDataFlitsOffset),
+            3333u);
+}
+
+TEST(Node, PciUncoreMasksTo48Bits) {
+  Node node(small_config());
+  node.state().sockets[0].imc_cas_reads = (1ULL << 48) + 9;
+  EXPECT_EQ(node.pci_read64(0, pci::kImcDevice, pci::kImcFunction,
+                            pci::kImcCasReadsOffset),
+            9u);
+}
+
+TEST(Node, PciAbsentOnMsrUncoreArchs) {
+  Node node(small_config(Microarch::Westmere));
+  EXPECT_FALSE(node.pci_read64(0, pci::kImcDevice, pci::kImcFunction,
+                               pci::kImcCasReadsOffset)
+                   .has_value());
+}
+
+TEST(Node, PciUnknownDeviceIsEmpty) {
+  Node node(small_config());
+  EXPECT_FALSE(node.pci_read64(0, 0x42, 0, 0).has_value());
+  EXPECT_FALSE(node.pci_read64(9, pci::kImcDevice, 0,
+                               pci::kImcCasReadsOffset)
+                   .has_value());
+}
+
+TEST(Node, FailureMakesAccessThrow) {
+  Node node(small_config());
+  node.set_failed(true);
+  EXPECT_THROW(node.read_msr(0, msr::kFixedCtrCycles), NodeFailedError);
+  EXPECT_THROW(node.read_file("/proc/stat"), NodeFailedError);
+  EXPECT_THROW(node.cpuid(), NodeFailedError);
+  EXPECT_THROW(node.list_pids(), NodeFailedError);
+  node.set_failed(false);
+  EXPECT_NO_THROW(node.read_msr(0, msr::kFixedCtrCycles));
+}
+
+TEST(Node, ProcessLifecycle) {
+  Node node(small_config());
+  ProcessInfo p;
+  p.pid = 1234;
+  p.name = "wrf.exe";
+  node.spawn_process(p);
+  EXPECT_EQ(node.list_pids(), std::vector<int>{1234});
+  EXPECT_TRUE(node.read_file("/proc/1234/status").has_value());
+  node.kill_process(1234);
+  EXPECT_TRUE(node.list_pids().empty());
+  EXPECT_FALSE(node.read_file("/proc/1234/status").has_value());
+  node.kill_process(1234);  // idempotent
+}
+
+TEST(Node, UnknownPathsReturnEmpty) {
+  Node node(small_config());
+  EXPECT_FALSE(node.read_file("/proc/bogus").has_value());
+  EXPECT_FALSE(node.read_file("/proc/99/status").has_value());
+  EXPECT_TRUE(node.list_dir("/nonexistent").empty());
+}
+
+TEST(Node, OptionalHardwareAbsence) {
+  auto nc = small_config();
+  nc.has_lustre = false;
+  nc.has_ib = false;
+  nc.has_phi = false;
+  Node node(nc);
+  EXPECT_TRUE(node.list_dir("/proc/fs/lustre/llite").empty());
+  EXPECT_TRUE(node.list_dir("/sys/class/infiniband").empty());
+  EXPECT_TRUE(node.list_dir("/sys/class/mic").empty());
+  EXPECT_FALSE(node.read_file("/proc/sys/lnet/stats").has_value());
+}
+
+}  // namespace
+}  // namespace tacc::simhw

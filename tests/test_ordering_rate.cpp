@@ -1,0 +1,163 @@
+// ORDER BY/LIMIT in the store, date browsing in the portal, OSS queueing
+// in the engine, and the tsdb rate() conversion.
+#include <gtest/gtest.h>
+
+#include "pipeline/ingest.hpp"
+#include "portal/search.hpp"
+#include "tsdb/store.hpp"
+#include "workload/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace tacc {
+namespace {
+
+TEST(SelectOrdered, SortsAndLimits) {
+  db::Table t("t", {{"k", db::ValueType::Int},
+                    {"v", db::ValueType::Real}});
+  t.insert({3, 1.0});
+  t.insert({1, 2.0});
+  t.insert({2, 3.0});
+  t.insert({1, 4.0});  // ties keep insertion order (stable sort)
+  const auto asc = t.select_ordered({}, "k");
+  ASSERT_EQ(asc.size(), 4u);
+  EXPECT_EQ(t.at(asc[0], "v").as_real(), 2.0);
+  EXPECT_EQ(t.at(asc[1], "v").as_real(), 4.0);
+  EXPECT_EQ(t.at(asc[3], "k").as_int(), 3);
+  const auto desc = t.select_ordered({}, "k", true, 2);
+  ASSERT_EQ(desc.size(), 2u);
+  EXPECT_EQ(t.at(desc[0], "k").as_int(), 3);
+  EXPECT_EQ(t.at(desc[1], "k").as_int(), 2);
+}
+
+TEST(SelectOrdered, WithPredicates) {
+  db::Table t("t", {{"k", db::ValueType::Int}});
+  for (int i = 0; i < 10; ++i) t.insert({i});
+  const auto rows = t.select_ordered(
+      {{"k", db::Op::Gte, db::Value(5)}}, "k", true, 3);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(t.at(rows[0], "k").as_int(), 9);
+  EXPECT_EQ(t.at(rows[2], "k").as_int(), 7);
+}
+
+TEST(BrowseDate, NewestFirstWithinDay) {
+  db::Database database;
+  auto& jobs = pipeline::create_jobs_table(database);
+  auto add = [&](long id, util::SimTime start) {
+    workload::AccountingRecord a;
+    a.jobid = id;
+    a.user = "u";
+    a.exe = "x";
+    a.queue = "normal";
+    a.status = "COMPLETED";
+    a.nodes = 1;
+    a.start_time = start;
+    a.end_time = start + util::kHour;
+    pipeline::ingest_job(jobs, a, pipeline::JobMetrics{}, {});
+  };
+  const auto day = util::make_time(2016, 1, 9);
+  add(1, day + 8 * util::kHour);
+  add(2, day + 20 * util::kHour);
+  add(3, day - util::kHour);        // previous day
+  add(4, day + util::kDay);         // next day
+  const auto rows = portal::browse_date(jobs, day + 13 * util::kHour);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(jobs.at(rows[0], "jobid").as_int(), 2);  // newest first
+  EXPECT_EQ(jobs.at(rows[1], "jobid").as_int(), 1);
+}
+
+TEST(OssContention, StormlikeOscLoadInflatesWait) {
+  auto run = [](bool with_hog) {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = with_hog ? 9 : 1;
+    cc.topology = simhw::Topology{2, 4, false};
+    simhw::Cluster cluster(cc);
+    workload::Engine engine(cluster, 0);
+    workload::JobSpec victim;
+    victim.jobid = 1;
+    victim.profile = "wrf";
+    victim.exe = "wrf.exe";
+    victim.nodes = 1;
+    victim.wayness = 8;
+    victim.start_time = 0;
+    victim.end_time = 2 * util::kHour;
+    engine.start_job(victim, {0});
+    if (with_hog) {
+      workload::JobSpec hog;
+      hog.jobid = 2;
+      hog.profile = "genomics_io";  // ~260 OSS reqs/s/node
+      hog.exe = "blastn";
+      hog.nodes = 8;
+      hog.wayness = 8;
+      hog.start_time = 0;
+      hog.end_time = 2 * util::kHour;
+      hog.io_mult = 20.0;  // a pathological OSS load (~42k reqs/s total)
+      engine.start_job(hog, {1, 2, 3, 4, 5, 6, 7, 8});
+    }
+    engine.advance(util::kHour);
+    const auto& lu = cluster.node(0).state().lustre;
+    std::uint64_t reqs = 0;
+    std::uint64_t wait = 0;
+    for (int i = 0; i < simhw::LustreState::kNumOsts; ++i) {
+      reqs += lu.osc_reqs[i];
+      wait += lu.osc_wait_us[i];
+    }
+    return static_cast<double>(wait) / static_cast<double>(reqs);
+  };
+  const double quiet = run(false);
+  const double loaded = run(true);
+  EXPECT_NEAR(quiet, 600.0, 60.0);  // wrf base OSS wait
+  EXPECT_GT(loaded, 1.6 * quiet);
+}
+
+TEST(TsdbRate, ConvertsCumulativeToRates) {
+  tsdb::Store store;
+  // Cumulative counter: +600 per minute -> 10/s.
+  for (int i = 0; i < 5; ++i) {
+    store.put("ctr", {{"host", "h"}}, i * util::kMinute, i * 600.0);
+  }
+  tsdb::Query q;
+  q.metric = "ctr";
+  q.rate = true;
+  const auto results = store.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].points.size(), 4u);  // n-1 rate points
+  for (const auto& p : results[0].points) {
+    EXPECT_DOUBLE_EQ(p.value, 10.0);
+  }
+}
+
+TEST(TsdbRate, CounterResetClampsToZero) {
+  tsdb::Store store;
+  store.put("ctr", {}, 0, 1000.0);
+  store.put("ctr", {}, util::kMinute, 1600.0);
+  store.put("ctr", {}, 2 * util::kMinute, 50.0);  // reset (node reboot)
+  tsdb::Query q;
+  q.metric = "ctr";
+  q.rate = true;
+  const auto results = store.query(q);
+  ASSERT_EQ(results[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(results[0].points[1].value, 0.0);
+}
+
+TEST(TsdbRate, ComposesWithDownsampleAndGroupBy) {
+  tsdb::Store store;
+  for (const char* host : {"h1", "h2"}) {
+    for (int i = 0; i < 11; ++i) {
+      store.put("ctr", {{"host", host}}, i * util::kMinute, i * 60.0);
+    }
+  }
+  tsdb::Query q;
+  q.metric = "ctr";
+  q.rate = true;
+  q.downsample = 5 * util::kMinute;
+  q.aggregator = tsdb::Aggregator::Sum;  // across the two hosts
+  const auto results = store.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  for (const auto& p : results[0].points) {
+    EXPECT_DOUBLE_EQ(p.value, 2.0);  // 1/s per host, summed
+  }
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,187 @@
+// Portal: search-field grammar, query compilation, views, histograms,
+// reports.
+#include <gtest/gtest.h>
+
+#include "pipeline/ingest.hpp"
+#include "portal/report.hpp"
+#include "portal/search.hpp"
+#include "portal/views.hpp"
+
+namespace tacc::portal {
+namespace {
+
+using pipeline::JobMetrics;
+
+db::Database& populated(db::Database& database) {
+  auto& jobs = pipeline::create_jobs_table(database);
+  auto insert = [&](long id, const char* user, const char* exe,
+                    const char* queue, double cpu, double mdr,
+                    util::SimTime start, double runtime_s,
+                    const std::vector<pipeline::Flag>& flags = {}) {
+    workload::AccountingRecord a;
+    a.jobid = id;
+    a.user = user;
+    a.exe = exe;
+    a.jobname = "run";
+    a.queue = queue;
+    a.status = "COMPLETED";
+    a.nodes = 4;
+    a.wayness = 16;
+    a.submit_time = start - util::kMinute;
+    a.start_time = start;
+    a.end_time = start + util::from_seconds(runtime_s);
+    JobMetrics m;
+    m.CPU_Usage = cpu;
+    m.MetaDataRate = mdr;
+    m.MemUsage = 5.0;
+    pipeline::ingest_job(jobs, a, m, flags);
+  };
+  const auto day = util::make_time(2016, 1, 4);
+  insert(1, "alice", "wrf.exe", "normal", 0.8, 1000.0, day, 7200);
+  insert(2, "bob", "wrf.exe", "normal", 0.6, 600000.0,
+         day + 2 * util::kHour, 3600,
+         {{"high_metadata_rate", "storm"}});
+  insert(3, "alice", "namd2", "normal", 0.9, 100.0, day + util::kDay, 600);
+  insert(4, "carol", "R", "largemem", 0.5, 50.0, day, 5400);
+  return database;
+}
+
+TEST(Search, ParseFieldOperators) {
+  auto p = parse_search_field("MetaDataRate__gte=1000");
+  EXPECT_EQ(p.column, "MetaDataRate");
+  EXPECT_EQ(p.op, db::Op::Gte);
+  EXPECT_DOUBLE_EQ(p.rhs.as_real(), 1000.0);
+  EXPECT_EQ(parse_search_field("cpi__lt=2").op, db::Op::Lt);
+  EXPECT_EQ(parse_search_field("x__lte=2").op, db::Op::Lte);
+  EXPECT_EQ(parse_search_field("x__gt=2").op, db::Op::Gt);
+  EXPECT_EQ(parse_search_field("x__ne=2").op, db::Op::Ne);
+  EXPECT_EQ(parse_search_field("x__eq=2").op, db::Op::Eq);
+  EXPECT_EQ(parse_search_field("flags__contains=idle").op,
+            db::Op::Contains);
+}
+
+TEST(Search, DefaultOpIsEq) {
+  const auto p = parse_search_field("user=alice");
+  EXPECT_EQ(p.op, db::Op::Eq);
+  EXPECT_EQ(p.rhs.as_text(), "alice");
+}
+
+TEST(Search, NumericVsTextValues) {
+  EXPECT_EQ(parse_search_field("a=1.5").rhs.type(), db::ValueType::Real);
+  EXPECT_EQ(parse_search_field("a=abc").rhs.type(), db::ValueType::Text);
+}
+
+TEST(Search, MalformedFieldsThrow) {
+  EXPECT_THROW(parse_search_field("noequals"), std::invalid_argument);
+  EXPECT_THROW(parse_search_field("=5"), std::invalid_argument);
+  EXPECT_THROW(parse_search_field("a__bogus=5"), std::invalid_argument);
+}
+
+TEST(Search, RunQueryCombinesMetadataAndFields) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  PortalQuery q;
+  q.exe = "wrf.exe";
+  q.date_start = util::make_time(2016, 1, 4);
+  q.date_end = util::make_time(2016, 1, 5);
+  q.min_runtime_s = 600.0;  // "over 10 minutes in runtime"
+  q.search_fields = {"MetaDataRate__gte=100000"};
+  const auto rows = run_query(jobs, q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(jobs.at(rows[0], "jobid").as_int(), 2);
+}
+
+TEST(Search, JobIdLookup) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  PortalQuery q;
+  q.jobid = 3;
+  const auto rows = run_query(jobs, q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(jobs.at(rows[0], "exe").as_text(), "namd2");
+}
+
+TEST(Search, QueueAndUserFilters) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  PortalQuery q;
+  q.queue = "largemem";
+  EXPECT_EQ(run_query(jobs, q).size(), 1u);
+  PortalQuery q2;
+  q2.user = "alice";
+  EXPECT_EQ(run_query(jobs, q2).size(), 2u);
+}
+
+TEST(Views, JobListShowsMetadata) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto rows = jobs.select({});
+  const auto view = job_list_view(jobs, rows);
+  EXPECT_NE(view.find("4 jobs matched"), std::string::npos);
+  EXPECT_NE(view.find("alice"), std::string::npos);
+  EXPECT_NE(view.find("wrf.exe"), std::string::npos);
+  EXPECT_NE(view.find("largemem"), std::string::npos);
+  EXPECT_NE(view.find("2h 00m 00s"), std::string::npos);
+}
+
+TEST(Views, JobListHonorsLimit) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto rows = jobs.select({});
+  const auto view = job_list_view(jobs, rows, 2);
+  EXPECT_NE(view.find("showing first 2"), std::string::npos);
+  EXPECT_EQ(view.find("carol"), std::string::npos);
+}
+
+TEST(Views, FlaggedSublist) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto rows = jobs.select({});
+  EXPECT_EQ(flagged_rows(jobs, rows).size(), 1u);
+  const auto view = flagged_sublist(jobs, rows);
+  EXPECT_NE(view.find("1 flagged jobs"), std::string::npos);
+  EXPECT_NE(view.find("high_metadata_rate"), std::string::npos);
+  EXPECT_NE(view.find("bob"), std::string::npos);
+}
+
+TEST(Views, DetailShowsMetricsAndNa) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto rows = jobs.select({{"jobid", db::Op::Eq, db::Value(2)}});
+  const auto view = job_detail_view(jobs, rows.front());
+  EXPECT_NE(view.find("Job 2 (bob, wrf.exe)"), std::string::npos);
+  EXPECT_NE(view.find("MetaDataRate"), std::string::npos);
+  EXPECT_NE(view.find("6e+05"), std::string::npos);  // 600000 at %.5g
+  EXPECT_NE(view.find("n/a"), std::string::npos);     // NULL metrics
+  EXPECT_NE(view.find("high_metadata_rate"), std::string::npos);
+}
+
+TEST(Views, HistogramsHaveFourPanels) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto text = query_histograms(jobs, jobs.select({}));
+  EXPECT_NE(text.find("Run time (hours)"), std::string::npos);
+  EXPECT_NE(text.find("Nodes"), std::string::npos);
+  EXPECT_NE(text.find("Queue wait time (hours)"), std::string::npos);
+  EXPECT_NE(text.find("Max metadata reqs"), std::string::npos);
+}
+
+TEST(Report, PopulationSummaryPercentages) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto text = population_summary(jobs, jobs.select({}));
+  EXPECT_NE(text.find("4 jobs, 1 flagged (25%)"), std::string::npos);
+  EXPECT_NE(text.find("high_metadata_rate"), std::string::npos);
+  EXPECT_NE(text.find("CPU_Usage"), std::string::npos);
+}
+
+TEST(Report, DailyReportFiltersByDay) {
+  db::Database database;
+  const auto& jobs = populated(database).table(pipeline::kJobsTable);
+  const auto text = daily_report(jobs, util::make_time(2016, 1, 4));
+  EXPECT_NE(text.find("3 jobs"), std::string::npos);  // job 3 is next day
+  EXPECT_NE(text.find("2016-01-04"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tacc::portal

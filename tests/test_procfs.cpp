@@ -1,0 +1,217 @@
+// procfs/sysfs text renderers: genuine Linux/Lustre formats, unit quirks.
+#include <gtest/gtest.h>
+
+#include "simhw/node.hpp"
+#include "simhw/procfs.hpp"
+#include "util/clock.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::simhw {
+namespace {
+
+Node make_node() {
+  NodeConfig nc;
+  nc.hostname = "c401-102";
+  nc.topology = Topology{2, 2, false};  // 4 cpus
+  return Node(nc);
+}
+
+TEST(Procfs, StatLayout) {
+  Node node = make_node();
+  node.state().cores[0].user = 100;
+  node.state().cores[0].idle = 900;
+  node.state().cores[2].user = 50;
+  const auto text = *node.read_file("/proc/stat");
+  const auto lines = util::split_lines(text);
+  // Aggregate line sums the cores.
+  EXPECT_TRUE(util::starts_with(lines[0], "cpu  150 "));
+  // Per-cpu lines.
+  EXPECT_TRUE(util::starts_with(lines[1], "cpu0 100 0 0 900 0"));
+  EXPECT_TRUE(util::starts_with(lines[3], "cpu2 50 "));
+  // 1 aggregate + 4 cpus + trailer lines.
+  int cpu_lines = 0;
+  for (const auto l : lines) {
+    if (util::starts_with(l, "cpu")) ++cpu_lines;
+  }
+  EXPECT_EQ(cpu_lines, 5);
+}
+
+TEST(Procfs, MeminfoArithmeticConsistent) {
+  Node node = make_node();
+  node.state().mem.total_kb = 32 * 1024 * 1024;
+  node.state().mem.used_kb = 4 * 1024 * 1024;
+  const auto text = *node.read_file("/proc/meminfo");
+  auto grab = [&](const char* key) {
+    for (const auto l : util::split_lines(text)) {
+      if (util::starts_with(l, key)) {
+        return *util::parse_u64(util::split_ws(l)[1]);
+      }
+    }
+    return std::uint64_t{0};
+  };
+  const auto total = grab("MemTotal:");
+  const auto free_kb = grab("MemFree:");
+  const auto cached = grab("Cached:");
+  EXPECT_EQ(total, 32u * 1024 * 1024);
+  // used = total - free - cached reproduces the truth value.
+  EXPECT_EQ(total - free_kb - cached, 4u * 1024 * 1024);
+}
+
+TEST(Procfs, CpuinfoIdentifiesArch) {
+  Node node = make_node();
+  const auto text = *node.read_file("/proc/cpuinfo");
+  EXPECT_NE(text.find("GenuineIntel"), std::string::npos);
+  EXPECT_NE(text.find("model\t\t: 63"), std::string::npos);  // hsw default
+  // One "processor" stanza per logical cpu.
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("processor\t:", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Procfs, NetDevColumns) {
+  Node node = make_node();
+  node.state().eth.rx_bytes = 1000;
+  node.state().eth.rx_packets = 10;
+  node.state().eth.tx_bytes = 2000;
+  node.state().eth.tx_packets = 20;
+  const auto text = *node.read_file("/proc/net/dev");
+  for (const auto l : util::split_lines(text)) {
+    const auto t = util::trim(l);
+    if (!util::starts_with(t, "eth0:")) continue;
+    const auto fields = util::split_ws(t.substr(5));
+    ASSERT_GE(fields.size(), 16u);
+    EXPECT_EQ(*util::parse_u64(fields[0]), 1000u);   // rx bytes
+    EXPECT_EQ(*util::parse_u64(fields[1]), 10u);     // rx packets
+    EXPECT_EQ(*util::parse_u64(fields[8]), 2000u);   // tx bytes
+    EXPECT_EQ(*util::parse_u64(fields[9]), 20u);     // tx packets
+    return;
+  }
+  FAIL() << "no eth0 line";
+}
+
+TEST(Procfs, PidStatusFields) {
+  Node node = make_node();
+  ProcessInfo p;
+  p.pid = 4321;
+  p.name = "namd2";
+  p.uid = 10007;
+  p.vm_size_kb = 500000;
+  p.vm_hwm_kb = 321000;
+  p.vm_rss_kb = 320000;
+  p.threads = 4;
+  p.cpus_allowed = 0xF0;
+  node.spawn_process(p);
+  const auto text = *node.read_file("/proc/4321/status");
+  EXPECT_NE(text.find("Name:\tnamd2"), std::string::npos);
+  EXPECT_NE(text.find("Uid:\t10007"), std::string::npos);
+  EXPECT_NE(text.find("VmHWM:\t  321000 kB"), std::string::npos);
+  EXPECT_NE(text.find("Threads:\t4"), std::string::npos);
+  EXPECT_NE(text.find("Cpus_allowed:\t00000000000000f0"), std::string::npos);
+}
+
+TEST(Procfs, LliteStatsLayout) {
+  Node node = make_node();
+  auto& lu = node.state().lustre;
+  lu.read_bytes = 123456;
+  lu.read_samples = 12;
+  lu.write_bytes = 654321;
+  lu.write_samples = 21;
+  lu.open = 77;
+  lu.close = 76;
+  node.state().now_us = 1451606400 * util::kSecond;
+  const auto name = procfs::llite_instance(node);
+  EXPECT_TRUE(util::starts_with(name, "work-ffff"));
+  const auto text =
+      *node.read_file("/proc/fs/lustre/llite/" + name + "/stats");
+  EXPECT_NE(text.find("snapshot_time"), std::string::npos);
+  EXPECT_NE(text.find("read_bytes                12 samples [bytes] 0 "
+                      "1048576 123456"),
+            std::string::npos);
+  EXPECT_NE(text.find("open                      77 samples [regs]"),
+            std::string::npos);
+  EXPECT_NE(text.find("close                     76 samples [regs]"),
+            std::string::npos);
+}
+
+TEST(Procfs, MdcStatsCarriesReqsAndWait) {
+  Node node = make_node();
+  node.state().lustre.mdc_reqs = 1000;
+  node.state().lustre.mdc_wait_us = 150000;
+  const auto name = procfs::mdc_instance(node);
+  EXPECT_NE(name.find("MDT0000-mdc-"), std::string::npos);
+  const auto text = *node.read_file("/proc/fs/lustre/mdc/" + name + "/stats");
+  EXPECT_NE(text.find("req_waittime              1000 samples [usec] 0 "
+                      "500000 150000"),
+            std::string::npos);
+}
+
+TEST(Procfs, OscTargetsEnumerate) {
+  Node node = make_node();
+  const auto targets = node.list_dir("/proc/fs/lustre/osc");
+  ASSERT_EQ(targets.size(),
+            static_cast<std::size_t>(LustreState::kNumOsts));
+  EXPECT_NE(targets[0].find("OST0000-osc-"), std::string::npos);
+  EXPECT_NE(targets[3].find("OST0003-osc-"), std::string::npos);
+  node.state().lustre.osc_reqs[2] = 500;
+  node.state().lustre.osc_read_bytes[2] = 99999;
+  const auto text =
+      *node.read_file("/proc/fs/lustre/osc/" + targets[2] + "/stats");
+  EXPECT_NE(text.find("req_waittime              500 samples"),
+            std::string::npos);
+  EXPECT_NE(text.find("99999"), std::string::npos);
+}
+
+TEST(Procfs, LnetStatsElevenColumns) {
+  Node node = make_node();
+  node.state().lnet.send_count = 11;
+  node.state().lnet.recv_count = 22;
+  node.state().lnet.send_bytes = 3333;
+  node.state().lnet.recv_bytes = 4444;
+  const auto text = *node.read_file("/proc/sys/lnet/stats");
+  const auto fields = util::split_ws(util::trim(text));
+  ASSERT_EQ(fields.size(), 11u);
+  EXPECT_EQ(*util::parse_u64(fields[3]), 11u);
+  EXPECT_EQ(*util::parse_u64(fields[4]), 22u);
+  EXPECT_EQ(*util::parse_u64(fields[7]), 3333u);
+  EXPECT_EQ(*util::parse_u64(fields[8]), 4444u);
+}
+
+TEST(Procfs, IbCountersInFourByteWords) {
+  Node node = make_node();
+  node.state().ib.rx_bytes = 4000;
+  node.state().ib.tx_bytes = 8000;
+  node.state().ib.rx_packets = 7;
+  const std::string base =
+      "/sys/class/infiniband/mlx4_0/ports/1/counters_ext/";
+  EXPECT_EQ(util::trim(*node.read_file(base + "port_rcv_data_64")), "1000");
+  EXPECT_EQ(util::trim(*node.read_file(base + "port_xmit_data_64")), "2000");
+  EXPECT_EQ(util::trim(*node.read_file(base + "port_rcv_pkts_64")), "7");
+}
+
+TEST(Procfs, MicStatsWhenPhiPresent) {
+  auto nc = NodeConfig{};
+  nc.has_phi = true;
+  Node node(nc);
+  node.state().mic.user_jiffies = 10;
+  node.state().mic.sys_jiffies = 2;
+  node.state().mic.idle_jiffies = 88;
+  EXPECT_EQ(node.list_dir("/sys/class/mic"), std::vector<std::string>{"mic0"});
+  const auto text = *node.read_file("/sys/class/mic/mic0/stats");
+  EXPECT_EQ(util::trim(text), "user: 10 nice: 0 sys: 2 idle: 88");
+}
+
+TEST(Procfs, InstanceNamesAreDeterministicPerHost) {
+  Node a = make_node();
+  Node b = make_node();
+  EXPECT_EQ(procfs::llite_instance(a), procfs::llite_instance(b));
+  NodeConfig other;
+  other.hostname = "c999-001";
+  Node c(other);
+  EXPECT_NE(procfs::llite_instance(a), procfs::llite_instance(c));
+}
+
+}  // namespace
+}  // namespace tacc::simhw

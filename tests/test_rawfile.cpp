@@ -1,0 +1,174 @@
+// Raw stats file format: serialization/parsing round trips and error
+// handling.
+#include <gtest/gtest.h>
+
+#include "collect/rawfile.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::collect {
+namespace {
+
+HostLog sample_log() {
+  HostLog log;
+  log.hostname = "c401-101";
+  log.arch = "hsw";
+  log.schemas = {
+      Schema("cpu", {{"user", true, 64, "jiffies", 1.0},
+                     {"idle", true, 64, "jiffies", 1.0}}),
+      Schema("mem", {{"MemUsed", false, 64, "KB", 1.0}}),
+  };
+  Record r1;
+  r1.time = 1451606400 * util::kSecond;
+  r1.jobids = {1001};
+  r1.mark = "begin";
+  r1.blocks = {{"cpu", "0", {100, 900}},
+               {"cpu", "1", {50, 950}},
+               {"mem", "", {123456}}};
+  Record r2;
+  r2.time = r1.time + 600 * util::kSecond;
+  r2.jobids = {1001, 1002};
+  r2.blocks = {{"cpu", "0", {700, 900}},
+               {"cpu", "1", {650, 950}},
+               {"mem", "", {223456}}};
+  log.records = {r1, r2};
+  return log;
+}
+
+TEST(RawFile, HeaderFormat) {
+  const auto header = sample_log().serialize_header();
+  EXPECT_NE(header.find("$tacc_stats 2.1\n"), std::string::npos);
+  EXPECT_NE(header.find("$hostname c401-101\n"), std::string::npos);
+  EXPECT_NE(header.find("$arch hsw\n"), std::string::npos);
+  EXPECT_NE(header.find("!cpu user,E,U=jiffies idle,E,U=jiffies\n"),
+            std::string::npos);
+}
+
+TEST(RawFile, RecordFormat) {
+  const auto log = sample_log();
+  const auto text = HostLog::serialize_record(log.records[0]);
+  EXPECT_NE(text.find("1451606400 1001 begin\n"), std::string::npos);
+  EXPECT_NE(text.find("cpu 0 100 900\n"), std::string::npos);
+  EXPECT_NE(text.find("mem - 123456\n"), std::string::npos);
+  const auto multi = HostLog::serialize_record(log.records[1]);
+  EXPECT_NE(multi.find("1451607000 1001,1002\n"), std::string::npos);
+}
+
+TEST(RawFile, RoundTrip) {
+  const auto log = sample_log();
+  const auto parsed = HostLog::parse(log.serialize());
+  EXPECT_EQ(parsed.hostname, log.hostname);
+  EXPECT_EQ(parsed.arch, log.arch);
+  ASSERT_EQ(parsed.schemas.size(), 2u);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0].time, log.records[0].time);
+  EXPECT_EQ(parsed.records[0].jobids, log.records[0].jobids);
+  EXPECT_EQ(parsed.records[0].mark, "begin");
+  EXPECT_EQ(parsed.records[1].jobids, (std::vector<long>{1001, 1002}));
+  EXPECT_TRUE(parsed.records[1].mark.empty());
+  ASSERT_EQ(parsed.records[0].blocks.size(), 3u);
+  EXPECT_EQ(parsed.records[0].blocks[0].type, "cpu");
+  EXPECT_EQ(parsed.records[0].blocks[0].device, "0");
+  EXPECT_EQ(parsed.records[0].blocks[0].values,
+            (std::vector<std::uint64_t>{100, 900}));
+  EXPECT_EQ(parsed.records[0].blocks[2].device, "");
+}
+
+TEST(RawFile, EmptyJobList) {
+  HostLog log = sample_log();
+  log.records[0].jobids.clear();
+  log.records[0].mark.clear();
+  const auto parsed = HostLog::parse(log.serialize());
+  EXPECT_TRUE(parsed.records[0].jobids.empty());
+}
+
+TEST(RawFile, MissingFormatLineRejected) {
+  EXPECT_THROW(HostLog::parse("$hostname x\n!cpu user,E\n"),
+               std::invalid_argument);
+}
+
+TEST(RawFile, UnknownHeaderRejected) {
+  EXPECT_THROW(HostLog::parse("$tacc_stats 2.1\n$bogus x\n"),
+               std::invalid_argument);
+}
+
+TEST(RawFile, UnknownTypeInBodyRejected) {
+  const std::string text =
+      "$tacc_stats 2.1\n$hostname h\n$arch hsw\n!cpu user,E\n"
+      "1451606400 -\ngpu 0 1\n";
+  EXPECT_THROW(HostLog::parse(text), std::invalid_argument);
+}
+
+TEST(RawFile, ArityMismatchRejected) {
+  const std::string text =
+      "$tacc_stats 2.1\n$hostname h\n$arch hsw\n!cpu user,E idle,E\n"
+      "1451606400 -\ncpu 0 1\n";
+  EXPECT_THROW(HostLog::parse(text), std::invalid_argument);
+}
+
+TEST(RawFile, DataBeforeTimestampRejected) {
+  HostLog log = sample_log();
+  EXPECT_THROW(log.parse_records("cpu 0 1 2\n"), std::invalid_argument);
+}
+
+TEST(RawFile, BadValueRejected) {
+  const std::string text =
+      "$tacc_stats 2.1\n$hostname h\n$arch hsw\n!cpu user,E\n"
+      "1451606400 -\ncpu 0 abc\n";
+  EXPECT_THROW(HostLog::parse(text), std::invalid_argument);
+}
+
+TEST(RawFile, ParseRecordsAppends) {
+  HostLog log = sample_log();
+  const auto extra = HostLog::serialize_record(log.records[1]);
+  const std::size_t before = log.records.size();
+  log.parse_records(extra);
+  EXPECT_EQ(log.records.size(), before + 1);
+  EXPECT_EQ(log.records.back().time, log.records[1].time);
+}
+
+TEST(RawFile, HeaderOnlyParses) {
+  const auto parsed = HostLog::parse(sample_log().serialize_header());
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.schemas.size(), 2u);
+}
+
+TEST(RawFile, RandomRoundTripProperty) {
+  util::Rng rng("rawfile.prop", 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    HostLog log;
+    log.hostname = "c40" + std::to_string(trial) + "-001";
+    log.arch = "snb";
+    log.schemas = {Schema("t", {{"a", true, 48, "", 1.0},
+                                {"b", false, 64, "KB", 2.0}})};
+    const int nrec = static_cast<int>(rng.uniform_int(0, 6));
+    for (int r = 0; r < nrec; ++r) {
+      Record rec;
+      rec.time = (1451606400 + r * 600) * util::kSecond;
+      if (rng.bernoulli(0.7)) {
+        rec.jobids.push_back(rng.uniform_int(1, 1000000));
+      }
+      const int ndev = static_cast<int>(rng.uniform_int(1, 4));
+      for (int d = 0; d < ndev; ++d) {
+        rec.blocks.push_back(
+            {"t", std::to_string(d),
+             {static_cast<std::uint64_t>(rng()),
+              static_cast<std::uint64_t>(rng())}});
+      }
+      log.records.push_back(std::move(rec));
+    }
+    const auto parsed = HostLog::parse(log.serialize());
+    ASSERT_EQ(parsed.records.size(), log.records.size());
+    for (std::size_t r = 0; r < log.records.size(); ++r) {
+      EXPECT_EQ(parsed.records[r].time, log.records[r].time);
+      EXPECT_EQ(parsed.records[r].jobids, log.records[r].jobids);
+      ASSERT_EQ(parsed.records[r].blocks.size(), log.records[r].blocks.size());
+      for (std::size_t b = 0; b < log.records[r].blocks.size(); ++b) {
+        EXPECT_EQ(parsed.records[r].blocks[b].values,
+                  log.records[r].blocks[b].values);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tacc::collect

@@ -1,0 +1,186 @@
+// Deterministic RNG: reproducibility, distribution sanity, stream
+// independence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tacc::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(123);
+  Rng b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NamedSeedingIsDeterministic) {
+  Rng a("engine.job", 42);
+  Rng b("engine.job", 42);
+  Rng c("engine.job", 43);
+  EXPECT_EQ(a(), b());
+  Rng a2("engine.job", 42);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, NamedSeedingDistinguishesNames) {
+  Rng a("alpha", 1);
+  Rng b("beta", 1);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 9.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(13);
+  RunningStat s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(14);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal_median(7.0, 0.8));
+  EXPECT_NEAR(percentile(std::span<const double>(xs.data(), xs.size()), 50.0),
+              7.0, 0.35);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, ParetoMinimum) {
+  Rng rng(16);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(18);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(19);
+  const std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.weighted_index(w)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 50000.0, 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / 50000.0, 0.6, 0.015);
+}
+
+TEST(Rng, WeightedIndexNegativeWeightsIgnored) {
+  Rng rng(20);
+  const std::vector<double> w = {-5.0, 1.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.weighted_index(w), 1u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(21);
+  Rng childA = parent.split(1);
+  Rng childB = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += childA() == childB();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Fnv1aStability) {
+  // Known FNV-1a test vector.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndVaries) {
+  Rng rng(GetParam());
+  std::set<std::uint64_t> distinct;
+  for (int i = 0; i < 256; ++i) distinct.insert(rng());
+  EXPECT_GT(distinct.size(), 250u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1337, 0xffffffffULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace tacc::util

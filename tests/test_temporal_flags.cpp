@@ -1,0 +1,130 @@
+// Directional temporal diagnosis (paper section V-A): "Sudden performance
+// increases suggest a job that consists of a compilation step before it
+// runs, while sudden drops indicate application failure." End-to-end: the
+// compile-first and fail-mid-run app profiles must produce the matching
+// RampUp/TailDrop metrics and flags through the full stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/ingest.hpp"
+#include "pipeline/minisim.hpp"
+#include "workload/apps.hpp"
+
+namespace tacc::pipeline {
+namespace {
+
+workload::JobSpec base_job(const char* profile) {
+  workload::JobSpec job;
+  job.jobid = 600;
+  job.user = "u";
+  job.profile = profile;
+  job.exe = workload::find_profile(profile).exe;
+  job.nodes = 2;
+  job.wayness = 8;
+  job.start_time = util::make_time(2015, 11, 20);
+  job.end_time = job.start_time + 4 * util::kHour;
+  return job;
+}
+
+JobMetrics run(const workload::JobSpec& job) {
+  MiniSimOptions opts;
+  opts.samples = 11;
+  return compute_metrics(simulate_job(job, opts));
+}
+
+bool has_flag(const std::vector<Flag>& flags, const std::string& name) {
+  for (const auto& f : flags) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+TEST(TemporalFlags, CompileJobShowsRampUpNotTailDrop) {
+  const auto job = base_job("compile_run");
+  const auto m = run(job);
+  ASSERT_FALSE(std::isnan(m.RampUp));
+  // The compile phase keeps the CPU busy but produces no FLOPs, so the
+  // FLOP-based ramp catches it: the paper's "sudden performance increase".
+  EXPECT_LT(m.RampUp, 0.3);
+  EXPECT_GT(m.TailDrop, 0.8);
+  const auto flags = evaluate_flags(workload::to_accounting(job, {}), m);
+  EXPECT_TRUE(has_flag(flags, "cpu_ramp_up"));
+  EXPECT_FALSE(has_flag(flags, "cpu_tail_drop"));
+}
+
+TEST(TemporalFlags, FailedJobShowsTailDrop) {
+  auto job = base_job("flaky_solver");
+  job.status = "FAILED";
+  job.fail_at_frac = 0.5;
+  const auto m = run(job);
+  ASSERT_FALSE(std::isnan(m.TailDrop));
+  EXPECT_LT(m.TailDrop, 0.1);   // dead at the end
+  EXPECT_GT(m.RampUp, 0.8);     // started healthy
+  EXPECT_LT(m.catastrophe, 0.25);
+  const auto flags =
+      evaluate_flags(workload::to_accounting(job, {}), m);
+  EXPECT_TRUE(has_flag(flags, "cpu_tail_drop"));
+  EXPECT_FALSE(has_flag(flags, "cpu_ramp_up"));
+  EXPECT_TRUE(has_flag(flags, "cpu_time_variation"));
+}
+
+TEST(TemporalFlags, HealthyJobShowsNeither) {
+  const auto m = run(base_job("md_engine"));
+  EXPECT_GT(m.RampUp, 0.8);
+  EXPECT_GT(m.TailDrop, 0.8);
+  const auto flags = evaluate_flags(
+      workload::to_accounting(base_job("md_engine"), {}), m);
+  EXPECT_FALSE(has_flag(flags, "cpu_ramp_up"));
+  EXPECT_FALSE(has_flag(flags, "cpu_tail_drop"));
+}
+
+TEST(TemporalFlags, CraftedRampUpFiresDirectionally) {
+  // Metrics crafted directly: slow first window, healthy tail.
+  JobMetrics m;
+  m.RampUp = 0.1;
+  m.TailDrop = 0.95;
+  m.catastrophe = 0.1;
+  workload::AccountingRecord acct;
+  acct.queue = "normal";
+  const auto flags = evaluate_flags(acct, m);
+  EXPECT_TRUE(has_flag(flags, "cpu_ramp_up"));
+  EXPECT_FALSE(has_flag(flags, "cpu_tail_drop"));
+  // And the mirror image.
+  m.RampUp = 0.95;
+  m.TailDrop = 0.1;
+  const auto flags2 = evaluate_flags(acct, m);
+  EXPECT_FALSE(has_flag(flags2, "cpu_ramp_up"));
+  EXPECT_TRUE(has_flag(flags2, "cpu_tail_drop"));
+}
+
+TEST(TemporalFlags, BothLowMeansDropDominates) {
+  // A job that only worked in the middle: the ramp flag stays quiet (we
+  // can't distinguish compile from failure when the tail also died), the
+  // drop flag fires.
+  JobMetrics m;
+  m.RampUp = 0.1;
+  m.TailDrop = 0.1;
+  workload::AccountingRecord acct;
+  const auto flags = evaluate_flags(acct, m);
+  EXPECT_FALSE(has_flag(flags, "cpu_ramp_up"));
+  EXPECT_TRUE(has_flag(flags, "cpu_tail_drop"));
+}
+
+TEST(TemporalFlags, MetricsInDatabaseColumns) {
+  db::Database database;
+  auto& jobs = create_jobs_table(database);
+  auto job = base_job("flaky_solver");
+  job.fail_at_frac = 0.4;
+  const auto m = run(job);
+  ingest_job(jobs, workload::to_accounting(job, {}), m,
+             evaluate_flags(workload::to_accounting(job, {}), m));
+  EXPECT_FALSE(jobs.at(0, "RampUp").is_null());
+  EXPECT_FALSE(jobs.at(0, "TailDrop").is_null());
+  // The portal can search for failures directly.
+  EXPECT_EQ(jobs.select({{"TailDrop", db::Op::Lt, db::Value(0.3)}}).size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace tacc::pipeline

@@ -1,0 +1,103 @@
+// Thread pool semantics and ASCII table rendering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tacc::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(257, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZero) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 50) {
+                                     throw std::runtime_error("x");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 1000; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 500500);
+}
+
+TEST(ThreadPool, DefaultSizePositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"A", "LongHeader"});
+  t.row({"xx", "1"});
+  t.row({"y", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("A   LongHeader"), std::string::npos);
+  EXPECT_NE(s.find("xx  1"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.header({"A", "B", "C"});
+  t.row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, TruncatesLongRows) {
+  TextTable t;
+  t.header({"A"});
+  t.row({"1", "dropped"});
+  const std::string s = t.render();
+  EXPECT_EQ(s.find("dropped"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 3), "3.14");
+  EXPECT_EQ(TextTable::num(1234567.0, 4), "1.235e+06");
+}
+
+TEST(TextTable, EmptyTable) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+}
+
+}  // namespace
+}  // namespace tacc::util

@@ -1,0 +1,159 @@
+// Time-series store: tag filtering, group-by, aggregation, downsampling.
+#include <gtest/gtest.h>
+
+#include "tsdb/store.hpp"
+
+namespace tacc::tsdb {
+namespace {
+
+constexpr util::SimTime kT0 = 1451606400LL * util::kSecond;
+
+Store sample_store() {
+  Store s;
+  // Two hosts, one metric, mdc request counts every minute.
+  for (int i = 0; i < 10; ++i) {
+    s.put("lustre.mdc.reqs", {{"host", "c400-001"}, {"user", "alice"}},
+          kT0 + i * util::kMinute, 100.0 + i);
+    s.put("lustre.mdc.reqs", {{"host", "c400-002"}, {"user", "bob"}},
+          kT0 + i * util::kMinute, 10.0);
+  }
+  return s;
+}
+
+TEST(Tsdb, AggregateFunctions) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Sum, xs), 10.0);
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Avg, xs), 2.5);
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Min, xs), 1.0);
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Max, xs), 4.0);
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Count, xs), 4.0);
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Sum, {}), 0.0);
+  EXPECT_DOUBLE_EQ(aggregate(Aggregator::Count, {}), 0.0);
+}
+
+TEST(Tsdb, CountsSeriesAndPoints) {
+  const auto s = sample_store();
+  EXPECT_EQ(s.num_series(), 2u);
+  EXPECT_EQ(s.num_points(), 20u);
+}
+
+TEST(Tsdb, UnknownMetricIsEmpty) {
+  const auto s = sample_store();
+  Query q;
+  q.metric = "nope";
+  EXPECT_TRUE(s.query(q).empty());
+}
+
+TEST(Tsdb, AggregatesAcrossSeriesPerTimestamp) {
+  const auto s = sample_store();
+  Query q;
+  q.metric = "lustre.mdc.reqs";
+  q.aggregator = Aggregator::Sum;
+  const auto results = s.query(q);
+  ASSERT_EQ(results.size(), 1u);  // no group_by: one merged group
+  ASSERT_EQ(results[0].points.size(), 10u);
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 110.0);  // 100 + 10
+  EXPECT_DOUBLE_EQ(results[0].points[9].value, 119.0);
+}
+
+TEST(Tsdb, TagFilterSelectsSeries) {
+  const auto s = sample_store();
+  Query q;
+  q.metric = "lustre.mdc.reqs";
+  q.filters = {{"user", "alice"}};
+  const auto results = s.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 100.0);
+  q.filters = {{"user", "nobody"}};
+  EXPECT_TRUE(s.query(q).empty());
+  q.filters = {{"missing_tag", "x"}};
+  EXPECT_TRUE(s.query(q).empty());
+}
+
+TEST(Tsdb, GroupByProducesSeparateGroups) {
+  const auto s = sample_store();
+  Query q;
+  q.metric = "lustre.mdc.reqs";
+  q.group_by = {"host"};
+  const auto results = s.query(q);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].group_tags.at("host"), "c400-001");
+  EXPECT_EQ(results[1].group_tags.at("host"), "c400-002");
+}
+
+TEST(Tsdb, DownsampleBucketsAndAggregates) {
+  Store s;
+  for (int i = 0; i < 10; ++i) {
+    s.put("m", {{"host", "h"}}, kT0 + i * util::kMinute,
+          static_cast<double>(i));
+  }
+  Query q;
+  q.metric = "m";
+  q.downsample = 5 * util::kMinute;
+  q.downsample_aggregator = Aggregator::Avg;
+  const auto results = s.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 2.0);  // avg(0..4)
+  EXPECT_DOUBLE_EQ(results[0].points[1].value, 7.0);  // avg(5..9)
+}
+
+TEST(Tsdb, DownsampleMaxFindsPeaks) {
+  Store s;
+  s.put("m", {}, kT0, 1.0);
+  s.put("m", {}, kT0 + util::kSecond, 9.0);
+  s.put("m", {}, kT0 + 2 * util::kSecond, 2.0);
+  Query q;
+  q.metric = "m";
+  q.downsample = util::kMinute;
+  q.downsample_aggregator = Aggregator::Max;
+  const auto results = s.query(q);
+  ASSERT_EQ(results[0].points.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 9.0);
+}
+
+TEST(Tsdb, TimeRangeFilters) {
+  const auto s = sample_store();
+  Query q;
+  q.metric = "lustre.mdc.reqs";
+  q.start = kT0 + 2 * util::kMinute;
+  q.end = kT0 + 5 * util::kMinute;  // exclusive
+  const auto results = s.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].points.size(), 3u);
+}
+
+TEST(Tsdb, OutOfOrderWritesSortOnQuery) {
+  Store s;
+  s.put("m", {}, kT0 + 2 * util::kMinute, 3.0);
+  s.put("m", {}, kT0, 1.0);
+  s.put("m", {}, kT0 + util::kMinute, 2.0);
+  Query q;
+  q.metric = "m";
+  const auto results = s.query(q);
+  ASSERT_EQ(results[0].points.size(), 3u);
+  EXPECT_LT(results[0].points[0].time, results[0].points[1].time);
+  EXPECT_LT(results[0].points[1].time, results[0].points[2].time);
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 1.0);
+}
+
+TEST(Tsdb, PaperStyleTagTuple) {
+  // The paper's tag tuple: host, device type, device name, event name.
+  Store s;
+  s.put("taccstats", {{"host", "c401-101"},
+                      {"type", "mdc"},
+                      {"device", "work-MDT0000"},
+                      {"event", "reqs"}},
+        kT0, 563905.0);
+  Query q;
+  q.metric = "taccstats";
+  q.filters = {{"type", "mdc"}, {"event", "reqs"}};
+  q.group_by = {"host"};
+  const auto results = s.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].group_tags.at("host"), "c401-101");
+  EXPECT_DOUBLE_EQ(results[0].points[0].value, 563905.0);
+}
+
+}  // namespace
+}  // namespace tacc::tsdb

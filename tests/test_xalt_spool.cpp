@@ -1,0 +1,185 @@
+// XALT environment tracking and the file-backed spool.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "simhw/node.hpp"
+#include "collect/registry.hpp"
+#include "transport/spool.hpp"
+#include "xalt/xalt.hpp"
+
+namespace tacc {
+namespace {
+
+namespace fs = std::filesystem;
+
+workload::JobSpec wrf_job(long id = 42) {
+  workload::JobSpec job;
+  job.jobid = id;
+  job.user = "alice";
+  job.uid = 10001;
+  job.profile = "wrf";
+  job.exe = "wrf.exe";
+  return job;
+}
+
+TEST(Xalt, SynthesisIsDeterministic) {
+  const auto a = xalt::synthesize_record(wrf_job());
+  const auto b = xalt::synthesize_record(wrf_job());
+  EXPECT_EQ(a.exe_path, b.exe_path);
+  EXPECT_EQ(a.modules, b.modules);
+  EXPECT_EQ(a.libraries, b.libraries);
+}
+
+TEST(Xalt, WrfEnvironmentLooksRight) {
+  const auto rec = xalt::synthesize_record(wrf_job());
+  EXPECT_EQ(rec.jobid, 42);
+  EXPECT_NE(rec.exe_path.find("alice/bin/wrf.exe"), std::string::npos);
+  EXPECT_EQ(rec.compiler, "intel/15.0.2");
+  EXPECT_EQ(rec.mpi, "mvapich2/2.1");
+  bool netcdf = false;
+  for (const auto& m : rec.modules) netcdf |= m.find("netcdf") == 0;
+  EXPECT_TRUE(netcdf);
+}
+
+TEST(Xalt, UnvectorizedCohortUsesOldGcc) {
+  auto job = wrf_job(43);
+  job.profile = "cfd_scalar";
+  job.exe = "simpleFoam";
+  const auto rec = xalt::synthesize_record(job);
+  EXPECT_EQ(rec.compiler, "gcc/4.4.7");  // the diagnosis in section V-A
+}
+
+TEST(Xalt, GigeCohortShowsHomeBuiltMpi) {
+  auto job = wrf_job(44);
+  job.profile = "mpi_gige";
+  const auto rec = xalt::synthesize_record(job);
+  EXPECT_NE(rec.mpi.find("home-built"), std::string::npos);
+}
+
+TEST(Xalt, TableRoundTrip) {
+  db::Database database;
+  auto& table = xalt::create_xalt_table(database);
+  const auto rec = xalt::synthesize_record(wrf_job(77));
+  xalt::ingest_record(table, rec);
+  const auto found = xalt::lookup(table, 77);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->exe_path, rec.exe_path);
+  EXPECT_EQ(found->modules, rec.modules);
+  EXPECT_EQ(found->libraries, rec.libraries);
+  EXPECT_FALSE(xalt::lookup(table, 999).has_value());
+}
+
+TEST(Xalt, RenderContainsModulesAndLibraries) {
+  const auto text =
+      xalt::render_environment(xalt::synthesize_record(wrf_job()));
+  EXPECT_NE(text.find("Modules:"), std::string::npos);
+  EXPECT_NE(text.find("intel/15.0.2"), std::string::npos);
+  EXPECT_NE(text.find("libnetcdff.so.6"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+class SpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("ts_spool_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+  fs::path root_;
+};
+
+collect::HostLog sample_log(const char* host, util::SimTime t0, int records) {
+  simhw::NodeConfig nc;
+  nc.hostname = host;
+  nc.topology = simhw::Topology{1, 2, false};
+  simhw::Node node(nc);
+  collect::HostSampler sampler(node);
+  auto log = sampler.make_log();
+  for (int r = 0; r < records; ++r) {
+    log.records.push_back(
+        sampler.sample(t0 + r * 10 * util::kMinute, {1}, ""));
+  }
+  return log;
+}
+
+TEST_F(SpoolTest, WriteAndReadBack) {
+  transport::Spool spool(root_);
+  const auto t0 = util::make_time(2016, 1, 4, 8, 0);
+  const auto log = sample_log("c400-001", t0, 3);
+  EXPECT_EQ(spool.write_host(log), 1u);
+  EXPECT_EQ(spool.days(), std::vector<std::string>{"2016-01-04"});
+  EXPECT_EQ(spool.hosts("2016-01-04"),
+            std::vector<std::string>{"c400-001"});
+  const auto read = spool.read_host("2016-01-04", "c400-001");
+  EXPECT_EQ(read.hostname, "c400-001");
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.records[0].time, t0);
+  EXPECT_EQ(read.records[0].blocks.size(), log.records[0].blocks.size());
+}
+
+TEST_F(SpoolTest, SplitsAcrossMidnight) {
+  transport::Spool spool(root_);
+  // Records straddling midnight land in two daily files.
+  const auto t0 = util::make_time(2016, 1, 4, 23, 45);
+  EXPECT_EQ(spool.write_host(sample_log("c400-001", t0, 4)), 2u);
+  const auto days = spool.days();
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[0], "2016-01-04");
+  EXPECT_EQ(days[1], "2016-01-05");
+  EXPECT_EQ(spool.read_host("2016-01-04", "c400-001").records.size(), 2u);
+  EXPECT_EQ(spool.read_host("2016-01-05", "c400-001").records.size(), 2u);
+}
+
+TEST_F(SpoolTest, AppendsWithoutDuplicateHeader) {
+  transport::Spool spool(root_);
+  const auto t0 = util::make_time(2016, 1, 4, 8, 0);
+  spool.write_host(sample_log("c400-001", t0, 2));
+  spool.write_host(sample_log("c400-001", t0 + util::kHour, 2));
+  const auto read = spool.read_host("2016-01-04", "c400-001");
+  EXPECT_EQ(read.records.size(), 4u);  // parse fails on duplicate headers
+}
+
+TEST_F(SpoolTest, LoadDayIntoArchive) {
+  transport::Spool spool(root_);
+  const auto t0 = util::make_time(2016, 1, 4, 8, 0);
+  spool.write_host(sample_log("c400-001", t0, 3));
+  spool.write_host(sample_log("c400-002", t0, 2));
+  transport::RawArchive archive;
+  EXPECT_EQ(spool.load_day("2016-01-04", archive), 5u);
+  EXPECT_EQ(archive.hosts().size(), 2u);
+  EXPECT_EQ(archive.log("c400-001").records.size(), 3u);
+  EXPECT_FALSE(archive.log("c400-002").schemas.empty());
+}
+
+TEST_F(SpoolTest, WriteArchiveRoundTrip) {
+  transport::RawArchive archive;
+  const auto t0 = util::make_time(2016, 1, 4, 8, 0);
+  const auto log = sample_log("c400-003", t0, 2);
+  archive.add_header(log.hostname, log.arch, log.schemas);
+  for (const auto& r : log.records) archive.append(log.hostname, r, r.time);
+  transport::Spool spool(root_);
+  EXPECT_EQ(spool.write_archive(archive), 1u);
+  transport::RawArchive reloaded;
+  spool.load_day("2016-01-04", reloaded);
+  EXPECT_EQ(reloaded.total_records(), 2u);
+}
+
+TEST_F(SpoolTest, MissingFileThrows) {
+  transport::Spool spool(root_);
+  EXPECT_THROW(spool.read_host("2016-01-04", "nope"), std::runtime_error);
+  EXPECT_TRUE(spool.hosts("2016-09-09").empty());
+}
+
+TEST_F(SpoolTest, DayKey) {
+  EXPECT_EQ(transport::Spool::day_key(util::make_time(2016, 1, 4, 23, 59)),
+            "2016-01-04");
+  EXPECT_EQ(transport::Spool::day_key(util::make_time(2016, 1, 5, 0, 0)),
+            "2016-01-05");
+}
+
+}  // namespace
+}  // namespace tacc
