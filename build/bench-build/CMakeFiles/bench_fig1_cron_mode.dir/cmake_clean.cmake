@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_cron_mode"
+  "../bench/bench_fig1_cron_mode.pdb"
+  "CMakeFiles/bench_fig1_cron_mode.dir/bench_fig1_cron_mode.cpp.o"
+  "CMakeFiles/bench_fig1_cron_mode.dir/bench_fig1_cron_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cron_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

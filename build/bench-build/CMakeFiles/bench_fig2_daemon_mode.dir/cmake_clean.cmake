@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_daemon_mode"
+  "../bench/bench_fig2_daemon_mode.pdb"
+  "CMakeFiles/bench_fig2_daemon_mode.dir/bench_fig2_daemon_mode.cpp.o"
+  "CMakeFiles/bench_fig2_daemon_mode.dir/bench_fig2_daemon_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_daemon_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

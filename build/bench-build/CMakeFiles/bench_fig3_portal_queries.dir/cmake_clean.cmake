@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_portal_queries"
+  "../bench/bench_fig3_portal_queries.pdb"
+  "CMakeFiles/bench_fig3_portal_queries.dir/bench_fig3_portal_queries.cpp.o"
+  "CMakeFiles/bench_fig3_portal_queries.dir/bench_fig3_portal_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_portal_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_job_timeseries"
+  "../bench/bench_fig5_job_timeseries.pdb"
+  "CMakeFiles/bench_fig5_job_timeseries.dir/bench_fig5_job_timeseries.cpp.o"
+  "CMakeFiles/bench_fig5_job_timeseries.dir/bench_fig5_job_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_job_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec5_population.cpp" "bench-build/CMakeFiles/bench_sec5_population.dir/bench_sec5_population.cpp.o" "gcc" "bench-build/CMakeFiles/bench_sec5_population.dir/bench_sec5_population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/ts_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/portal/CMakeFiles/ts_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/xalt/CMakeFiles/ts_xalt.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ts_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/ts_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ts_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ts_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/ts_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

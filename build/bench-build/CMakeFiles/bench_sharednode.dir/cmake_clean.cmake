@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sharednode"
+  "../bench/bench_sharednode.pdb"
+  "CMakeFiles/bench_sharednode.dir/bench_sharednode.cpp.o"
+  "CMakeFiles/bench_sharednode.dir/bench_sharednode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharednode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

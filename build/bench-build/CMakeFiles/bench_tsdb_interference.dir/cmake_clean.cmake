@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tsdb_interference"
+  "../bench/bench_tsdb_interference.pdb"
+  "CMakeFiles/bench_tsdb_interference.dir/bench_tsdb_interference.cpp.o"
+  "CMakeFiles/bench_tsdb_interference.dir/bench_tsdb_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tsdb_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_alerts.dir/online_alerts.cpp.o"
+  "CMakeFiles/online_alerts.dir/online_alerts.cpp.o.d"
+  "online_alerts"
+  "online_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

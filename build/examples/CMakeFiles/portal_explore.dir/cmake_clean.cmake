@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_explore.dir/portal_explore.cpp.o"
+  "CMakeFiles/portal_explore.dir/portal_explore.cpp.o.d"
+  "portal_explore"
+  "portal_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_stats_dump.dir/raw_stats_dump.cpp.o"
+  "CMakeFiles/raw_stats_dump.dir/raw_stats_dump.cpp.o.d"
+  "raw_stats_dump"
+  "raw_stats_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_stats_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

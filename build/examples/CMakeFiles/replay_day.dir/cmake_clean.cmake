@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_day.dir/replay_day.cpp.o"
+  "CMakeFiles/replay_day.dir/replay_day.cpp.o.d"
+  "replay_day"
+  "replay_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

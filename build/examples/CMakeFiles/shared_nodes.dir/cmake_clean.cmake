@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_nodes.dir/shared_nodes.cpp.o"
+  "CMakeFiles/shared_nodes.dir/shared_nodes.cpp.o.d"
+  "shared_nodes"
+  "shared_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

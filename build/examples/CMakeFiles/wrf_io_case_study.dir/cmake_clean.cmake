@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrf_io_case_study.dir/wrf_io_case_study.cpp.o"
+  "CMakeFiles/wrf_io_case_study.dir/wrf_io_case_study.cpp.o.d"
+  "wrf_io_case_study"
+  "wrf_io_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrf_io_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

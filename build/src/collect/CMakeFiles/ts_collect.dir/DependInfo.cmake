@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/collectors_cpu.cpp" "src/collect/CMakeFiles/ts_collect.dir/collectors_cpu.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/collectors_cpu.cpp.o.d"
+  "/root/repo/src/collect/collectors_extra.cpp" "src/collect/CMakeFiles/ts_collect.dir/collectors_extra.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/collectors_extra.cpp.o.d"
+  "/root/repo/src/collect/collectors_lustre.cpp" "src/collect/CMakeFiles/ts_collect.dir/collectors_lustre.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/collectors_lustre.cpp.o.d"
+  "/root/repo/src/collect/collectors_net.cpp" "src/collect/CMakeFiles/ts_collect.dir/collectors_net.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/collectors_net.cpp.o.d"
+  "/root/repo/src/collect/collectors_os.cpp" "src/collect/CMakeFiles/ts_collect.dir/collectors_os.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/collectors_os.cpp.o.d"
+  "/root/repo/src/collect/collectors_uncore.cpp" "src/collect/CMakeFiles/ts_collect.dir/collectors_uncore.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/collectors_uncore.cpp.o.d"
+  "/root/repo/src/collect/rawfile.cpp" "src/collect/CMakeFiles/ts_collect.dir/rawfile.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/rawfile.cpp.o.d"
+  "/root/repo/src/collect/registry.cpp" "src/collect/CMakeFiles/ts_collect.dir/registry.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/registry.cpp.o.d"
+  "/root/repo/src/collect/schema.cpp" "src/collect/CMakeFiles/ts_collect.dir/schema.cpp.o" "gcc" "src/collect/CMakeFiles/ts_collect.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

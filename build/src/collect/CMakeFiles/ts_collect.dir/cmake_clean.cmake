@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_collect.dir/collectors_cpu.cpp.o"
+  "CMakeFiles/ts_collect.dir/collectors_cpu.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/collectors_extra.cpp.o"
+  "CMakeFiles/ts_collect.dir/collectors_extra.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/collectors_lustre.cpp.o"
+  "CMakeFiles/ts_collect.dir/collectors_lustre.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/collectors_net.cpp.o"
+  "CMakeFiles/ts_collect.dir/collectors_net.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/collectors_os.cpp.o"
+  "CMakeFiles/ts_collect.dir/collectors_os.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/collectors_uncore.cpp.o"
+  "CMakeFiles/ts_collect.dir/collectors_uncore.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/rawfile.cpp.o"
+  "CMakeFiles/ts_collect.dir/rawfile.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/registry.cpp.o"
+  "CMakeFiles/ts_collect.dir/registry.cpp.o.d"
+  "CMakeFiles/ts_collect.dir/schema.cpp.o"
+  "CMakeFiles/ts_collect.dir/schema.cpp.o.d"
+  "libts_collect.a"
+  "libts_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

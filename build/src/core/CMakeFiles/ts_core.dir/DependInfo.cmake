@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoresponder.cpp" "src/core/CMakeFiles/ts_core.dir/autoresponder.cpp.o" "gcc" "src/core/CMakeFiles/ts_core.dir/autoresponder.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/ts_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/ts_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/ts_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/ts_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/ts_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ts_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/sharednode.cpp" "src/core/CMakeFiles/ts_core.dir/sharednode.cpp.o" "gcc" "src/core/CMakeFiles/ts_core.dir/sharednode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/ts_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ts_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ts_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_core.dir/autoresponder.cpp.o"
+  "CMakeFiles/ts_core.dir/autoresponder.cpp.o.d"
+  "CMakeFiles/ts_core.dir/monitor.cpp.o"
+  "CMakeFiles/ts_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/ts_core.dir/online.cpp.o"
+  "CMakeFiles/ts_core.dir/online.cpp.o.d"
+  "CMakeFiles/ts_core.dir/scheduler.cpp.o"
+  "CMakeFiles/ts_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ts_core.dir/sharednode.cpp.o"
+  "CMakeFiles/ts_core.dir/sharednode.cpp.o.d"
+  "libts_core.a"
+  "libts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_db.dir/table.cpp.o"
+  "CMakeFiles/ts_db.dir/table.cpp.o.d"
+  "CMakeFiles/ts_db.dir/value.cpp.o"
+  "CMakeFiles/ts_db.dir/value.cpp.o.d"
+  "libts_db.a"
+  "libts_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

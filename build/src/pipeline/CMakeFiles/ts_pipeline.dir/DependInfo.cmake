@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/flags.cpp" "src/pipeline/CMakeFiles/ts_pipeline.dir/flags.cpp.o" "gcc" "src/pipeline/CMakeFiles/ts_pipeline.dir/flags.cpp.o.d"
+  "/root/repo/src/pipeline/ingest.cpp" "src/pipeline/CMakeFiles/ts_pipeline.dir/ingest.cpp.o" "gcc" "src/pipeline/CMakeFiles/ts_pipeline.dir/ingest.cpp.o.d"
+  "/root/repo/src/pipeline/jobmap.cpp" "src/pipeline/CMakeFiles/ts_pipeline.dir/jobmap.cpp.o" "gcc" "src/pipeline/CMakeFiles/ts_pipeline.dir/jobmap.cpp.o.d"
+  "/root/repo/src/pipeline/metrics.cpp" "src/pipeline/CMakeFiles/ts_pipeline.dir/metrics.cpp.o" "gcc" "src/pipeline/CMakeFiles/ts_pipeline.dir/metrics.cpp.o.d"
+  "/root/repo/src/pipeline/minisim.cpp" "src/pipeline/CMakeFiles/ts_pipeline.dir/minisim.cpp.o" "gcc" "src/pipeline/CMakeFiles/ts_pipeline.dir/minisim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/ts_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ts_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ts_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ts_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_pipeline.dir/flags.cpp.o"
+  "CMakeFiles/ts_pipeline.dir/flags.cpp.o.d"
+  "CMakeFiles/ts_pipeline.dir/ingest.cpp.o"
+  "CMakeFiles/ts_pipeline.dir/ingest.cpp.o.d"
+  "CMakeFiles/ts_pipeline.dir/jobmap.cpp.o"
+  "CMakeFiles/ts_pipeline.dir/jobmap.cpp.o.d"
+  "CMakeFiles/ts_pipeline.dir/metrics.cpp.o"
+  "CMakeFiles/ts_pipeline.dir/metrics.cpp.o.d"
+  "CMakeFiles/ts_pipeline.dir/minisim.cpp.o"
+  "CMakeFiles/ts_pipeline.dir/minisim.cpp.o.d"
+  "libts_pipeline.a"
+  "libts_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_portal.dir/plots.cpp.o"
+  "CMakeFiles/ts_portal.dir/plots.cpp.o.d"
+  "CMakeFiles/ts_portal.dir/report.cpp.o"
+  "CMakeFiles/ts_portal.dir/report.cpp.o.d"
+  "CMakeFiles/ts_portal.dir/search.cpp.o"
+  "CMakeFiles/ts_portal.dir/search.cpp.o.d"
+  "CMakeFiles/ts_portal.dir/views.cpp.o"
+  "CMakeFiles/ts_portal.dir/views.cpp.o.d"
+  "libts_portal.a"
+  "libts_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simhw/arch.cpp" "src/simhw/CMakeFiles/ts_simhw.dir/arch.cpp.o" "gcc" "src/simhw/CMakeFiles/ts_simhw.dir/arch.cpp.o.d"
+  "/root/repo/src/simhw/cluster.cpp" "src/simhw/CMakeFiles/ts_simhw.dir/cluster.cpp.o" "gcc" "src/simhw/CMakeFiles/ts_simhw.dir/cluster.cpp.o.d"
+  "/root/repo/src/simhw/node.cpp" "src/simhw/CMakeFiles/ts_simhw.dir/node.cpp.o" "gcc" "src/simhw/CMakeFiles/ts_simhw.dir/node.cpp.o.d"
+  "/root/repo/src/simhw/procfs.cpp" "src/simhw/CMakeFiles/ts_simhw.dir/procfs.cpp.o" "gcc" "src/simhw/CMakeFiles/ts_simhw.dir/procfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

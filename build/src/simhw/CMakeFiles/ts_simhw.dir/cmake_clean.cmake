@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_simhw.dir/arch.cpp.o"
+  "CMakeFiles/ts_simhw.dir/arch.cpp.o.d"
+  "CMakeFiles/ts_simhw.dir/cluster.cpp.o"
+  "CMakeFiles/ts_simhw.dir/cluster.cpp.o.d"
+  "CMakeFiles/ts_simhw.dir/node.cpp.o"
+  "CMakeFiles/ts_simhw.dir/node.cpp.o.d"
+  "CMakeFiles/ts_simhw.dir/procfs.cpp.o"
+  "CMakeFiles/ts_simhw.dir/procfs.cpp.o.d"
+  "libts_simhw.a"
+  "libts_simhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

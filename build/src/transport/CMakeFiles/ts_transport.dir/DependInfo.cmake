@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/archive.cpp" "src/transport/CMakeFiles/ts_transport.dir/archive.cpp.o" "gcc" "src/transport/CMakeFiles/ts_transport.dir/archive.cpp.o.d"
+  "/root/repo/src/transport/broker.cpp" "src/transport/CMakeFiles/ts_transport.dir/broker.cpp.o" "gcc" "src/transport/CMakeFiles/ts_transport.dir/broker.cpp.o.d"
+  "/root/repo/src/transport/consumer.cpp" "src/transport/CMakeFiles/ts_transport.dir/consumer.cpp.o" "gcc" "src/transport/CMakeFiles/ts_transport.dir/consumer.cpp.o.d"
+  "/root/repo/src/transport/cron.cpp" "src/transport/CMakeFiles/ts_transport.dir/cron.cpp.o" "gcc" "src/transport/CMakeFiles/ts_transport.dir/cron.cpp.o.d"
+  "/root/repo/src/transport/daemon.cpp" "src/transport/CMakeFiles/ts_transport.dir/daemon.cpp.o" "gcc" "src/transport/CMakeFiles/ts_transport.dir/daemon.cpp.o.d"
+  "/root/repo/src/transport/spool.cpp" "src/transport/CMakeFiles/ts_transport.dir/spool.cpp.o" "gcc" "src/transport/CMakeFiles/ts_transport.dir/spool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/ts_collect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

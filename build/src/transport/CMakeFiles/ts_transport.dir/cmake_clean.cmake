@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_transport.dir/archive.cpp.o"
+  "CMakeFiles/ts_transport.dir/archive.cpp.o.d"
+  "CMakeFiles/ts_transport.dir/broker.cpp.o"
+  "CMakeFiles/ts_transport.dir/broker.cpp.o.d"
+  "CMakeFiles/ts_transport.dir/consumer.cpp.o"
+  "CMakeFiles/ts_transport.dir/consumer.cpp.o.d"
+  "CMakeFiles/ts_transport.dir/cron.cpp.o"
+  "CMakeFiles/ts_transport.dir/cron.cpp.o.d"
+  "CMakeFiles/ts_transport.dir/daemon.cpp.o"
+  "CMakeFiles/ts_transport.dir/daemon.cpp.o.d"
+  "CMakeFiles/ts_transport.dir/spool.cpp.o"
+  "CMakeFiles/ts_transport.dir/spool.cpp.o.d"
+  "libts_transport.a"
+  "libts_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

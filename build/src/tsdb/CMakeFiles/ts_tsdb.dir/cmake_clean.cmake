@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_tsdb.dir/store.cpp.o"
+  "CMakeFiles/ts_tsdb.dir/store.cpp.o.d"
+  "libts_tsdb.a"
+  "libts_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

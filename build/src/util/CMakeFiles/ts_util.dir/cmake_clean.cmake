@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_util.dir/clock.cpp.o"
+  "CMakeFiles/ts_util.dir/clock.cpp.o.d"
+  "CMakeFiles/ts_util.dir/log.cpp.o"
+  "CMakeFiles/ts_util.dir/log.cpp.o.d"
+  "CMakeFiles/ts_util.dir/rng.cpp.o"
+  "CMakeFiles/ts_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ts_util.dir/stats.cpp.o"
+  "CMakeFiles/ts_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ts_util.dir/strings.cpp.o"
+  "CMakeFiles/ts_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ts_util.dir/table.cpp.o"
+  "CMakeFiles/ts_util.dir/table.cpp.o.d"
+  "CMakeFiles/ts_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ts_util.dir/thread_pool.cpp.o.d"
+  "libts_util.a"
+  "libts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/acctfile.cpp" "src/workload/CMakeFiles/ts_workload.dir/acctfile.cpp.o" "gcc" "src/workload/CMakeFiles/ts_workload.dir/acctfile.cpp.o.d"
+  "/root/repo/src/workload/apps.cpp" "src/workload/CMakeFiles/ts_workload.dir/apps.cpp.o" "gcc" "src/workload/CMakeFiles/ts_workload.dir/apps.cpp.o.d"
+  "/root/repo/src/workload/engine.cpp" "src/workload/CMakeFiles/ts_workload.dir/engine.cpp.o" "gcc" "src/workload/CMakeFiles/ts_workload.dir/engine.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/ts_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/ts_workload.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

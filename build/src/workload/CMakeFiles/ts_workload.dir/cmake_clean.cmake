@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_workload.dir/acctfile.cpp.o"
+  "CMakeFiles/ts_workload.dir/acctfile.cpp.o.d"
+  "CMakeFiles/ts_workload.dir/apps.cpp.o"
+  "CMakeFiles/ts_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/ts_workload.dir/engine.cpp.o"
+  "CMakeFiles/ts_workload.dir/engine.cpp.o.d"
+  "CMakeFiles/ts_workload.dir/generator.cpp.o"
+  "CMakeFiles/ts_workload.dir/generator.cpp.o.d"
+  "libts_workload.a"
+  "libts_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xalt/xalt.cpp" "src/xalt/CMakeFiles/ts_xalt.dir/xalt.cpp.o" "gcc" "src/xalt/CMakeFiles/ts_xalt.dir/xalt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ts_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ts_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ts_simhw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

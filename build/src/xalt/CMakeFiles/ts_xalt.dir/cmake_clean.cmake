@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_xalt.dir/xalt.cpp.o"
+  "CMakeFiles/ts_xalt.dir/xalt.cpp.o.d"
+  "libts_xalt.a"
+  "libts_xalt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_xalt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

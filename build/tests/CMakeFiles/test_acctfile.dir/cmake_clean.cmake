@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acctfile.dir/test_acctfile.cpp.o"
+  "CMakeFiles/test_acctfile.dir/test_acctfile.cpp.o.d"
+  "test_acctfile"
+  "test_acctfile.pdb"
+  "test_acctfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acctfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_acctfile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoresponder.dir/test_autoresponder.cpp.o"
+  "CMakeFiles/test_autoresponder.dir/test_autoresponder.cpp.o.d"
+  "test_autoresponder"
+  "test_autoresponder.pdb"
+  "test_autoresponder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoresponder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

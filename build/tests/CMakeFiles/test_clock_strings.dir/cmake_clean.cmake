@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_strings.dir/test_clock_strings.cpp.o"
+  "CMakeFiles/test_clock_strings.dir/test_clock_strings.cpp.o.d"
+  "test_clock_strings"
+  "test_clock_strings.pdb"
+  "test_clock_strings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

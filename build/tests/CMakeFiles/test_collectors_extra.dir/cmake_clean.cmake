@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectors_extra.dir/test_collectors_extra.cpp.o"
+  "CMakeFiles/test_collectors_extra.dir/test_collectors_extra.cpp.o.d"
+  "test_collectors_extra"
+  "test_collectors_extra.pdb"
+  "test_collectors_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectors_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

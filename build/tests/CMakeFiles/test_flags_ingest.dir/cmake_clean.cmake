@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flags_ingest.dir/test_flags_ingest.cpp.o"
+  "CMakeFiles/test_flags_ingest.dir/test_flags_ingest.cpp.o.d"
+  "test_flags_ingest"
+  "test_flags_ingest.pdb"
+  "test_flags_ingest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flags_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

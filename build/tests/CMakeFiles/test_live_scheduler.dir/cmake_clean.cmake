@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_scheduler.dir/test_live_scheduler.cpp.o"
+  "CMakeFiles/test_live_scheduler.dir/test_live_scheduler.cpp.o.d"
+  "test_live_scheduler"
+  "test_live_scheduler.pdb"
+  "test_live_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

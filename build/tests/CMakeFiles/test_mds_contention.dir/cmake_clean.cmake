@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mds_contention.dir/test_mds_contention.cpp.o"
+  "CMakeFiles/test_mds_contention.dir/test_mds_contention.cpp.o.d"
+  "test_mds_contention"
+  "test_mds_contention.pdb"
+  "test_mds_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mds_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

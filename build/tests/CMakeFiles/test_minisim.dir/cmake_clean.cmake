@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minisim.dir/test_minisim.cpp.o"
+  "CMakeFiles/test_minisim.dir/test_minisim.cpp.o.d"
+  "test_minisim"
+  "test_minisim.pdb"
+  "test_minisim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_sharednode.dir/test_online_sharednode.cpp.o"
+  "CMakeFiles/test_online_sharednode.dir/test_online_sharednode.cpp.o.d"
+  "test_online_sharednode"
+  "test_online_sharednode.pdb"
+  "test_online_sharednode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_sharednode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordering_rate.dir/test_ordering_rate.cpp.o"
+  "CMakeFiles/test_ordering_rate.dir/test_ordering_rate.cpp.o.d"
+  "test_ordering_rate"
+  "test_ordering_rate.pdb"
+  "test_ordering_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordering_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

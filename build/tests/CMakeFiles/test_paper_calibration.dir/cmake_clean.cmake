@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_calibration.dir/test_paper_calibration.cpp.o"
+  "CMakeFiles/test_paper_calibration.dir/test_paper_calibration.cpp.o.d"
+  "test_paper_calibration"
+  "test_paper_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portal.dir/test_portal.cpp.o"
+  "CMakeFiles/test_portal.dir/test_portal.cpp.o.d"
+  "test_portal"
+  "test_portal.pdb"
+  "test_portal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portal_detail.dir/test_portal_detail.cpp.o"
+  "CMakeFiles/test_portal_detail.dir/test_portal_detail.cpp.o.d"
+  "test_portal_detail"
+  "test_portal_detail.pdb"
+  "test_portal_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portal_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

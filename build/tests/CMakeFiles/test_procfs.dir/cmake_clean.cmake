@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procfs.dir/test_procfs.cpp.o"
+  "CMakeFiles/test_procfs.dir/test_procfs.cpp.o.d"
+  "test_procfs"
+  "test_procfs.pdb"
+  "test_procfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rawfile.dir/test_rawfile.cpp.o"
+  "CMakeFiles/test_rawfile.dir/test_rawfile.cpp.o.d"
+  "test_rawfile"
+  "test_rawfile.pdb"
+  "test_rawfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rawfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

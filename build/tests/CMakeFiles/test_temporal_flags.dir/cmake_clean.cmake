@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temporal_flags.dir/test_temporal_flags.cpp.o"
+  "CMakeFiles/test_temporal_flags.dir/test_temporal_flags.cpp.o.d"
+  "test_temporal_flags"
+  "test_temporal_flags.pdb"
+  "test_temporal_flags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temporal_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

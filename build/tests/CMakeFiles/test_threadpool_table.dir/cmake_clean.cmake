@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threadpool_table.dir/test_threadpool_table.cpp.o"
+  "CMakeFiles/test_threadpool_table.dir/test_threadpool_table.cpp.o.d"
+  "test_threadpool_table"
+  "test_threadpool_table.pdb"
+  "test_threadpool_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threadpool_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

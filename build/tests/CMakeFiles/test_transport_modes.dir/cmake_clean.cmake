@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_modes.dir/test_transport_modes.cpp.o"
+  "CMakeFiles/test_transport_modes.dir/test_transport_modes.cpp.o.d"
+  "test_transport_modes"
+  "test_transport_modes.pdb"
+  "test_transport_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsdb.dir/test_tsdb.cpp.o"
+  "CMakeFiles/test_tsdb.dir/test_tsdb.cpp.o.d"
+  "test_tsdb"
+  "test_tsdb.pdb"
+  "test_tsdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

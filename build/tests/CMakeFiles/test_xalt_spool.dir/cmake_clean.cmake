@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xalt_spool.dir/test_xalt_spool.cpp.o"
+  "CMakeFiles/test_xalt_spool.dir/test_xalt_spool.cpp.o.d"
+  "test_xalt_spool"
+  "test_xalt_spool.pdb"
+  "test_xalt_spool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xalt_spool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
