@@ -6,9 +6,13 @@
 // records) and benchmarks the broker/consumer path under load.
 #include "bench_common.hpp"
 
+#include <chrono>
+#include <optional>
 #include <thread>
 
 #include "core/monitor.hpp"
+#include "tsdb/store.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -74,6 +78,32 @@ void report() {
         "at-least-once delivery");
   t.row("deployments", "Maverick 132, Comet 1984, Lonestar5 1278 nodes",
         "64-node simulation", "scale-down, same pipeline");
+
+  // Downstream of the consumer: load the day's raw archive into the
+  // OpenTSDB-style store, serial vs. fanned out over the thread pool
+  // (knobs: workers=8, shards=16 default, batch_points=4096 default).
+  const auto timed_load = [&](util::ThreadPool* pool) {
+    tsdb::Store store;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats =
+        pipeline::ingest_archive_tsdb(store, monitor.archive(), pool);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return std::pair{stats, dt.count()};
+  };
+  const auto [serial_stats, serial_s] = timed_load(nullptr);
+  util::ThreadPool pool(8);
+  const auto [par_stats, par_s] = timed_load(&pool);
+  t.row("tsdb load (serial)", "-",
+        bench::num(static_cast<double>(serial_stats.points) / serial_s / 1e6,
+                   3) +
+            " Mpoints/s",
+        std::to_string(serial_stats.series) + " series, " +
+            std::to_string(serial_stats.points) + " points");
+  t.row("tsdb load (8 workers, batched)", "-",
+        bench::num(static_cast<double>(par_stats.points) / par_s / 1e6, 3) +
+            " Mpoints/s",
+        "per-shard staging, put_batches flush");
   t.print();
 }
 
@@ -135,6 +165,49 @@ void BM_DaemonDayOn16Nodes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DaemonDayOn16Nodes)->Unit(benchmark::kMillisecond);
+
+/// A 16-node, 6-hour archive built once and reloaded per iteration by the
+/// archive -> tsdb fan-out benchmark below.
+const transport::RawArchive& small_archive() {
+  static simhw::Cluster* cluster = nullptr;
+  static core::ClusterMonitor* monitor = nullptr;
+  if (monitor == nullptr) {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = 16;
+    cc.topology = simhw::Topology{2, 4, false};
+    cc.phi_fraction = 0.0;
+    cluster = new simhw::Cluster(cc);
+    core::MonitorConfig mc;
+    mc.start = kStart;
+    mc.online_analysis = false;
+    monitor = new core::ClusterMonitor(*cluster, mc);
+    monitor->advance_to(kStart + 6 * util::kHour);
+    monitor->drain();
+  }
+  return monitor->archive();
+}
+
+void BM_TsdbArchiveLoad(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto& archive = small_archive();
+  std::optional<util::ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
+  std::int64_t points = 0;
+  for (auto _ : state) {
+    tsdb::Store store;
+    const auto stats = pipeline::ingest_archive_tsdb(
+        store, archive, pool ? &*pool : nullptr);
+    points = static_cast<std::int64_t>(stats.points);
+    benchmark::DoNotOptimize(store.num_points());
+  }
+  state.SetItemsProcessed(state.iterations() * points);
+}
+BENCHMARK(BM_TsdbArchiveLoad)
+    ->ArgNames({"workers"})
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -16,6 +16,7 @@
 #include "core/monitor.hpp"
 #include "tsdb/store.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -96,6 +97,18 @@ InterferenceSetup run_interference() {
     std::uint64_t prev_wait = 0;
     util::SimTime prev_t = 0;
     bool have_prev = false;
+    const std::string user = host >= "c400-009" ? "wrfuser42" : "victim";
+    // Stage each host's two derived series and append them as whole runs:
+    // the put_batch hot path resolves the series once per host instead of
+    // once per point.
+    tsdb::SeriesBatch reqs_batch{
+        "lustre.mdc.reqs_ps",
+        {{"host", host}, {"type", "mdc"}, {"event", "reqs"}, {"user", user}},
+        {}};
+    tsdb::SeriesBatch wait_batch{
+        "lustre.mdc.wait_us",
+        {{"host", host}, {"type", "mdc"}, {"event", "wait"}, {"user", user}},
+        {}};
     for (const auto& rec : log.records) {
       std::uint64_t reqs = 0;
       std::uint64_t wait = 0;
@@ -110,27 +123,18 @@ InterferenceSetup run_interference() {
         const double rate = dreqs / util::to_seconds(rec.time - prev_t);
         const util::SimTime bucket =
             rec.time - rec.time % (10 * util::kMinute);
-        const std::string user =
-            host >= "c400-009" ? "wrfuser42" : "victim";
-        setup.store.put("lustre.mdc.reqs_ps",
-                        {{"host", host},
-                         {"type", "mdc"},
-                         {"event", "reqs"},
-                         {"user", user}},
-                        bucket, rate);
-        setup.store.put("lustre.mdc.wait_us",
-                        {{"host", host},
-                         {"type", "mdc"},
-                         {"event", "wait"},
-                         {"user", user}},
-                        bucket,
-                        static_cast<double>(wait - prev_wait) / dreqs);
+        reqs_batch.points.push_back({bucket, rate});
+        wait_batch.points.push_back(
+            {bucket, static_cast<double>(wait - prev_wait) / dreqs});
       }
       prev_reqs = reqs;
       prev_wait = wait;
       prev_t = rec.time;
       have_prev = true;
     }
+    const tsdb::SeriesBatch batches[] = {std::move(reqs_batch),
+                                         std::move(wait_batch)};
+    setup.store.put_batches(batches);
   }
 
   // Extract the two aligned series via tsdb queries.
@@ -213,7 +217,89 @@ void BM_TsdbPut(benchmark::State& state) {
 }
 BENCHMARK(BM_TsdbPut);
 
-void BM_TsdbGroupByQuery(benchmark::State& state) {
+// ---- Ingest throughput: the acceptance workload ----
+// The same synthetic stream for every variant: kHosts hosts, each with
+// kEvents series of kPoints in-order points (the shape the archive loader
+// produces). The seed-equivalent baseline ingests it with per-point put()
+// into a single-shard store from one thread; the batched variant stages
+// per-series runs and flushes via put_batches() from N pool workers, with
+// shard count and flush batch size as knobs.
+constexpr int kIngestHosts = 16;
+constexpr int kIngestEvents = 16;
+constexpr int kIngestPoints = 512;
+constexpr std::int64_t kIngestTotal =
+    static_cast<std::int64_t>(kIngestHosts) * kIngestEvents * kIngestPoints;
+
+std::string ingest_metric(int e) { return "m." + std::to_string(e); }
+
+tsdb::TagSet ingest_tags(int h, int e) {
+  return {{"host", "c400-" + std::to_string(h)},
+          {"event", "ev" + std::to_string(e)}};
+}
+
+void BM_TsdbIngestSeedSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    tsdb::Store store(tsdb::StoreOptions{1});
+    for (int h = 0; h < kIngestHosts; ++h) {
+      for (int e = 0; e < kIngestEvents; ++e) {
+        const std::string metric = ingest_metric(e);
+        const tsdb::TagSet tags = ingest_tags(h, e);
+        for (int p = 0; p < kIngestPoints; ++p) {
+          store.put(metric, tags, kStart + p * util::kMinute,
+                    static_cast<double>(p));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(store.num_points());
+  }
+  state.SetItemsProcessed(state.iterations() * kIngestTotal);
+}
+BENCHMARK(BM_TsdbIngestSeedSerial)->Unit(benchmark::kMillisecond);
+
+void BM_TsdbIngestBatched(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    tsdb::Store store(tsdb::StoreOptions{shards});
+    pool.parallel_for(kIngestHosts, [&](std::size_t h) {
+      std::vector<tsdb::SeriesBatch> staged(kIngestEvents);
+      for (int e = 0; e < kIngestEvents; ++e) {
+        staged[e].metric = ingest_metric(e);
+        staged[e].tags = ingest_tags(static_cast<int>(h), e);
+      }
+      std::size_t staged_points = 0;
+      for (int p = 0; p < kIngestPoints; ++p) {
+        for (int e = 0; e < kIngestEvents; ++e) {
+          staged[e].points.push_back(
+              {kStart + p * util::kMinute, static_cast<double>(p)});
+        }
+        staged_points += kIngestEvents;
+        if (staged_points >= batch) {
+          store.put_batches(staged);
+          for (auto& b : staged) b.points.clear();
+          staged_points = 0;
+        }
+      }
+      store.put_batches(staged);
+    });
+    benchmark::DoNotOptimize(store.num_points());
+  }
+  state.SetItemsProcessed(state.iterations() * kIngestTotal);
+}
+BENCHMARK(BM_TsdbIngestBatched)
+    ->ArgNames({"threads", "shards", "batch"})
+    ->Args({1, 16, 4096})
+    ->Args({2, 16, 4096})
+    ->Args({4, 16, 4096})
+    ->Args({8, 16, 4096})
+    ->Args({8, 1, 4096})   // lock-striping ablation: all workers, one lock
+    ->Args({8, 16, 64})    // batch-size ablation: near-per-point flushing
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+tsdb::Store build_query_store() {
   tsdb::Store store;
   for (int h = 0; h < 32; ++h) {
     for (int i = 0; i < 288; ++i) {  // one day at 5-minute cadence
@@ -223,15 +309,40 @@ void BM_TsdbGroupByQuery(benchmark::State& state) {
                 kStart + i * 5 * util::kMinute, static_cast<double>(i));
     }
   }
+  return store;
+}
+
+tsdb::Query group_by_query() {
   tsdb::Query q;
   q.metric = "m";
   q.group_by = {"user"};
   q.downsample = util::kHour;
+  return q;
+}
+
+void BM_TsdbGroupByQuery(benchmark::State& state) {
+  const tsdb::Store store = build_query_store();
+  const tsdb::Query q = group_by_query();
   for (auto _ : state) {
     benchmark::DoNotOptimize(store.query(q));
   }
 }
 BENCHMARK(BM_TsdbGroupByQuery)->Unit(benchmark::kMillisecond);
+
+void BM_TsdbGroupByQueryParallel(benchmark::State& state) {
+  const tsdb::Store store = build_query_store();
+  const tsdb::Query q = group_by_query();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(q, pool));
+  }
+}
+BENCHMARK(BM_TsdbGroupByQueryParallel)
+    ->ArgNames({"threads"})
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

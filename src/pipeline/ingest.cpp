@@ -1,6 +1,8 @@
 #include "pipeline/ingest.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <unordered_map>
 
 namespace tacc::pipeline {
 
@@ -79,6 +81,95 @@ std::size_t ingest_from_archive(
     ++ingested;
   }
   return ingested;
+}
+
+namespace {
+
+/// Per-worker staging area: series batches for one host, flushed to the
+/// store in bulk whenever `staged_points` crosses the batch threshold.
+struct Stage {
+  std::vector<tsdb::SeriesBatch> batches;
+  // (type, device, event) -> index into `batches`; tags are built once per
+  // series here, not once per point.
+  std::unordered_map<std::string, std::size_t> index;
+  std::size_t staged_points = 0;
+
+  void flush(tsdb::Store& store) {
+    if (staged_points == 0) return;
+    store.put_batches(batches);
+    for (auto& b : batches) b.points.clear();
+    staged_points = 0;
+  }
+};
+
+}  // namespace
+
+TsdbIngestStats ingest_archive_tsdb(tsdb::Store& store,
+                                    const transport::RawArchive& archive,
+                                    util::ThreadPool* pool,
+                                    const TsdbIngestOptions& options) {
+  const auto hosts = archive.hosts();
+  std::atomic<std::size_t> total_series{0};
+  std::atomic<std::size_t> total_points{0};
+
+  const auto load_host = [&](std::size_t hi) {
+    const std::string& host = hosts[hi];
+    const collect::HostLog log = archive.log(host);
+    Stage stage;
+    std::string key;
+    for (const auto& rec : log.records) {
+      for (const auto& block : rec.blocks) {
+        const collect::Schema* schema = log.schema_for(block.type);
+        if (schema == nullptr) continue;
+        const std::size_t n =
+            std::min(block.values.size(), schema->size());
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::string& event = schema->entry(i).key;
+          key.clear();
+          key += block.type;
+          key += '\1';
+          key += block.device;
+          key += '\1';
+          key += event;
+          auto [it, created] =
+              stage.index.try_emplace(key, stage.batches.size());
+          if (created) {
+            tsdb::SeriesBatch batch;
+            batch.metric =
+                options.metric_prefix + '.' + block.type + '.' + event;
+            batch.tags = {{"host", host},
+                          {"type", block.type},
+                          {"device", block.device},
+                          {"event", event}};
+            stage.batches.push_back(std::move(batch));
+          }
+          stage.batches[it->second].points.push_back(
+              {rec.time, static_cast<double>(block.values[i])});
+          ++stage.staged_points;
+        }
+      }
+      if (stage.staged_points >= options.batch_points) {
+        total_points.fetch_add(stage.staged_points,
+                               std::memory_order_relaxed);
+        stage.flush(store);
+      }
+    }
+    total_points.fetch_add(stage.staged_points, std::memory_order_relaxed);
+    stage.flush(store);
+    total_series.fetch_add(stage.batches.size(), std::memory_order_relaxed);
+  };
+
+  if (pool != nullptr && hosts.size() > 1) {
+    pool->parallel_for(hosts.size(), load_host);
+  } else {
+    for (std::size_t hi = 0; hi < hosts.size(); ++hi) load_host(hi);
+  }
+
+  TsdbIngestStats stats;
+  stats.hosts = hosts.size();
+  stats.series = total_series.load();
+  stats.points = total_points.load();
+  return stats;
 }
 
 }  // namespace tacc::pipeline

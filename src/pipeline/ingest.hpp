@@ -1,12 +1,22 @@
-// Ingests job metadata + computed metrics into the relational store (the
-// paper's PostgreSQL step): one row per job in the "jobs" table, with the
-// metadata columns the portal's job list shows and one Real column per
-// Table I metric. Flags are stored as a comma-joined text column.
+// Ingests the central archive into the two analysis stores:
+//   * relational (the paper's PostgreSQL step): one row per job in the
+//     "jobs" table, with the metadata columns the portal's job list shows
+//     and one Real column per Table I metric. Flags are stored as a
+//     comma-joined text column.
+//   * time-series (the paper's OpenTSDB step, section VI-A): every raw
+//     counter of every host, tagged by (host, device type, device name,
+//     event name), batched per series and fanned out across a thread pool.
 #pragma once
+
+#include <cstddef>
+#include <string>
 
 #include "db/table.hpp"
 #include "pipeline/flags.hpp"
 #include "pipeline/metrics.hpp"
+#include "transport/archive.hpp"
+#include "tsdb/store.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/jobs.hpp"
 
 namespace tacc::pipeline {
@@ -25,8 +35,46 @@ db::RowId ingest_job(db::Table& jobs, const workload::AccountingRecord& acct,
 
 /// Convenience: extract + compute + flag + ingest a batch of jobs from the
 /// central archive. Returns the number of jobs with at least one record.
+/// NOT thread-safe: call from one thread per (database, archive) pair.
 std::size_t ingest_from_archive(
     db::Database& database, const transport::RawArchive& archive,
     const std::vector<workload::AccountingRecord>& accounting);
+
+/// Tuning knobs for the archive -> time-series load.
+struct TsdbIngestOptions {
+  /// Points staged per worker before a bulk flush via Store::put_batches.
+  /// Bigger batches amortize shard locking; smaller ones bound worker
+  /// memory. Default: 4096.
+  std::size_t batch_points = 4096;
+  /// Prefix for generated metric names: <prefix>.<type>.<event>.
+  std::string metric_prefix = "taccstats";
+};
+
+struct TsdbIngestStats {
+  std::size_t hosts = 0;
+  std::size_t series = 0;
+  std::size_t points = 0;
+};
+
+/// Loads every host's raw counter stream from the archive into the
+/// time-series store: one series per (schema type, device, event) per
+/// host — the paper's OpenTSDB tag tuple — with the metric named
+/// <prefix>.<type>.<event> and tags {host, type, device, event}. Values of
+/// the same event across a host's devices stay separate series, so any
+/// tag subset can still be aggregated at query time.
+///
+/// When `pool` is non-null, hosts are fanned out across its workers; each
+/// worker stages points in a local per-series buffer and flushes whole
+/// batches with Store::put_batches, so workers never contend on a series
+/// (series are keyed by host) and touch each shard lock only on flush.
+///
+/// Thread-safety: safe to call while other threads put() into the same
+/// store; the archive is only read (RawArchive is internally locked). The
+/// result is deterministic: serial (pool == nullptr) and parallel runs
+/// produce stores with byte-identical query results.
+TsdbIngestStats ingest_archive_tsdb(tsdb::Store& store,
+                                    const transport::RawArchive& archive,
+                                    util::ThreadPool* pool = nullptr,
+                                    const TsdbIngestOptions& options = {});
 
 }  // namespace tacc::pipeline

@@ -1,8 +1,40 @@
 #include "tsdb/store.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "util/thread_pool.hpp"
 
 namespace tacc::tsdb {
+
+namespace {
+
+/// FNV-1a over metric + '\0' + canonical tags: a stable series->shard map
+/// that does not depend on std::hash (so shard assignment, and therefore
+/// any per-shard iteration, is reproducible across runs and platforms).
+std::uint64_t series_hash(std::string_view metric,
+                          std::string_view canon) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(metric);
+  h ^= 0xFFu;  // separator: ("ab", "c") and ("a", "bc") hash differently
+  h *= 1099511628211ULL;
+  mix(canon);
+  return h;
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 double aggregate(Aggregator agg, const std::vector<double>& values) noexcept {
   if (agg == Aggregator::Count) return static_cast<double>(values.size());
@@ -38,86 +70,232 @@ std::string Store::canonical(const TagSet& tags) {
   return out;
 }
 
-void Store::put(const std::string& metric, const TagSet& tags,
-                util::SimTime time, double value) {
-  auto& series = metrics_[metric][canonical(tags)];
-  if (series.tags.empty()) series.tags = tags;
-  if (!series.points.empty() && series.points.back().time > time) {
-    series.sorted = false;
+Store::Store(const StoreOptions& options) {
+  const std::size_t n = round_up_pow2(std::max<std::size_t>(1, options.shards));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  series.points.push_back({time, value});
-  ++num_points_;
 }
 
-std::size_t Store::num_series() const noexcept {
+Store::Shard& Store::shard_for(std::string_view metric,
+                               std::string_view canon) noexcept {
+  return *shards_[series_hash(metric, canon) & (shards_.size() - 1)];
+}
+
+const Store::Shard& Store::shard_for(std::string_view metric,
+                                     std::string_view canon) const noexcept {
+  return *shards_[series_hash(metric, canon) & (shards_.size() - 1)];
+}
+
+Store::Series& Store::resolve_series(Shard& shard, const std::string& metric,
+                                     const TagSet& tags,
+                                     std::string_view canon) {
+  auto& by_tags = shard.metrics.try_emplace(metric).first->second;
+  auto sit = by_tags.find(canon);
+  if (sit == by_tags.end()) {
+    sit = by_tags.try_emplace(std::string(canon)).first;
+    auto& series = sit->second;
+    series.tags.reserve(tags.size());
+    for (const auto& [k, v] : tags) {
+      const auto ki = shard.intern.emplace(k).first;
+      const auto vi = shard.intern.emplace(v).first;
+      series.tags.emplace_back(*ki, *vi);
+    }
+  }
+  return sit->second;
+}
+
+void Store::append_run(Shard& shard, Series& series,
+                       std::span<const DataPoint> points) {
+  series.points.reserve(series.points.size() + points.size());
+  for (const auto& p : points) {
+    if (!series.points.empty() && series.points.back().time > p.time) {
+      series.sorted = false;
+    }
+    series.points.push_back(p);
+  }
+  shard.points.fetch_add(points.size(), std::memory_order_relaxed);
+}
+
+void Store::put(const std::string& metric, const TagSet& tags,
+                util::SimTime time, double value) {
+  const DataPoint p{time, value};
+  put_batch(metric, tags, std::span<const DataPoint>(&p, 1));
+}
+
+void Store::put_batch(const std::string& metric, const TagSet& tags,
+                      std::span<const DataPoint> points) {
+  if (points.empty()) return;
+  const std::string canon = canonical(tags);
+  Shard& shard = shard_for(metric, canon);
+  std::lock_guard lock(shard.mu);
+  append_run(shard, resolve_series(shard, metric, tags, canon), points);
+}
+
+void Store::put_batches(std::span<const SeriesBatch> batches) {
+  // Group batch indices by destination shard, then visit each shard once:
+  // one lock acquisition covers every series bound for it.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  std::vector<std::string> canons(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].points.empty()) continue;
+    canons[i] = canonical(batches[i].tags);
+    by_shard[series_hash(batches[i].metric, canons[i]) &
+             (shards_.size() - 1)]
+        .push_back(i);
+  }
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard lock(shard.mu);
+    for (const std::size_t i : by_shard[s]) {
+      const auto& b = batches[i];
+      append_run(shard, resolve_series(shard, b.metric, b.tags, canons[i]),
+                 b.points);
+    }
+  }
+}
+
+std::size_t Store::num_series() const {
   std::size_t n = 0;
-  for (const auto& [metric, series] : metrics_) n += series.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (const auto& [metric, series] : shard->metrics) n += series.size();
+  }
+  return n;
+}
+
+std::size_t Store::num_points() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->points.load(std::memory_order_relaxed);
+  }
   return n;
 }
 
 std::vector<SeriesResult> Store::query(const Query& q) const {
-  const auto mit = metrics_.find(q.metric);
-  if (mit == metrics_.end()) return {};
+  return query_impl(q, nullptr);
+}
 
-  // Group key -> (timestamp -> values gathered across member series).
+std::vector<SeriesResult> Store::query(const Query& q,
+                                       util::ThreadPool& pool) const {
+  return query_impl(q, &pool);
+}
+
+std::vector<SeriesResult> Store::query_impl(const Query& q,
+                                            util::ThreadPool* pool) const {
+  // Phase 1, per shard (parallel when a pool is given): snapshot every
+  // matching series under the shard lock, then — outside the lock — sort,
+  // rate-convert, range-filter and downsample it into a per-series bucket
+  // list. This part is embarrassingly parallel across series.
+  std::vector<std::vector<Partial>> per_shard(shards_.size());
+  const auto scan_shard = [&](std::size_t si) {
+    const Shard& shard = *shards_[si];
+    std::vector<Partial>& out = per_shard[si];
+    {
+      std::lock_guard lock(shard.mu);
+      const auto mit = shard.metrics.find(q.metric);
+      if (mit == shard.metrics.end()) return;
+      for (const auto& [key, series] : mit->second) {
+        // Tag filters.
+        bool ok = true;
+        for (const auto& [fk, fv] : q.filters) {
+          const auto it = std::lower_bound(
+              series.tags.begin(), series.tags.end(), fk,
+              [](const auto& tag, const std::string& k) {
+                return tag.first < k;
+              });
+          if (it == series.tags.end() || it->first != fk ||
+              it->second != fv) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+
+        Partial p;
+        p.series_key = key;
+        for (const auto& g : q.group_by) {
+          const auto it = std::lower_bound(
+              series.tags.begin(), series.tags.end(), g,
+              [](const auto& tag, const std::string& k) {
+                return tag.first < k;
+              });
+          p.group_tags[g] = it == series.tags.end() || it->first != g
+                                ? std::string{}
+                                : std::string(it->second);
+        }
+        p.points = series.points;
+        p.sorted = series.sorted;
+        out.push_back(std::move(p));
+      }
+    }
+
+    for (Partial& p : out) {
+      std::vector<DataPoint> pts = std::move(p.points);
+      if (!p.sorted) {
+        std::sort(pts.begin(), pts.end(),
+                  [](const DataPoint& a, const DataPoint& b) {
+                    return a.time < b.time;
+                  });
+      }
+      if (q.rate) {
+        std::vector<DataPoint> rates;
+        rates.reserve(pts.size() > 0 ? pts.size() - 1 : 0);
+        for (std::size_t i = 1; i < pts.size(); ++i) {
+          const double dt = util::to_seconds(pts[i].time - pts[i - 1].time);
+          if (dt <= 0.0) continue;
+          const double delta = pts[i].value - pts[i - 1].value;
+          rates.push_back({pts[i].time, delta > 0.0 ? delta / dt : 0.0});
+        }
+        pts = std::move(rates);
+      }
+      std::map<util::SimTime, std::vector<double>> local;
+      for (const auto& pt : pts) {
+        if (q.start != 0 || q.end != 0) {
+          if (pt.time < q.start || (q.end != 0 && pt.time >= q.end)) continue;
+        }
+        const util::SimTime t =
+            q.downsample > 0 ? pt.time - pt.time % q.downsample : pt.time;
+        local[t].push_back(pt.value);
+      }
+      p.downsampled.reserve(local.size());
+      for (const auto& [t, vals] : local) {
+        p.downsampled.emplace_back(t,
+                                   aggregate(q.downsample_aggregator, vals));
+      }
+    }
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    pool->parallel_for(shards_.size(), scan_shard);
+  } else {
+    for (std::size_t si = 0; si < shards_.size(); ++si) scan_shard(si);
+  }
+
+  // Phase 2, serial: merge partials in global canonical-key order — the
+  // exact order a single-map serial store would traverse — so the value
+  // vectors fed to the aggregator (and thus floating-point results) do not
+  // depend on sharding or thread schedule.
+  std::vector<const Partial*> ordered;
+  for (const auto& shard_partials : per_shard) {
+    for (const auto& p : shard_partials) ordered.push_back(&p);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Partial* a, const Partial* b) {
+              return a->series_key < b->series_key;
+            });
+
   struct Group {
     TagSet tags;
     std::map<util::SimTime, std::vector<double>> buckets;
   };
   std::map<std::string, Group> groups;
-
-  for (const auto& [key, series] : mit->second) {
-    // Tag filters.
-    bool ok = true;
-    for (const auto& [fk, fv] : q.filters) {
-      const auto it = series.tags.find(fk);
-      if (it == series.tags.end() || it->second != fv) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-
-    TagSet group_tags;
-    for (const auto& g : q.group_by) {
-      const auto it = series.tags.find(g);
-      group_tags[g] = it == series.tags.end() ? std::string{} : it->second;
-    }
-    auto& group = groups[canonical(group_tags)];
-    group.tags = group_tags;
-
-    // Sort lazily if needed, then downsample this series into the group's
-    // buckets.
-    std::vector<DataPoint> pts = series.points;
-    if (!series.sorted) {
-      std::sort(pts.begin(), pts.end(),
-                [](const DataPoint& a, const DataPoint& b) {
-                  return a.time < b.time;
-                });
-    }
-    if (q.rate) {
-      std::vector<DataPoint> rates;
-      rates.reserve(pts.size() > 0 ? pts.size() - 1 : 0);
-      for (std::size_t i = 1; i < pts.size(); ++i) {
-        const double dt = util::to_seconds(pts[i].time - pts[i - 1].time);
-        if (dt <= 0.0) continue;
-        const double delta = pts[i].value - pts[i - 1].value;
-        rates.push_back({pts[i].time, delta > 0.0 ? delta / dt : 0.0});
-      }
-      pts = std::move(rates);
-    }
-    std::map<util::SimTime, std::vector<double>> local;
-    for (const auto& p : pts) {
-      if (q.start != 0 || q.end != 0) {
-        if (p.time < q.start || (q.end != 0 && p.time >= q.end)) continue;
-      }
-      const util::SimTime t =
-          q.downsample > 0 ? p.time - p.time % q.downsample : p.time;
-      local[t].push_back(p.value);
-    }
-    for (const auto& [t, vals] : local) {
-      group.buckets[t].push_back(
-          aggregate(q.downsample_aggregator, vals));
+  for (const Partial* p : ordered) {
+    auto& group = groups[canonical(p->group_tags)];
+    group.tags = p->group_tags;
+    for (const auto& [t, v] : p->downsampled) {
+      group.buckets[t].push_back(v);
     }
   }
 

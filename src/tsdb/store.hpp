@@ -3,14 +3,45 @@
 // by a tuple of tags — in the paper's setup host name, device type, device
 // name, and event name — and can be aggregated along any subset of the
 // tags, then joined with job metadata from the relational store.
+//
+// The store is sharded for concurrent ingest: series are distributed over
+// N buckets by a stable hash of (metric, canonical tag string), and each
+// shard is protected by its own mutex (lock striping), so writers touching
+// different shards never contend. The hot path is put_batch(), which
+// resolves the series once per run of points instead of once per point;
+// tag strings are interned per shard so each distinct key/value is stored
+// once no matter how many series share it.
+//
+// Thread-safety contract:
+//   * put(), put_batch(), put_batches(), query(), num_series() and
+//     num_points() are all safe to call concurrently from any number of
+//     threads, including queries interleaved with ingest.
+//   * A query observes each series atomically (its points are snapshotted
+//     under the shard lock) but is not a cross-shard snapshot: points
+//     ingested while the query runs may or may not be visible.
+//   * Construction, move, and destruction are NOT thread-safe; complete
+//     them before sharing the store across threads.
+//   * Query results are deterministic: for a fixed set of stored points
+//     they are byte-identical regardless of shard count, ingest order
+//     across series, ingest thread count, or query thread count.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/clock.hpp"
+
+namespace tacc::util {
+class ThreadPool;
+}  // namespace tacc::util
 
 namespace tacc::tsdb {
 
@@ -51,33 +82,111 @@ struct SeriesResult {
   std::vector<DataPoint> points;  // sorted by time
 };
 
+/// Tuning knobs for the store. Defaults are sized for tens of concurrent
+/// writers on a few hundred thousand series.
+struct StoreOptions {
+  /// Number of lock-striped shards; rounded up to a power of two, min 1.
+  /// More shards = less writer contention, slightly more query fan-out.
+  std::size_t shards = 16;
+};
+
+/// One series' worth of points staged for bulk insertion; the unit
+/// consumed by Store::put_batches(). Points need not be sorted.
+struct SeriesBatch {
+  std::string metric;
+  TagSet tags;
+  std::vector<DataPoint> points;
+};
+
 class Store {
  public:
+  Store() : Store(StoreOptions{}) {}
+  explicit Store(const StoreOptions& options);
+
+  Store(Store&&) noexcept = default;
+  Store& operator=(Store&&) noexcept = default;
+
   /// Appends a point to the series (metric, tags). Out-of-order writes are
-  /// allowed; series are kept sorted.
+  /// allowed; series are sorted lazily at query time. Thread-safe.
+  /// Prefer put_batch() on hot paths: put() re-canonicalizes the tag set
+  /// and re-resolves the series on every call.
   void put(const std::string& metric, const TagSet& tags, util::SimTime time,
            double value);
 
-  /// Number of distinct series across all metrics.
-  std::size_t num_series() const noexcept;
-  /// Total stored points.
-  std::size_t num_points() const noexcept { return num_points_; }
+  /// Appends a run of points to the series (metric, tags), resolving the
+  /// series and taking the shard lock once for the whole run. Out-of-order
+  /// points are allowed (sorted lazily at query time). Thread-safe.
+  void put_batch(const std::string& metric, const TagSet& tags,
+                 std::span<const DataPoint> points);
+
+  /// Bulk-inserts a set of staged series batches, grouping them by shard
+  /// so each shard's lock is taken at most once per call. This is the
+  /// preferred flush path for parallel ingest: workers stage points
+  /// locally and hand the whole buffer over in one call. Thread-safe.
+  void put_batches(std::span<const SeriesBatch> batches);
+
+  /// Number of distinct series across all metrics. Thread-safe.
+  std::size_t num_series() const;
+  /// Total stored points. Thread-safe (per-shard atomic counters summed on
+  /// read), including while ingest is in flight.
+  std::size_t num_points() const noexcept;
+  /// Number of lock-striped shards (after power-of-two rounding).
+  std::size_t num_shards() const noexcept { return shards_.size(); }
 
   /// Runs a query: filter series, group, downsample, and aggregate across
-  /// series within each group (per aligned timestamp).
+  /// series within each group (per aligned timestamp). Thread-safe, and
+  /// safe while ingest is in flight.
   std::vector<SeriesResult> query(const Query& q) const;
+
+  /// Same query semantics, but fans the per-series work (sort, rate,
+  /// downsample) out across `pool`, one task per shard; the final merge is
+  /// ordered so results are byte-identical to the serial overload.
+  /// Thread-safe; `pool` may be shared with concurrent ingest.
+  std::vector<SeriesResult> query(const Query& q, util::ThreadPool& pool) const;
 
  private:
   struct Series {
-    TagSet tags;
+    /// Sorted (key, value) views into the owning shard's intern pool.
+    std::vector<std::pair<std::string_view, std::string_view>> tags;
     std::vector<DataPoint> points;
     bool sorted = true;
   };
-  // metric -> canonical tag string -> series
-  std::map<std::string, std::map<std::string, Series>> metrics_;
-  std::size_t num_points_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    /// Distinct tag keys/values, stored once per shard; std::set nodes are
+    /// stable, so Series holds string_views into this pool.
+    std::set<std::string, std::less<>> intern;
+    // metric -> canonical tag string -> series (ordered: queries traverse
+    // series in canonical order, which keeps aggregation deterministic).
+    std::map<std::string, std::map<std::string, Series, std::less<>>,
+             std::less<>>
+        metrics;
+    std::atomic<std::size_t> points{0};
+  };
+  /// A matched series snapshot plus its per-series query result, produced
+  /// under the shard lock and processed outside it.
+  struct Partial {
+    std::string series_key;  // canonical tags: global merge order
+    TagSet group_tags;
+    std::vector<DataPoint> points;
+    bool sorted = true;
+    std::vector<std::pair<util::SimTime, double>> downsampled;
+  };
+
+  Shard& shard_for(std::string_view metric, std::string_view canon) noexcept;
+  const Shard& shard_for(std::string_view metric,
+                         std::string_view canon) const noexcept;
+  /// Finds or creates a series; caller must hold `shard.mu`.
+  Series& resolve_series(Shard& shard, const std::string& metric,
+                         const TagSet& tags, std::string_view canon);
+  static void append_run(Shard& shard, Series& series,
+                         std::span<const DataPoint> points);
+  std::vector<SeriesResult> query_impl(const Query& q,
+                                       util::ThreadPool* pool) const;
 
   static std::string canonical(const TagSet& tags);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// Applies an aggregator to a set of values (empty -> 0, except Count).

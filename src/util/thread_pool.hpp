@@ -1,6 +1,18 @@
 // A small fixed-size thread pool used to parallelize per-node work:
 // driving the workload engine, running collectors across the simulated
-// cluster, and bulk ingest into the database.
+// cluster, and bulk ingest into the database and time-series stores.
+//
+// Thread-safety contract:
+//   * submit() and parallel_for() are safe to call concurrently from any
+//     thread, including from inside a task already running on the pool
+//     (submit only; see below).
+//   * parallel_for() blocks the calling thread until every index is done;
+//     do NOT call it from a task running on this same pool — the caller
+//     would occupy a worker slot while waiting, which can deadlock a
+//     fully-loaded pool.
+//   * size() is safe from any thread. Destruction is not: join all users
+//     before the pool goes out of scope (the destructor drains the queue
+//     and joins the workers).
 #pragma once
 
 #include <condition_variable>
