@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <utility>
+
 namespace tacc::core {
 
 namespace {
@@ -54,8 +56,8 @@ std::vector<long> ClusterMonitor::jobs_on(std::size_t node_index) const {
 
 void ClusterMonitor::job_started(const workload::JobSpec& spec,
                                  std::vector<std::size_t> node_indices) {
-  engine_.start_job(spec, node_indices);
-  for (const std::size_t ni : node_indices) {
+  engine_.start_job(spec, std::move(node_indices));
+  for (const std::size_t ni : *engine_.nodes_of(spec.jobid)) {
     if (config_.mode == TransportMode::Daemon) {
       daemons_[ni]->collect_now(now_, "begin");
     } else {

@@ -29,7 +29,7 @@ double OnlineAnalyzer::block_sum(const std::vector<collect::Schema>& schemas,
 
 void OnlineAnalyzer::on_chunk(const std::string& hostname,
                               const collect::HostLog& chunk) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto& state = hosts_[hostname];
   if (state.schemas.empty()) state.schemas = chunk.schemas;
   for (const auto& record : chunk.records) {
@@ -68,17 +68,17 @@ void OnlineAnalyzer::on_chunk(const std::string& hostname,
 }
 
 std::vector<Alert> OnlineAnalyzer::alerts() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return alerts_;
 }
 
 std::set<long> OnlineAnalyzer::suspend_candidates() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return suspend_;
 }
 
 std::size_t OnlineAnalyzer::records_analyzed() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return records_;
 }
 

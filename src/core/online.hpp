@@ -6,13 +6,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "collect/rawfile.hpp"
 #include "util/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::core {
 
@@ -37,13 +37,14 @@ class OnlineAnalyzer {
 
   /// Consumer callback: analyze a freshly arrived self-describing chunk.
   /// Thread-safe (the consumer calls from its own thread).
-  void on_chunk(const std::string& hostname, const collect::HostLog& chunk);
+  void on_chunk(const std::string& hostname, const collect::HostLog& chunk)
+      TACC_EXCLUDES(mu_);
 
-  std::vector<Alert> alerts() const;
+  std::vector<Alert> alerts() const TACC_EXCLUDES(mu_);
   /// Jobs recommended for suspension (any job that triggered a
   /// metadata-storm alert).
-  std::set<long> suspend_candidates() const;
-  std::size_t records_analyzed() const;
+  std::set<long> suspend_candidates() const TACC_EXCLUDES(mu_);
+  std::size_t records_analyzed() const TACC_EXCLUDES(mu_);
 
  private:
   struct HostState {
@@ -56,11 +57,11 @@ class OnlineAnalyzer {
                           const std::string& type, const std::string& key);
 
   OnlineThresholds thresholds_;
-  mutable std::mutex mu_;
-  std::map<std::string, HostState> hosts_;
-  std::vector<Alert> alerts_;
-  std::set<long> suspend_;
-  std::size_t records_ = 0;
+  mutable util::Mutex mu_;
+  std::map<std::string, HostState> hosts_ TACC_GUARDED_BY(mu_);
+  std::vector<Alert> alerts_ TACC_GUARDED_BY(mu_);
+  std::set<long> suspend_ TACC_GUARDED_BY(mu_);
+  std::size_t records_ TACC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tacc::core

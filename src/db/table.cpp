@@ -216,7 +216,8 @@ std::vector<double> Table::column_values(
   return out;
 }
 
-Table& Database::create_table(std::string name, std::vector<Column> columns) {
+Table& Database::create_table(const std::string& name,
+                              std::vector<Column> columns) {
   const auto [it, inserted] = tables_.emplace(
       name, Table(name, std::move(columns)));
   if (!inserted) {

@@ -105,7 +105,7 @@ class Table {
 class Database {
  public:
   /// Creates a table; throws std::invalid_argument if the name exists.
-  Table& create_table(std::string name, std::vector<Column> columns);
+  Table& create_table(const std::string& name, std::vector<Column> columns);
   Table& table(const std::string& name);
   const Table& table(const std::string& name) const;
   bool has_table(const std::string& name) const noexcept;

@@ -5,7 +5,7 @@ namespace tacc::transport {
 void RawArchive::add_header(const std::string& hostname,
                             const std::string& arch,
                             std::vector<collect::Schema> schemas) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto& host = hosts_[hostname];
   if (host.log.hostname.empty()) {
     host.log.hostname = hostname;
@@ -16,7 +16,7 @@ void RawArchive::add_header(const std::string& hostname,
 
 void RawArchive::append(const std::string& hostname, collect::Record record,
                         util::SimTime ingest_time) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto& host = hosts_[hostname];
   if (host.log.hostname.empty()) host.log.hostname = hostname;
   host.log.records.push_back(std::move(record));
@@ -24,13 +24,13 @@ void RawArchive::append(const std::string& hostname, collect::Record record,
 }
 
 collect::HostLog RawArchive::log(const std::string& hostname) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = hosts_.find(hostname);
   return it == hosts_.end() ? collect::HostLog{} : it->second.log;
 }
 
 std::vector<std::string> RawArchive::hosts() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(hosts_.size());
   for (const auto& [host, data] : hosts_) out.push_back(host);
@@ -38,14 +38,14 @@ std::vector<std::string> RawArchive::hosts() const {
 }
 
 std::size_t RawArchive::total_records() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [host, data] : hosts_) n += data.log.records.size();
   return n;
 }
 
 util::RunningStat RawArchive::latency() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   util::RunningStat stat;
   for (const auto& [host, data] : hosts_) {
     for (std::size_t i = 0; i < data.ingest_times.size(); ++i) {

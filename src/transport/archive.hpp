@@ -6,12 +6,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "collect/rawfile.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::transport {
 
@@ -19,32 +19,32 @@ class RawArchive {
  public:
   /// Registers a host's identity/schemas (idempotent; first write wins).
   void add_header(const std::string& hostname, const std::string& arch,
-                  std::vector<collect::Schema> schemas);
+                  std::vector<collect::Schema> schemas) TACC_EXCLUDES(mu_);
 
   /// Appends one record for a host. `ingest_time` is the simulated time at
   /// which the record became centrally visible (immediately for daemon
   /// mode; at the staged rsync for cron mode).
   void append(const std::string& hostname, collect::Record record,
-              util::SimTime ingest_time);
+              util::SimTime ingest_time) TACC_EXCLUDES(mu_);
 
   /// Snapshot of a host's log (copy; safe across threads). Nullopt-like
   /// empty log if the host is unknown.
-  collect::HostLog log(const std::string& hostname) const;
+  collect::HostLog log(const std::string& hostname) const TACC_EXCLUDES(mu_);
 
-  std::vector<std::string> hosts() const;
+  std::vector<std::string> hosts() const TACC_EXCLUDES(mu_);
 
-  std::size_t total_records() const;
+  std::size_t total_records() const TACC_EXCLUDES(mu_);
 
   /// Distribution of (ingest_time - record.time) in seconds.
-  util::RunningStat latency() const;
+  util::RunningStat latency() const TACC_EXCLUDES(mu_);
 
  private:
   struct HostData {
     collect::HostLog log;
     std::vector<util::SimTime> ingest_times;  // parallel to log.records
   };
-  mutable std::mutex mu_;
-  std::map<std::string, HostData> hosts_;
+  mutable util::Mutex mu_;
+  std::map<std::string, HostData> hosts_ TACC_GUARDED_BY(mu_);
 };
 
 }  // namespace tacc::transport

@@ -7,18 +7,18 @@
 namespace tacc::transport {
 
 void Broker::declare_queue(const std::string& queue) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   queues_.try_emplace(queue);
 }
 
 void Broker::bind(const std::string& queue, const std::string& pattern) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   queues_.try_emplace(queue);
   bindings_.emplace_back(queue, pattern);
 }
 
 bool Broker::key_matches(const std::string& pattern,
-                         const std::string& key) const noexcept {
+                         const std::string& key) noexcept {
   if (pattern == "#") return true;
   if (util::ends_with(pattern, ".*")) {
     const std::string_view prefix(pattern.data(), pattern.size() - 1);
@@ -32,7 +32,7 @@ std::size_t Broker::publish(const std::string& routing_key,
                             std::string body) {
   std::size_t routed = 0;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.published;
     for (const auto& [queue, pattern] : bindings_) {
       if (!key_matches(pattern, routing_key)) continue;
@@ -51,7 +51,7 @@ std::size_t Broker::publish(const std::string& routing_key,
 
 std::optional<Message> Broker::consume(const std::string& queue,
                                        std::chrono::milliseconds timeout) {
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   auto it = queues_.find(queue);
   if (it == queues_.end()) {
@@ -59,7 +59,7 @@ std::optional<Message> Broker::consume(const std::string& queue,
   }
   QueueState& q = it->second;
   while (q.messages.empty() && !shutdown_) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout &&
         q.messages.empty()) {
       return std::nullopt;
     }
@@ -73,7 +73,7 @@ std::optional<Message> Broker::consume(const std::string& queue,
 }
 
 void Broker::ack(const std::string& queue, std::uint64_t delivery_tag) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = queues_.find(queue);
   if (it == queues_.end()) return;
   if (it->second.unacked.erase(delivery_tag) > 0) ++stats_.acked;
@@ -81,7 +81,7 @@ void Broker::ack(const std::string& queue, std::uint64_t delivery_tag) {
 
 void Broker::requeue(const std::string& queue, std::uint64_t delivery_tag) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     const auto it = queues_.find(queue);
     if (it == queues_.end()) return;
     const auto uit = it->second.unacked.find(delivery_tag);
@@ -94,26 +94,26 @@ void Broker::requeue(const std::string& queue, std::uint64_t delivery_tag) {
 }
 
 std::size_t Broker::depth(const std::string& queue) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = queues_.find(queue);
   return it == queues_.end() ? 0 : it->second.messages.size();
 }
 
 BrokerStats Broker::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 void Broker::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
 }
 
 bool Broker::is_shut_down() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return shutdown_;
 }
 

@@ -6,14 +6,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace tacc::transport {
 
@@ -35,55 +35,63 @@ struct BrokerStats {
 class Broker {
  public:
   /// Declares a queue (idempotent).
-  void declare_queue(const std::string& queue);
+  void declare_queue(const std::string& queue) TACC_EXCLUDES(mu_);
 
   /// Binds a queue to routing keys. A binding of "#" matches every key;
   /// a trailing ".*" matches one more segment ("stats.*" matches
   /// "stats.c401-101").
-  void bind(const std::string& queue, const std::string& pattern);
+  void bind(const std::string& queue, const std::string& pattern)
+      TACC_EXCLUDES(mu_);
 
   /// Publishes to the direct exchange; the message is copied into every
   /// matching queue. Returns the number of queues it reached (0 =
   /// unroutable, counted in stats).
-  std::size_t publish(const std::string& routing_key, std::string body);
+  std::size_t publish(const std::string& routing_key, std::string body)
+      TACC_EXCLUDES(mu_);
 
   /// Blocking consume with timeout; nullopt on timeout or shutdown. The
   /// message stays "unacked" until ack() — if the consumer drops it and
   /// calls reject/requeue it is redelivered.
   std::optional<Message> consume(const std::string& queue,
-                                 std::chrono::milliseconds timeout);
+                                 std::chrono::milliseconds timeout)
+      TACC_EXCLUDES(mu_);
 
   /// Acknowledges a delivery.
-  void ack(const std::string& queue, std::uint64_t delivery_tag);
+  void ack(const std::string& queue, std::uint64_t delivery_tag)
+      TACC_EXCLUDES(mu_);
 
   /// Returns an unacked message to the front of the queue (redelivery).
-  void requeue(const std::string& queue, std::uint64_t delivery_tag);
+  void requeue(const std::string& queue, std::uint64_t delivery_tag)
+      TACC_EXCLUDES(mu_);
 
   /// Messages waiting in a queue (excluding unacked in-flight ones).
-  std::size_t depth(const std::string& queue) const;
+  std::size_t depth(const std::string& queue) const TACC_EXCLUDES(mu_);
 
-  BrokerStats stats() const;
+  BrokerStats stats() const TACC_EXCLUDES(mu_);
 
   /// Wakes all blocked consumers and makes further consumes return
   /// nullopt immediately.
-  void shutdown();
-  bool is_shut_down() const;
+  void shutdown() TACC_EXCLUDES(mu_);
+  bool is_shut_down() const TACC_EXCLUDES(mu_);
 
  private:
   struct QueueState {
     std::deque<Message> messages;
     std::map<std::uint64_t, Message> unacked;
   };
-  bool key_matches(const std::string& pattern,
-                   const std::string& key) const noexcept;
+  /// Pure pattern match; touches no broker state.
+  static bool key_matches(const std::string& pattern,
+                          const std::string& key) noexcept;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, QueueState> queues_;
-  std::vector<std::pair<std::string, std::string>> bindings_;  // (queue, pat)
-  BrokerStats stats_;
-  std::uint64_t next_tag_ = 1;
-  bool shutdown_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::map<std::string, QueueState> queues_ TACC_GUARDED_BY(mu_);
+  /// (queue, pattern) pairs.
+  std::vector<std::pair<std::string, std::string>> bindings_
+      TACC_GUARDED_BY(mu_);
+  BrokerStats stats_ TACC_GUARDED_BY(mu_);
+  std::uint64_t next_tag_ TACC_GUARDED_BY(mu_) = 1;
+  bool shutdown_ TACC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tacc::transport

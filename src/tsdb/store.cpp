@@ -129,7 +129,7 @@ void Store::put_batch(const std::string& metric, const TagSet& tags,
   if (points.empty()) return;
   const std::string canon = canonical(tags);
   Shard& shard = shard_for(metric, canon);
-  std::lock_guard lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   append_run(shard, resolve_series(shard, metric, tags, canon), points);
 }
 
@@ -148,7 +148,7 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
   for (std::size_t s = 0; s < by_shard.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     for (const std::size_t i : by_shard[s]) {
       const auto& b = batches[i];
       append_run(shard, resolve_series(shard, b.metric, b.tags, canons[i]),
@@ -160,7 +160,7 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
 std::size_t Store::num_series() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     for (const auto& [metric, series] : shard->metrics) n += series.size();
   }
   return n;
@@ -194,7 +194,7 @@ std::vector<SeriesResult> Store::query_impl(const Query& q,
     const Shard& shard = *shards_[si];
     std::vector<Partial>& out = per_shard[si];
     {
-      std::lock_guard lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       const auto mit = shard.metrics.find(q.metric);
       if (mit == shard.metrics.end()) return;
       for (const auto& [key, series] : mit->second) {

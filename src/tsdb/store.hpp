@@ -29,7 +29,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
@@ -38,6 +37,7 @@
 #include <vector>
 
 #include "util/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::util {
 class ThreadPool;
@@ -152,15 +152,16 @@ class Store {
     bool sorted = true;
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu;
     /// Distinct tag keys/values, stored once per shard; std::set nodes are
     /// stable, so Series holds string_views into this pool.
-    std::set<std::string, std::less<>> intern;
+    std::set<std::string, std::less<>> intern TACC_GUARDED_BY(mu);
     // metric -> canonical tag string -> series (ordered: queries traverse
     // series in canonical order, which keeps aggregation deterministic).
     std::map<std::string, std::map<std::string, Series, std::less<>>,
              std::less<>>
-        metrics;
+        metrics TACC_GUARDED_BY(mu);
+    /// Lock-free read path for num_points(); not guarded on purpose.
     std::atomic<std::size_t> points{0};
   };
   /// A matched series snapshot plus its per-series query result, produced
@@ -178,9 +179,11 @@ class Store {
                          std::string_view canon) const noexcept;
   /// Finds or creates a series; caller must hold `shard.mu`.
   Series& resolve_series(Shard& shard, const std::string& metric,
-                         const TagSet& tags, std::string_view canon);
+                         const TagSet& tags, std::string_view canon)
+      TACC_REQUIRES(shard.mu);
   static void append_run(Shard& shard, Series& series,
-                         std::span<const DataPoint> points);
+                         std::span<const DataPoint> points)
+      TACC_REQUIRES(shard.mu);
   std::vector<SeriesResult> query_impl(const Query& q,
                                        util::ThreadPool* pool) const;
 

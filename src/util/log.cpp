@@ -2,14 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.hpp"
 
 namespace tacc::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mu;
+// Serializes whole lines onto stderr (the "capability" is the stream
+// itself, which the analysis cannot name, so nothing is GUARDED_BY it).
+Mutex g_mu;
 
 constexpr const char* level_name(LogLevel l) noexcept {
   switch (l) {
@@ -34,7 +37,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, std::string_view tag, std::string_view msg) {
   if (level < g_level.load() || level == LogLevel::Off) return;
-  std::lock_guard lock(g_mu);
+  MutexLock lock(g_mu);
   std::fprintf(stderr, "%s [%.*s] %.*s\n", level_name(level),
                static_cast<int>(tag.size()), tag.data(),
                static_cast<int>(msg.size()), msg.data());

@@ -2,7 +2,8 @@
 // driving the workload engine, running collectors across the simulated
 // cluster, and bulk ingest into the database and time-series stores.
 //
-// Thread-safety contract:
+// Thread-safety contract (statically checked under -DTACC_THREAD_SAFETY=ON;
+// see src/util/thread_annotations.hpp and docs/STATIC_ANALYSIS.md):
 //   * submit() and parallel_for() are safe to call concurrently from any
 //     thread, including from inside a task already running on the pool
 //     (submit only; see below).
@@ -15,14 +16,15 @@
 //     and joins the workers).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace tacc::util {
 
@@ -39,13 +41,13 @@ class ThreadPool {
 
   /// Enqueues a task; the returned future resolves with its result.
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  std::future<std::invoke_result_t<F>> submit(F&& f) TACC_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -57,13 +59,13 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() TACC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ TACC_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ TACC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tacc::util

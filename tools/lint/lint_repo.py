@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter for the tacc_stats_cpp tree.
+
+Enforces the correctness invariants no off-the-shelf tool knows about
+(see docs/STATIC_ANALYSIS.md for the rationale and how to extend this):
+
+  TS001  raw concurrency primitive (std::mutex / std::condition_variable /
+         std::shared_mutex / std::atomic) declared in src/ without an entry
+         in tools/lint/concurrency_allowlist.txt. New concurrent state must
+         use util::Mutex + TACC_GUARDED_BY (src/util/thread_annotations.hpp)
+         so Clang Thread Safety Analysis can prove the locking discipline;
+         the allowlist records the sanctioned exceptions with a reason.
+  TS002  util::Mutex declared but never named by any TACC_* annotation in
+         the same file — an unannotated capability guards nothing, so the
+         static analysis silently proves nothing about it.
+  TS010  collector class defined in src/collect/*.hpp but never
+         instantiated in src/collect/registry.cpp — the collector would
+         silently never run on any node.
+  TS020  tuning knob (field of tsdb::StoreOptions or
+         pipeline::TsdbIngestOptions) not documented in
+         docs/ARCHITECTURE.md — operators tune from the docs, so an
+         undocumented knob is effectively unshipped.
+  TS030  tests/test_*.cpp not registered in tests/CMakeLists.txt — the
+         test builds nowhere and rots.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# (code, human description) — kept in one place so --list-checks and the
+# fixture tests stay in sync with reality.
+CHECKS = {
+    "TS001": "raw concurrency primitive not allowlisted",
+    "TS002": "util::Mutex never referenced by a TACC_* annotation",
+    "TS010": "collector not registered in registry.cpp",
+    "TS020": "options knob not documented in docs/ARCHITECTURE.md",
+    "TS030": "test file not registered in tests/CMakeLists.txt",
+}
+
+ALLOWLIST_PATH = Path("tools/lint/concurrency_allowlist.txt")
+
+# Declarations of raw primitives: a type token followed by an identifier
+# (member or namespace-scope variable). Deliberately naive — flagging the
+# odd local variable is fine, because locals the analysis cannot see should
+# be rare and deliberate, i.e. allowlisted with a reason.
+RAW_PRIMITIVE_RE = re.compile(
+    r"\b(?:mutable\s+)?std::(?:mutex|shared_mutex|recursive_mutex|"
+    r"condition_variable(?:_any)?|atomic(?:<[^;]*>|_\w+)?)\s+(\w+)\s*[;{=]"
+)
+
+MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?(?:util::)?Mutex\s+(\w+)\s*;")
+
+COLLECTOR_CLASS_RE = re.compile(r"\bclass\s+(\w+Collector)\b[^;]*:")
+
+TEST_REGISTRATION_RE = re.compile(r"\b(?:ts_test\s*\(|add_executable\s*\()\s*(\w+)")
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, line: int, code: str, message: str) -> None:
+        self.findings.append((path, line, code, message))
+
+    # -- TS001 / TS002 ------------------------------------------------------
+    def load_allowlist(self) -> set[str]:
+        allow: set[str] = set()
+        path = self.root / ALLOWLIST_PATH
+        if not path.is_file():
+            return allow
+        for raw in path.read_text().splitlines():
+            entry = raw.split("#", 1)[0].strip()
+            if not entry:
+                continue
+            # "<path>:<identifier>  <reason...>" — only the first token binds.
+            allow.add(entry.split()[0])
+        return allow
+
+    def check_concurrency(self) -> None:
+        allow = self.load_allowlist()
+        annotation_exempt = Path("src/util/thread_annotations.hpp")
+        for path in sorted((self.root / "src").rglob("*.[hc]pp")):
+            rel = path.relative_to(self.root)
+            text = path.read_text()
+            for lineno, line in enumerate(text.splitlines(), 1):
+                stripped = line.split("//", 1)[0]
+                if rel != annotation_exempt:
+                    for m in RAW_PRIMITIVE_RE.finditer(stripped):
+                        key = f"{rel.as_posix()}:{m.group(1)}"
+                        if key not in allow:
+                            self.report(
+                                rel, lineno, "TS001",
+                                f"raw concurrency primitive '{m.group(1)}' — "
+                                "use util::Mutex + TACC_GUARDED_BY, or add "
+                                f"'{key}' to {ALLOWLIST_PATH.as_posix()} "
+                                "with a reason",
+                            )
+                for m in MUTEX_DECL_RE.finditer(stripped):
+                    name = m.group(1)
+                    key = f"{rel.as_posix()}:{name}"
+                    if key in allow:
+                        continue
+                    # The capability must be named by some annotation in this
+                    # file: GUARDED_BY(name), REQUIRES(x.name), EXCLUDES(name)…
+                    if not re.search(
+                        r"TACC_\w+\s*\([^)]*\b" + re.escape(name) + r"\b", text
+                    ):
+                        self.report(
+                            rel, lineno, "TS002",
+                            f"util::Mutex '{name}' is never referenced by a "
+                            "TACC_* annotation — nothing is guarded by it",
+                        )
+
+    # -- TS010 --------------------------------------------------------------
+    def check_collectors(self) -> None:
+        collect_dir = self.root / "src" / "collect"
+        registry = collect_dir / "registry.cpp"
+        if not registry.is_file():
+            return
+        registry_text = registry.read_text()
+        for path in sorted(collect_dir.glob("*.hpp")):
+            rel = path.relative_to(self.root)
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                m = COLLECTOR_CLASS_RE.search(line.split("//", 1)[0])
+                if m and m.group(1) not in registry_text:
+                    self.report(
+                        rel, lineno, "TS010",
+                        f"collector '{m.group(1)}' is not registered in "
+                        "src/collect/registry.cpp — it will never run",
+                    )
+
+    # -- TS020 --------------------------------------------------------------
+    KNOB_STRUCTS = (
+        ("src/tsdb/store.hpp", "StoreOptions"),
+        ("src/pipeline/ingest.hpp", "TsdbIngestOptions"),
+    )
+
+    @staticmethod
+    def struct_fields(text: str, struct: str) -> list[tuple[int, str]]:
+        """Field names of `struct <name> { ... };` with their line numbers."""
+        m = re.search(r"struct\s+" + struct + r"\s*\{", text)
+        if not m:
+            return []
+        start = m.end()
+        depth = 1
+        end = start
+        while end < len(text) and depth > 0:
+            depth += {"{": 1, "}": -1}.get(text[end], 0)
+            end += 1
+        body = text[start:end]
+        base_line = text.count("\n", 0, start) + 1
+        fields = []
+        for i, line in enumerate(body.splitlines()):
+            code = line.split("//", 1)[0]
+            fm = re.search(r"\b(\w+)\s*(?:=[^;]*)?;\s*$", code.strip())
+            if fm and not code.strip().startswith(("struct", "using")):
+                fields.append((base_line + i, fm.group(1)))
+        return fields
+
+    def check_knobs(self) -> None:
+        docs = self.root / "docs" / "ARCHITECTURE.md"
+        docs_text = docs.read_text() if docs.is_file() else ""
+        for rel_path, struct in self.KNOB_STRUCTS:
+            path = self.root / rel_path
+            if not path.is_file():
+                continue
+            for lineno, field in self.struct_fields(path.read_text(), struct):
+                if field not in docs_text:
+                    self.report(
+                        Path(rel_path), lineno, "TS020",
+                        f"knob '{struct}::{field}' is not documented in "
+                        "docs/ARCHITECTURE.md",
+                    )
+
+    # -- TS030 --------------------------------------------------------------
+    def check_tests(self) -> None:
+        tests_dir = self.root / "tests"
+        cmake = tests_dir / "CMakeLists.txt"
+        if not cmake.is_file():
+            return
+        registered = set(TEST_REGISTRATION_RE.findall(cmake.read_text()))
+        for path in sorted(tests_dir.glob("test_*.cpp")):
+            if path.stem not in registered:
+                self.report(
+                    path.relative_to(self.root), 1, "TS030",
+                    f"'{path.name}' is not registered in "
+                    "tests/CMakeLists.txt — it never builds or runs",
+                )
+
+    def run(self) -> int:
+        self.check_concurrency()
+        self.check_collectors()
+        self.check_knobs()
+        self.check_tests()
+        for path, line, code, message in self.findings:
+            print(f"{path.as_posix()}:{line}: {code}: {message}")
+        if self.findings:
+            counts = sorted({f[2] for f in self.findings})
+            print(
+                f"lint_repo: {len(self.findings)} violation(s) "
+                f"({', '.join(counts)})",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parents[2],
+        help="repository root to lint (default: this script's repo)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print check codes and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_checks:
+        for code, desc in CHECKS.items():
+            print(f"{code}  {desc}")
+        return 0
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"lint_repo: {root} has no src/ directory", file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint/lint_repo.py.
+
+Each test builds a minimal repo tree in a tempdir containing exactly one
+violation class, runs the linter against it, and asserts the expected
+diagnostic code and exit code. Driven by ctest (`lint_selftest`) and
+runnable directly: python3 tools/lint/test_lint_repo.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_repo  # noqa: E402
+
+
+def run_linter(root: Path) -> tuple[int, str]:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+        code = lint_repo.main(["--root", str(root)])
+    return code, out.getvalue()
+
+
+class FixtureTree:
+    """A throwaway repo tree; write(path, text) creates parents as needed."""
+
+    def __init__(self, tmp: Path):
+        self.root = tmp
+        (tmp / "src").mkdir()
+
+    def write(self, rel: str, text: str) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+
+class LintRepoTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tree = FixtureTree(Path(self._tmp.name))
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    # -- clean tree ---------------------------------------------------------
+    def test_clean_tree_exits_zero(self):
+        self.tree.write(
+            "src/util/cache.hpp",
+            "class Cache {\n"
+            "  util::Mutex mu_;\n"
+            "  int x_ TACC_GUARDED_BY(mu_);\n"
+            "};\n",
+        )
+        self.tree.write("tests/CMakeLists.txt", "ts_test(test_cache)\n")
+        self.tree.write("tests/test_cache.cpp", "// ok\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+        self.assertEqual(out, "")
+
+    # -- TS001 --------------------------------------------------------------
+    def test_unannotated_mutex_flagged(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  std::mutex mu_;\n  int x_;\n};\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS001", out)
+        self.assertIn("src/core/state.hpp:2", out)
+        self.assertIn("mu_", out)
+
+    def test_unannotated_atomic_flagged(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  std::atomic<int> hits_{0};\n};\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS001", out)
+        self.assertIn("hits_", out)
+
+    def test_allowlisted_primitive_passes(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  std::atomic<int> hits_{0};\n};\n",
+        )
+        self.tree.write(
+            "tools/lint/concurrency_allowlist.txt",
+            "# reasons matter\nsrc/core/state.hpp:hits_  lock-free counter\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    def test_commented_out_primitive_ignored(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  // std::mutex old_mu_;\n};\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    # -- TS002 --------------------------------------------------------------
+    def test_unreferenced_capability_flagged(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  util::Mutex mu_;\n  int x_;\n};\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS002", out)
+        self.assertIn("never referenced", out)
+
+    def test_excludes_annotation_counts_as_reference(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n"
+            "  void poke() TACC_EXCLUDES(mu_);\n"
+            "  util::Mutex mu_;\n"
+            "};\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    # -- TS010 --------------------------------------------------------------
+    def test_unregistered_collector_flagged(self):
+        self.tree.write(
+            "src/collect/collectors.hpp",
+            "class FooCollector final : public Collector {};\n"
+            "class BarCollector final : public Collector {};\n",
+        )
+        self.tree.write(
+            "src/collect/registry.cpp",
+            "out.push_back(std::make_unique<FooCollector>());\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS010", out)
+        self.assertIn("BarCollector", out)
+        self.assertNotIn("FooCollector' is not registered", out)
+
+    # -- TS020 --------------------------------------------------------------
+    def test_undocumented_knob_flagged(self):
+        self.tree.write(
+            "src/tsdb/store.hpp",
+            "struct StoreOptions {\n"
+            "  std::size_t shards = 16;\n"
+            "  bool mystery_knob = false;\n"
+            "};\n",
+        )
+        self.tree.write("docs/ARCHITECTURE.md", "`shards` is documented.\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS020", out)
+        self.assertIn("mystery_knob", out)
+        self.assertNotIn("shards", out.replace("mystery_knob", ""))
+
+    def test_documented_knobs_pass(self):
+        self.tree.write(
+            "src/tsdb/store.hpp",
+            "struct StoreOptions {\n  std::size_t shards = 16;\n};\n",
+        )
+        self.tree.write("docs/ARCHITECTURE.md", "| `StoreOptions::shards` |\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    # -- TS030 --------------------------------------------------------------
+    def test_orphaned_test_flagged(self):
+        self.tree.write("tests/CMakeLists.txt", "ts_test(test_known)\n")
+        self.tree.write("tests/test_known.cpp", "// registered\n")
+        self.tree.write("tests/test_orphan.cpp", "// forgotten\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS030", out)
+        self.assertIn("test_orphan.cpp", out)
+        self.assertNotIn("test_known.cpp' is not registered", out)
+
+    def test_add_executable_counts_as_registration(self):
+        self.tree.write(
+            "tests/CMakeLists.txt", "add_executable(test_special foo.cpp)\n"
+        )
+        self.tree.write("tests/test_special.cpp", "// custom target\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    # -- CLI ----------------------------------------------------------------
+    def test_missing_root_is_usage_error(self):
+        code, out = run_linter(self.tree.root / "nonexistent")
+        self.assertEqual(code, 2, out)
+
+    def test_multiple_violations_all_reported(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  std::mutex mu_;\n};\n",
+        )
+        self.tree.write("tests/CMakeLists.txt", "\n")
+        self.tree.write("tests/test_orphan.cpp", "// forgotten\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS001", out)
+        self.assertIn("TS030", out)
+        self.assertIn("2 violation(s)", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
