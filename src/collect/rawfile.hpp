@@ -40,6 +40,8 @@ struct RawBlock {
   std::string type;    // schema type, e.g. "cpu", "hsw", "llite"
   std::string device;  // instance id: cpu number, socket, target, pid
   std::vector<std::uint64_t> values;  // parallel to the type's schema
+
+  bool operator==(const RawBlock&) const = default;
 };
 
 /// Everything captured in one collection on one host.
@@ -48,6 +50,8 @@ struct Record {
   std::vector<long> jobids;  // jobs active on the node (shared nodes: >1)
   std::string mark;          // "", "begin", "end", "rotate", ...
   std::vector<RawBlock> blocks;
+
+  bool operator==(const Record&) const = default;
 };
 
 /// A host's stats stream: identity, schemas, and an ordered record list.

@@ -16,22 +16,20 @@ ClusterMonitor::ClusterMonitor(simhw::Cluster& cluster, MonitorConfig config)
   if (config_.mode == TransportMode::Daemon) {
     broker_.declare_queue(kQueue);
     broker_.bind(kQueue, "stats.*");
+    broker_.set_fault_plan(config_.fault_plan);
+    if (config_.queue_limit > 0) {
+      broker_.set_queue_limit(kQueue, config_.queue_limit);
+    }
     if (config_.online_analysis) {
       online_ = std::make_unique<OnlineAnalyzer>(config_.online_thresholds);
     }
-    transport::Consumer::RecordCallback callback;
-    if (online_) {
-      callback = [this](const std::string& host,
-                        const collect::HostLog& chunk) {
-        online_->on_chunk(host, chunk);
-      };
-    }
-    consumer_ = std::make_unique<transport::Consumer>(broker_, archive_,
-                                                      kQueue, callback);
+    start_consumer();
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       transport::DaemonConfig dc;
       dc.interval = config_.interval;
       dc.build_options = config_.build_options;
+      dc.retry = config_.retry;
+      dc.faults = config_.fault_plan;
       daemons_.push_back(std::make_unique<transport::StatsDaemon>(
           cluster.node(i), broker_, dc,
           [this, i] { return jobs_on(i); }));
@@ -40,10 +38,36 @@ ClusterMonitor::ClusterMonitor(simhw::Cluster& cluster, MonitorConfig config)
     transport::CronConfig cc;
     cc.interval = config_.interval;
     cc.build_options = config_.build_options;
+    cc.faults = config_.fault_plan;
     cron_ = std::make_unique<transport::CronMode>(
         cluster, archive_, cc,
         [this](std::size_t i) { return jobs_on(i); });
   }
+}
+
+void ClusterMonitor::start_consumer() {
+  transport::Consumer::RecordCallback callback;
+  if (online_) {
+    callback = [this](const std::string& host,
+                      const collect::HostLog& chunk) {
+      online_->on_chunk(host, chunk);
+    };
+  }
+  consumer_ = std::make_unique<transport::Consumer>(
+      broker_, archive_, kQueue, callback, config_.consumer_options,
+      config_.fault_plan);
+}
+
+void ClusterMonitor::crash_consumer() {
+  if (!consumer_) return;
+  dead_consumer_resilience_.merge(consumer_->resilience());
+  consumer_->crash();
+  consumer_.reset();
+}
+
+void ClusterMonitor::restart_consumer() {
+  if (config_.mode != TransportMode::Daemon || consumer_) return;
+  start_consumer();
 }
 
 ClusterMonitor::~ClusterMonitor() {
@@ -99,6 +123,7 @@ void ClusterMonitor::fail_node(std::size_t index) {
 }
 
 void ClusterMonitor::drain() {
+  for (auto& d : daemons_) d->flush_spool(now_);
   if (consumer_) consumer_->drain();
 }
 
@@ -112,7 +137,39 @@ transport::DaemonStats ClusterMonitor::daemon_stats() const {
     total.collections += d->stats().collections;
     total.publish_failures += d->stats().publish_failures;
     total.total_collect_wall_s += d->stats().total_collect_wall_s;
+    total.total_backoff += d->stats().total_backoff;
+    total.resilience.merge(d->stats().resilience);
   }
+  return total;
+}
+
+std::uint64_t ClusterMonitor::published_unique() const {
+  if (cron_) return cron_->stats().collected_records;
+  std::uint64_t n = 0;
+  for (const auto& d : daemons_) n += d->last_seq();
+  return n;
+}
+
+std::size_t ClusterMonitor::cron_backlog() const {
+  return cron_ ? cron_->backlog() : 0;
+}
+
+std::size_t ClusterMonitor::spool_depth() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_) n += d->spool_depth();
+  return n;
+}
+
+util::ResilienceStats ClusterMonitor::resilience_stats() const {
+  util::ResilienceStats total;
+  if (cron_) {
+    total.merge(cron_->stats().resilience);
+    return total;
+  }
+  total.merge(broker_.stats().resilience);
+  for (const auto& d : daemons_) total.merge(d->stats().resilience);
+  total.merge(dead_consumer_resilience_);
+  if (consumer_) total.merge(consumer_->resilience());
   return total;
 }
 

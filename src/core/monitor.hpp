@@ -29,6 +29,13 @@ struct MonitorConfig {
   /// Enable the online analyzer on the daemon-mode stream.
   bool online_analysis = true;
   OnlineThresholds online_thresholds{};
+  /// Fault schedule threaded through broker, daemons, consumer, and cron
+  /// (null = no injection).
+  std::shared_ptr<const util::FaultPlan> fault_plan;
+  /// Daemon-mode queue depth cap; overflow dead-letters (0 = unlimited).
+  std::size_t queue_limit = 0;
+  transport::RetryPolicy retry{};
+  transport::ConsumerOptions consumer_options{};
 };
 
 class ClusterMonitor {
@@ -60,15 +67,42 @@ class ClusterMonitor {
   /// Fails a node (cron mode loses its unstaged local data).
   void fail_node(std::size_t index);
 
-  /// Daemon mode: blocks until the consumer drained the broker queue.
+  /// Daemon mode: replays every daemon's local spool, then blocks until
+  /// the consumer drained the broker queue.
   void drain();
+
+  /// Daemon mode: simulates a consumer crash (its in-flight delivery is
+  /// left unacked; the broker keeps queuing). No-op in cron mode.
+  void crash_consumer();
+
+  /// Daemon mode: starts a fresh consumer against the same archive. It
+  /// recovers the dead predecessor's unacked deliveries; dedup in the
+  /// archive keeps delivery exactly-once. No-op in cron mode.
+  void restart_consumer();
 
   /// Aggregated daemon stats (daemon mode) / cron stats (cron mode).
   transport::CronStats cron_stats() const;
   transport::DaemonStats daemon_stats() const;
 
+  /// Unique records collected so far (sequence numbers assigned across all
+  /// daemons, or cron collections) — the "published_unique" side of
+  /// delivered-vs-lost accounting.
+  std::uint64_t published_unique() const;
+
+  /// Records still parked in daemon spools (0 after a clean drain).
+  std::size_t spool_depth() const;
+
+  /// Cron mode: records still node-local (unrotated or awaiting a
+  /// successful rsync). 0 in daemon mode.
+  std::size_t cron_backlog() const;
+
+  /// Merged fault counters from broker + daemons + consumer (daemon mode)
+  /// or cron (cron mode).
+  util::ResilienceStats resilience_stats() const;
+
  private:
   std::vector<long> jobs_on(std::size_t node_index) const;
+  void start_consumer();
 
   simhw::Cluster* cluster_;
   MonitorConfig config_;
@@ -77,6 +111,8 @@ class ClusterMonitor {
   transport::Broker broker_;
   std::unique_ptr<OnlineAnalyzer> online_;
   std::unique_ptr<transport::Consumer> consumer_;
+  /// Counters inherited from crashed consumer incarnations.
+  util::ResilienceStats dead_consumer_resilience_;
   std::vector<std::unique_ptr<transport::StatsDaemon>> daemons_;
   std::unique_ptr<transport::CronMode> cron_;
   util::SimTime now_;

@@ -2,16 +2,57 @@
 
 namespace tacc::transport {
 
-void RawArchive::add_header(const std::string& hostname,
-                            const std::string& arch,
-                            std::vector<collect::Schema> schemas) {
-  util::MutexLock lock(mu_);
+void RawArchive::add_header_locked(const std::string& hostname,
+                                   const std::string& arch,
+                                   std::vector<collect::Schema> schemas) {
   auto& host = hosts_[hostname];
   if (host.log.hostname.empty()) {
     host.log.hostname = hostname;
     host.log.arch = arch;
     host.log.schemas = std::move(schemas);
   }
+}
+
+void RawArchive::add_header(const std::string& hostname,
+                            const std::string& arch,
+                            std::vector<collect::Schema> schemas) {
+  util::MutexLock lock(mu_);
+  add_header_locked(hostname, arch, std::move(schemas));
+}
+
+bool RawArchive::append_unique(const std::string& producer, std::uint64_t seq,
+                               const collect::HostLog& chunk,
+                               util::SimTime delay,
+                               std::size_t dedup_window) {
+  util::MutexLock lock(mu_);
+  auto& dedup = dedup_[producer];
+  if (!dedup.seen.insert(seq).second) return false;
+  dedup.order.push_back(seq);
+  while (dedup_window > 0 && dedup.order.size() > dedup_window) {
+    dedup.seen.erase(dedup.order.front());
+    dedup.order.pop_front();
+  }
+  if (chunk.records.empty()) return true;
+  add_header_locked(chunk.hostname, chunk.arch, chunk.schemas);
+  auto& host = hosts_[chunk.hostname];
+  for (const auto& record : chunk.records) {
+    host.ingest_times.push_back(record.time + delay);
+    host.log.records.push_back(record);
+  }
+  return true;
+}
+
+bool RawArchive::was_seen(const std::string& producer,
+                          std::uint64_t seq) const {
+  util::MutexLock lock(mu_);
+  const auto it = dedup_.find(producer);
+  return it != dedup_.end() && it->second.seen.count(seq) > 0;
+}
+
+std::size_t RawArchive::seen_count(const std::string& producer) const {
+  util::MutexLock lock(mu_);
+  const auto it = dedup_.find(producer);
+  return it == dedup_.end() ? 0 : it->second.seen.size();
 }
 
 void RawArchive::append(const std::string& hostname, collect::Record record,

@@ -3,9 +3,17 @@
 // latency/loss difference between the modes (paper Figs. 1 vs 2) is
 // measurable. Thread-safe: the daemon-mode consumer writes from its own
 // thread.
+//
+// The archive is also the durable side of the consumer's exactly-once
+// contract: append_unique() checks-and-appends a (producer, seq) chunk
+// under one lock, so a consumer that crashes between the write and the
+// broker ack can neither lose the chunk nor archive it twice on
+// redelivery.
 #pragma once
 
+#include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,24 @@ class RawArchive {
   void append(const std::string& hostname, collect::Record record,
               util::SimTime ingest_time) TACC_EXCLUDES(mu_);
 
+  /// Atomically appends a whole chunk (header + records, each ingested at
+  /// record.time + delay) iff (producer, seq) has not been seen before.
+  /// Returns false — and appends nothing — on a duplicate. The per-producer
+  /// seen-set is bounded to the most recent `dedup_window` sequence numbers
+  /// (0 = unbounded).
+  bool append_unique(const std::string& producer, std::uint64_t seq,
+                     const collect::HostLog& chunk, util::SimTime delay,
+                     std::size_t dedup_window) TACC_EXCLUDES(mu_);
+
+  /// Whether (producer, seq) is inside the dedup window (bench/test
+  /// accounting: distinguishing delivered from dead-lettered sequences).
+  bool was_seen(const std::string& producer, std::uint64_t seq) const
+      TACC_EXCLUDES(mu_);
+
+  /// Unique sequence numbers remembered for a producer.
+  std::size_t seen_count(const std::string& producer) const
+      TACC_EXCLUDES(mu_);
+
   /// Snapshot of a host's log (copy; safe across threads). Nullopt-like
   /// empty log if the host is unknown.
   collect::HostLog log(const std::string& hostname) const TACC_EXCLUDES(mu_);
@@ -43,8 +69,18 @@ class RawArchive {
     collect::HostLog log;
     std::vector<util::SimTime> ingest_times;  // parallel to log.records
   };
+  struct DedupState {
+    std::set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;  // insertion order, for the window
+  };
+
+  void add_header_locked(const std::string& hostname, const std::string& arch,
+                         std::vector<collect::Schema> schemas)
+      TACC_REQUIRES(mu_);
+
   mutable util::Mutex mu_;
   std::map<std::string, HostData> hosts_ TACC_GUARDED_BY(mu_);
+  std::map<std::string, DedupState> dedup_ TACC_GUARDED_BY(mu_);
 };
 
 }  // namespace tacc::transport

@@ -1,6 +1,7 @@
 #include "transport/broker.hpp"
 
 #include <chrono>
+#include <utility>
 
 #include "util/strings.hpp"
 
@@ -17,6 +18,17 @@ void Broker::bind(const std::string& queue, const std::string& pattern) {
   bindings_.emplace_back(queue, pattern);
 }
 
+void Broker::set_fault_plan(std::shared_ptr<const util::FaultPlan> plan) {
+  util::MutexLock lock(mu_);
+  faults_ = std::move(plan);
+}
+
+void Broker::set_queue_limit(const std::string& queue,
+                             std::size_t max_depth) {
+  util::MutexLock lock(mu_);
+  queues_[queue].limit = max_depth;
+}
+
 bool Broker::key_matches(const std::string& pattern,
                          const std::string& key) noexcept {
   if (pattern == "#") return true;
@@ -30,17 +42,49 @@ bool Broker::key_matches(const std::string& pattern,
 
 std::size_t Broker::publish(const std::string& routing_key,
                             std::string body) {
+  return publish(routing_key, std::move(body), PublishInfo{});
+}
+
+std::size_t Broker::publish(const std::string& routing_key, std::string body,
+                            const PublishInfo& info) {
   std::size_t routed = 0;
   {
     util::MutexLock lock(mu_);
     ++stats_.published;
+    util::FaultDecision fault;
+    if (faults_) {
+      fault = faults_->decide(
+          util::kFaultBrokerPublish,
+          info.producer.empty() ? routing_key : info.producer,
+          util::FaultPlan::salt(info.seq, info.attempt), info.now);
+    }
+    if (fault.drop) {
+      // Lost in flight, detectably: the publish "connection" fails, so the
+      // publisher can retry with a fresh attempt salt.
+      ++stats_.resilience.injected_drops;
+      return 0;
+    }
     for (const auto& [queue, pattern] : bindings_) {
       if (!key_matches(pattern, routing_key)) continue;
-      Message msg;
-      msg.routing_key = routing_key;
-      msg.body = body;  // copy: fan-out to multiple queues
-      msg.delivery_tag = next_tag_++;
-      queues_[queue].messages.push_back(std::move(msg));
+      QueueState& q = queues_[queue];
+      const int copies = fault.duplicate ? 2 : 1;
+      for (int c = 0; c < copies; ++c) {
+        Message msg;
+        msg.routing_key = routing_key;
+        msg.body = body;  // copy: fan-out to multiple queues
+        msg.delivery_tag = next_tag_++;
+        msg.producer = info.producer;
+        msg.seq = info.seq;
+        msg.delay = fault.delay;
+        if (q.limit > 0 && q.messages.size() >= q.limit) {
+          q.dead_letters.push_back(std::move(msg));
+          ++stats_.resilience.dead_lettered;
+        } else {
+          q.messages.push_back(std::move(msg));
+        }
+      }
+      if (fault.duplicate) ++stats_.resilience.injected_duplicates;
+      if (fault.delay > 0) ++stats_.resilience.injected_delays;
       ++routed;
     }
     if (routed == 0) ++stats_.unroutable;
@@ -67,6 +111,7 @@ std::optional<Message> Broker::consume(const std::string& queue,
   if (q.messages.empty()) return std::nullopt;
   Message msg = std::move(q.messages.front());
   q.messages.pop_front();
+  ++msg.attempt;
   q.unacked.emplace(msg.delivery_tag, msg);
   ++stats_.delivered;
   return msg;
@@ -93,10 +138,46 @@ void Broker::requeue(const std::string& queue, std::uint64_t delivery_tag) {
   cv_.notify_all();
 }
 
+void Broker::recover(const std::string& queue) {
+  bool moved = false;
+  {
+    util::MutexLock lock(mu_);
+    const auto it = queues_.find(queue);
+    if (it == queues_.end()) return;
+    QueueState& q = it->second;
+    // Highest tag first so the lowest tag ends at the queue front: the
+    // redeliveries replay in original order ahead of newer messages.
+    for (auto uit = q.unacked.rbegin(); uit != q.unacked.rend(); ++uit) {
+      q.messages.push_front(std::move(uit->second));
+      ++stats_.redelivered;
+      moved = true;
+    }
+    q.unacked.clear();
+  }
+  if (moved) cv_.notify_all();
+}
+
 std::size_t Broker::depth(const std::string& queue) const {
   util::MutexLock lock(mu_);
   const auto it = queues_.find(queue);
   return it == queues_.end() ? 0 : it->second.messages.size();
+}
+
+std::size_t Broker::dead_letter_depth(const std::string& queue) const {
+  util::MutexLock lock(mu_);
+  const auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.dead_letters.size();
+}
+
+std::vector<Message> Broker::drain_dead_letters(const std::string& queue) {
+  util::MutexLock lock(mu_);
+  const auto it = queues_.find(queue);
+  if (it == queues_.end()) return {};
+  std::vector<Message> out(
+      std::make_move_iterator(it->second.dead_letters.begin()),
+      std::make_move_iterator(it->second.dead_letters.end()));
+  it->second.dead_letters.clear();
+  return out;
 }
 
 BrokerStats Broker::stats() const {

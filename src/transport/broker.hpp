@@ -3,16 +3,23 @@
 // delivery with acknowledgements. The daemon-mode transport (paper Fig. 2)
 // publishes raw stats chunks through it; real threads exercise real
 // concurrency.
+//
+// Resilience: an optional util::FaultPlan injects drop / duplicate / delay
+// faults at the "broker.publish" site, per-queue depth limits park overflow
+// in a dead-letter queue, and recover() returns a dead consumer's unacked
+// deliveries to the queue (what a real broker does on channel close).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace tacc::transport {
@@ -21,6 +28,25 @@ struct Message {
   std::string routing_key;
   std::string body;
   std::uint64_t delivery_tag = 0;
+  /// End-to-end identity stamped by the publisher (empty = no dedup id):
+  /// the consumer deduplicates on (producer, seq), surviving broker-level
+  /// duplication and crash-before-ack redeliveries.
+  std::string producer;
+  std::uint64_t seq = 0;
+  /// Delivery attempts so far; incremented by each consume(). Fault salt
+  /// for crash-before-ack decisions, so a redelivery rolls fresh dice.
+  std::uint32_t attempt = 0;
+  /// Injected transport latency, applied by the consumer to ingest time.
+  util::SimTime delay = 0;
+};
+
+/// Publisher-side metadata for publish(); defaults reproduce the plain
+/// fire-and-forget publish.
+struct PublishInfo {
+  std::string producer;       // stable producer id (hostname) for dedup
+  std::uint64_t seq = 0;      // per-producer sequence number (1-based)
+  std::uint32_t attempt = 0;  // publisher retry attempt (fault salt)
+  util::SimTime now = 0;      // simulated publish time (outage windows)
 };
 
 /// Broker counters for monitoring tests/benches.
@@ -30,6 +56,7 @@ struct BrokerStats {
   std::uint64_t acked = 0;
   std::uint64_t redelivered = 0;
   std::uint64_t unroutable = 0;
+  util::ResilienceStats resilience;
 };
 
 class Broker {
@@ -43,11 +70,24 @@ class Broker {
   void bind(const std::string& queue, const std::string& pattern)
       TACC_EXCLUDES(mu_);
 
+  /// Installs the fault plan consulted by publish(). Call during setup,
+  /// before traffic flows.
+  void set_fault_plan(std::shared_ptr<const util::FaultPlan> plan)
+      TACC_EXCLUDES(mu_);
+
+  /// Caps a queue's depth; messages published beyond it are parked in the
+  /// queue's dead-letter store instead. 0 = unlimited (the default).
+  void set_queue_limit(const std::string& queue, std::size_t max_depth)
+      TACC_EXCLUDES(mu_);
+
   /// Publishes to the direct exchange; the message is copied into every
   /// matching queue. Returns the number of queues it reached (0 =
-  /// unroutable, counted in stats).
+  /// unroutable or an injected in-flight drop — the publisher sees the
+  /// failure and may retry). Dead-lettered messages count as reached.
   std::size_t publish(const std::string& routing_key, std::string body)
       TACC_EXCLUDES(mu_);
+  std::size_t publish(const std::string& routing_key, std::string body,
+                      const PublishInfo& info) TACC_EXCLUDES(mu_);
 
   /// Blocking consume with timeout; nullopt on timeout or shutdown. The
   /// message stays "unacked" until ack() — if the consumer drops it and
@@ -64,8 +104,22 @@ class Broker {
   void requeue(const std::string& queue, std::uint64_t delivery_tag)
       TACC_EXCLUDES(mu_);
 
+  /// Requeues every unacked message of a queue, in delivery-tag order at
+  /// the queue front (a restarted consumer reclaiming its dead
+  /// predecessor's in-flight deliveries).
+  void recover(const std::string& queue) TACC_EXCLUDES(mu_);
+
   /// Messages waiting in a queue (excluding unacked in-flight ones).
   std::size_t depth(const std::string& queue) const TACC_EXCLUDES(mu_);
+
+  /// Messages parked in a queue's dead-letter store.
+  std::size_t dead_letter_depth(const std::string& queue) const
+      TACC_EXCLUDES(mu_);
+
+  /// Removes and returns a queue's dead letters (operator inspection /
+  /// replay tooling).
+  std::vector<Message> drain_dead_letters(const std::string& queue)
+      TACC_EXCLUDES(mu_);
 
   BrokerStats stats() const TACC_EXCLUDES(mu_);
 
@@ -78,6 +132,8 @@ class Broker {
   struct QueueState {
     std::deque<Message> messages;
     std::map<std::uint64_t, Message> unacked;
+    std::deque<Message> dead_letters;
+    std::size_t limit = 0;  // 0 = unlimited
   };
   /// Pure pattern match; touches no broker state.
   static bool key_matches(const std::string& pattern,
@@ -89,6 +145,7 @@ class Broker {
   /// (queue, pattern) pairs.
   std::vector<std::pair<std::string, std::string>> bindings_
       TACC_GUARDED_BY(mu_);
+  std::shared_ptr<const util::FaultPlan> faults_ TACC_GUARDED_BY(mu_);
   BrokerStats stats_ TACC_GUARDED_BY(mu_);
   std::uint64_t next_tag_ TACC_GUARDED_BY(mu_) = 1;
   bool shutdown_ TACC_GUARDED_BY(mu_) = false;

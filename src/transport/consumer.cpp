@@ -5,18 +5,36 @@
 namespace tacc::transport {
 
 Consumer::Consumer(Broker& broker, RawArchive& archive, std::string queue,
-                   RecordCallback callback)
+                   RecordCallback callback, ConsumerOptions options,
+                   std::shared_ptr<const util::FaultPlan> faults)
     : broker_(&broker),
       archive_(&archive),
       queue_(std::move(queue)),
       callback_(std::move(callback)),
-      thread_([this] { run(); }) {}
+      options_(options),
+      faults_(std::move(faults)) {
+  // Reclaim whatever a crashed predecessor left unacked before the first
+  // consume, so its in-flight deliveries are not stranded.
+  broker_->recover(queue_);
+  thread_ = std::thread([this] { run(); });
+}
 
 Consumer::~Consumer() { stop(); }
 
 void Consumer::stop() {
+  if (crashed_.load()) {
+    // A crashed consumer is already dead; it must not take the broker
+    // (still serving its successor) down with it.
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
   stop_.store(true);
   broker_->shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Consumer::crash() {
+  crashed_.store(true);
   if (thread_.joinable()) thread_.join();
 }
 
@@ -25,14 +43,22 @@ void Consumer::drain() {
   // Queue empty and the consumer has been idle for two consecutive polls.
   while (broker_->depth(queue_) > 0 || idle_.load() < 2) {
     std::this_thread::sleep_for(1ms);
-    if (stop_.load()) return;
+    if (stop_.load() || crashed_.load()) return;
   }
+}
+
+util::ResilienceStats Consumer::resilience() const {
+  util::ResilienceStats r;
+  r.deduped = deduped_.load();
+  r.requeued = crash_requeues_.load();
+  return r;
 }
 
 void Consumer::run() {
   using namespace std::chrono_literals;
   while (!stop_.load()) {
     auto msg = broker_->consume(queue_, 50ms);
+    if (crashed_.load()) return;  // dies mid-flight; msg stays unacked
     if (!msg) {
       idle_.fetch_add(1);
       if (broker_->is_shut_down() && broker_->depth(queue_) == 0) return;
@@ -41,12 +67,36 @@ void Consumer::run() {
     idle_.store(0);
     try {
       const auto chunk = collect::HostLog::parse(msg->body);
-      if (!chunk.records.empty()) {
+      bool fresh = true;
+      if (!msg->producer.empty()) {
+        // Atomic check-and-append: a redelivery of an already-archived
+        // chunk is suppressed here, never double-written.
+        fresh = archive_->append_unique(msg->producer, msg->seq, chunk,
+                                        msg->delay, options_.dedup_window);
+        if (!fresh) deduped_.fetch_add(1);
+      } else if (!chunk.records.empty()) {
         archive_->add_header(chunk.hostname, chunk.arch, chunk.schemas);
         for (const auto& record : chunk.records) {
-          archive_->append(chunk.hostname, record, record.time);
+          archive_->append(chunk.hostname, record,
+                           record.time + msg->delay);
         }
-        if (callback_) callback_(chunk.hostname, chunk);
+      }
+      if (fresh && callback_ && !chunk.records.empty()) {
+        callback_(chunk.hostname, chunk);
+      }
+      if (fresh && faults_ &&
+          msg->attempt <= options_.max_crash_redeliveries) {
+        const auto fault = faults_->decide(
+            util::kFaultConsumerCrash,
+            msg->producer.empty() ? queue_ : msg->producer,
+            util::FaultPlan::salt(msg->delivery_tag, msg->attempt), 0);
+        if (fault.error) {
+          // Crash-after-write, before the ack: the broker redelivers and
+          // the dedup path above absorbs the duplicate.
+          broker_->requeue(queue_, msg->delivery_tag);
+          crash_requeues_.fetch_add(1);
+          continue;
+        }
       }
       broker_->ack(queue_, msg->delivery_tag);
       consumed_.fetch_add(1);

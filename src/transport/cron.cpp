@@ -33,10 +33,22 @@ void CronMode::collect_node(std::size_t index, util::SimTime now,
     return;
   }
   try {
-    state.current.push_back(
-        state.sampler->sample(now, jobs_provider_(index), mark));
+    auto record = state.sampler->sample(now, jobs_provider_(index), mark);
     ++stats_.collected_records;
     state.last_collect = now;
+    if (config_.faults &&
+        config_.faults
+            ->decide(util::kFaultCronDisk, node.hostname(),
+                     static_cast<std::uint64_t>(now / util::kSecond), now)
+            .error) {
+      // Node-local disk full: the sample was taken but the append to the
+      // local log fails, so the record is gone.
+      ++stats_.disk_full_drops;
+      ++stats_.lost_records;
+      ++stats_.resilience.injected_errors;
+      return;
+    }
+    state.current.push_back(std::move(record));
   } catch (const simhw::NodeFailedError&) {
     ++stats_.skipped_nodes;
   }
@@ -49,11 +61,24 @@ void CronMode::rotate_node(NodeState& state) {
   state.current.clear();
 }
 
-void CronMode::stage_node(std::size_t index, util::SimTime now) {
+void CronMode::stage_node(std::size_t index, util::SimTime now,
+                          util::SimTime stage_time) {
   auto& state = nodes_[index];
   auto& node = cluster_->node(index);
   if (node.failed()) return;  // rsync source unreachable
   if (state.pending.empty()) return;
+  if (config_.faults &&
+      config_.faults
+          ->decide(util::kFaultCronRsync, node.hostname(),
+                   static_cast<std::uint64_t>(stage_time / util::kSecond),
+                   now)
+          .error) {
+    // The staged rsync failed; the rotated files stay node-local and are
+    // caught up at the next staging window.
+    ++stats_.rsync_failures;
+    ++stats_.resilience.injected_errors;
+    return;
+  }
   if (!state.header_sent) {
     archive_->add_header(node.hostname(), node.arch().codename,
                          state.sampler->schemas());
@@ -83,7 +108,7 @@ void CronMode::on_time(util::SimTime now) {
     // Staged rsync at the node's daily offset.
     const util::SimTime stage_time = day + state.stage_offset;
     if (now >= stage_time && state.last_stage < stage_time) {
-      stage_node(i, now);
+      stage_node(i, now, stage_time);
       state.last_stage = stage_time;
     }
   }
@@ -95,6 +120,14 @@ void CronMode::node_failed(std::size_t node_index) {
   stats_.lost_records += state.current.size() + state.pending.size();
   state.current.clear();
   state.pending.clear();
+}
+
+std::size_t CronMode::backlog() const noexcept {
+  std::size_t n = 0;
+  for (const auto& state : nodes_) {
+    n += state.current.size() + state.pending.size();
+  }
+  return n;
 }
 
 bool CronMode::collect_now(std::size_t node_index, util::SimTime now,

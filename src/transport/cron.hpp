@@ -5,6 +5,10 @@
 // thousands of simultaneous copies). This is the original operation mode;
 // it trades hours of availability latency — and loses the unstaged data of
 // a failed node — for having no network service dependency.
+// Resilience: an optional util::FaultPlan injects rsync failures at the
+// "cron.rsync" site (the staged copy fails; the node's rotated files stay
+// local and are caught up at the next staging window) and disk-full errors
+// at "cron.disk" (the node-local append fails and that sample is lost).
 #pragma once
 
 #include <functional>
@@ -14,6 +18,7 @@
 #include "collect/registry.hpp"
 #include "simhw/cluster.hpp"
 #include "transport/archive.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace tacc::transport {
@@ -26,6 +31,8 @@ struct CronConfig {
   util::SimTime stage_window_end = 5 * util::kHour;
   collect::BuildOptions build_options{};
   std::uint64_t seed = 42;
+  /// Fault plan consulted at "cron.rsync" / "cron.disk" (may be null).
+  std::shared_ptr<const util::FaultPlan> faults;
 };
 
 struct CronStats {
@@ -33,6 +40,9 @@ struct CronStats {
   std::uint64_t staged_records = 0;
   std::uint64_t lost_records = 0;  // node-local data destroyed by failures
   std::uint64_t skipped_nodes = 0; // collections skipped on failed nodes
+  std::uint64_t rsync_failures = 0;  // staging attempts that failed
+  std::uint64_t disk_full_drops = 0; // samples lost to a full local disk
+  util::ResilienceStats resilience;
 };
 
 class CronMode {
@@ -58,6 +68,9 @@ class CronMode {
 
   const CronStats& stats() const noexcept { return stats_; }
 
+  /// Node-local records not yet staged (today's logs + rotated pending).
+  std::size_t backlog() const noexcept;
+
  private:
   struct NodeState {
     std::unique_ptr<collect::HostSampler> sampler;
@@ -73,7 +86,8 @@ class CronMode {
   void collect_node(std::size_t index, util::SimTime now,
                     const std::string& mark);
   void rotate_node(NodeState& state);
-  void stage_node(std::size_t index, util::SimTime now);
+  void stage_node(std::size_t index, util::SimTime now,
+                  util::SimTime stage_time);
 
   simhw::Cluster* cluster_;
   RawArchive* archive_;

@@ -1,5 +1,7 @@
 #include "transport/daemon.hpp"
 
+#include <algorithm>
+
 #include "simhw/node.hpp"
 #include "util/log.hpp"
 
@@ -20,6 +22,67 @@ const std::string& StatsDaemon::hostname() const noexcept {
   return node_->hostname();
 }
 
+bool StatsDaemon::try_publish(const collect::Record& record,
+                              std::uint64_t seq, util::SimTime now) {
+  std::string body = header_;
+  body += collect::HostLog::serialize_record(record);
+  const int attempts = std::max(1, config_.retry.max_attempts);
+  util::SimTime backoff = config_.retry.backoff_base;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.resilience.retries;
+      // Exponential backoff with deterministic jitter. Virtual: the
+      // simulated daemon does not advance global time, but the cost is
+      // accounted so benches can report it.
+      util::SimTime wait = backoff;
+      if (config_.faults && config_.retry.jitter > 0.0) {
+        const double u = config_.faults->uniform(
+            util::kFaultDaemonPublish, node_->hostname(),
+            util::FaultPlan::salt(seq, static_cast<std::uint64_t>(attempt)));
+        wait += static_cast<util::SimTime>(
+            static_cast<double>(wait) * config_.retry.jitter *
+            (2.0 * u - 1.0));
+      }
+      stats_.total_backoff += wait;
+      backoff = std::min(backoff * 2, config_.retry.backoff_max);
+    }
+    bool broker_down = false;
+    if (config_.faults) {
+      const auto fault = config_.faults->decide(
+          util::kFaultDaemonPublish, node_->hostname(),
+          util::FaultPlan::salt(seq, static_cast<std::uint64_t>(attempt)),
+          now);
+      broker_down = fault.error;
+    }
+    if (broker_down) {
+      ++stats_.resilience.injected_errors;
+      continue;
+    }
+    PublishInfo info;
+    info.producer = node_->hostname();
+    info.seq = seq;
+    info.attempt = static_cast<std::uint32_t>(attempt);
+    info.now = now;
+    if (broker_->publish(config_.routing_prefix + node_->hostname(), body,
+                         info) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t StatsDaemon::flush_spool(util::SimTime now) {
+  std::size_t replayed = 0;
+  while (!spool_.empty()) {
+    const SpooledRecord& front = spool_.front();
+    if (!try_publish(front.record, front.seq, now)) break;
+    spool_.pop_front();
+    ++replayed;
+    ++stats_.resilience.replayed;
+  }
+  return replayed;
+}
+
 bool StatsDaemon::publish_record(util::SimTime now, const std::string& mark) {
   util::WallTimer timer;
   collect::Record record;
@@ -31,17 +94,23 @@ bool StatsDaemon::publish_record(util::SimTime now, const std::string& mark) {
   }
   stats_.total_collect_wall_s += timer.elapsed_s();
   ++stats_.collections;
-  // Self-describing chunk: header + record, exactly what the consumer
-  // needs to parse in isolation.
-  std::string body = header_;
-  body += collect::HostLog::serialize_record(record);
-  const std::size_t routed =
-      broker_->publish(config_.routing_prefix + node_->hostname(),
-                       std::move(body));
-  if (routed == 0) {
+  const std::uint64_t seq = ++next_seq_;
+  // Replay any backlog first so the stream stays in order, then publish
+  // the fresh record — or spool it behind the backlog if the broker is
+  // still unreachable.
+  flush_spool(now);
+  if (!spool_.empty() || !try_publish(record, seq, now)) {
     ++stats_.publish_failures;
+    spool_.push_back(SpooledRecord{seq, std::move(record)});
+    ++stats_.resilience.spooled;
+    if (config_.retry.spool_limit > 0 &&
+        spool_.size() > config_.retry.spool_limit) {
+      spool_.pop_front();  // oldest data ages out of a full spool
+      ++stats_.resilience.spool_dropped;
+    }
     TS_LOG(Warn, "tacc_statsd")
-        << "unroutable publish from " << node_->hostname();
+        << "publish failed on " << node_->hostname() << ", spooled (depth "
+        << spool_.size() << ")";
   }
   last_ = now;
   return true;

@@ -7,28 +7,53 @@
 // The daemon also accepts out-of-band collection triggers: the scheduler
 // prolog/epilog ("begin"/"end" marks) and the shared-node process
 // start/stop signals of section VI-C.
+//
+// Resilience: every record carries a per-host sequence number; a failed
+// publish (broker unreachable at the "daemon.publish" fault site, or an
+// in-flight drop) is retried with exponential backoff + deterministic
+// jitter, and a record that exhausts its attempts falls back to a local
+// cron-style spool that is replayed, in order, once the broker is
+// reachable again.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "collect/registry.hpp"
 #include "transport/broker.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 
 namespace tacc::transport {
+
+/// Publish retry/backoff tuning. Backoff is virtual (accounted, not slept):
+/// the simulated daemon retries within one collection tick.
+struct RetryPolicy {
+  int max_attempts = 4;                        // publish attempts per record
+  util::SimTime backoff_base = util::kSecond;  // first retry backoff
+  util::SimTime backoff_max = 60 * util::kSecond;  // backoff growth cap
+  double jitter = 0.1;           // backoff randomized by +/- this fraction
+  std::size_t spool_limit = 100000;  // max records spooled locally
+};
 
 struct DaemonConfig {
   util::SimTime interval = 10 * util::kMinute;
   std::string routing_prefix = "stats.";
   collect::BuildOptions build_options{};
+  RetryPolicy retry{};
+  /// Fault plan consulted at the "daemon.publish" site (may be null).
+  std::shared_ptr<const util::FaultPlan> faults;
 };
 
 struct DaemonStats {
   std::uint64_t collections = 0;
-  std::uint64_t publish_failures = 0;  // node down or unroutable
+  std::uint64_t publish_failures = 0;  // node down, or all attempts failed
   double total_collect_wall_s = 0.0;   // real time spent collecting
+  util::SimTime total_backoff = 0;     // virtual time spent backing off
+  util::ResilienceStats resilience;
 };
 
 class StatsDaemon {
@@ -48,11 +73,30 @@ class StatsDaemon {
   /// Returns false if the node is down.
   bool collect_now(util::SimTime now, const std::string& mark);
 
+  /// Replays spooled records while the broker accepts them (called on
+  /// reconnect and by ClusterMonitor::drain()). Returns records replayed.
+  std::size_t flush_spool(util::SimTime now);
+
+  /// Records currently parked in the local spool.
+  std::size_t spool_depth() const noexcept { return spool_.size(); }
+
+  /// Sequence numbers assigned so far (== collections; the unique-record
+  /// count for delivered-vs-lost accounting).
+  std::uint64_t last_seq() const noexcept { return next_seq_; }
+
   const DaemonStats& stats() const noexcept { return stats_; }
   util::SimTime last_collection() const noexcept { return last_; }
 
  private:
+  struct SpooledRecord {
+    std::uint64_t seq;
+    collect::Record record;
+  };
+
   bool publish_record(util::SimTime now, const std::string& mark);
+  /// One record through the retry/backoff loop. True once routed.
+  bool try_publish(const collect::Record& record, std::uint64_t seq,
+                   util::SimTime now);
 
   simhw::Node* node_;
   Broker* broker_;
@@ -61,6 +105,8 @@ class StatsDaemon {
   collect::HostSampler sampler_;
   std::string header_;
   util::SimTime last_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::deque<SpooledRecord> spool_;
   DaemonStats stats_;
 };
 

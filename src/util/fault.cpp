@@ -1,0 +1,98 @@
+#include "util/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace tacc::util {
+
+void ResilienceStats::merge(const ResilienceStats& other) noexcept {
+  injected_drops += other.injected_drops;
+  injected_duplicates += other.injected_duplicates;
+  injected_delays += other.injected_delays;
+  injected_errors += other.injected_errors;
+  retries += other.retries;
+  spooled += other.spooled;
+  replayed += other.replayed;
+  spool_dropped += other.spool_dropped;
+  dead_lettered += other.dead_lettered;
+  requeued += other.requeued;
+  deduped += other.deduped;
+}
+
+void FaultPlan::set(std::string_view site, FaultSpec spec) {
+  sites_.insert_or_assign(std::string(site), std::move(spec));
+}
+
+const FaultSpec* FaultPlan::spec(std::string_view site) const noexcept {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FaultPlan::sites() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, spec] : sites_) out.push_back(site);
+  return out;
+}
+
+std::uint64_t FaultPlan::salt(std::uint64_t a, std::uint64_t b) noexcept {
+  // One splitmix step over the pair so (a=1,b=0) and (a=0,b=1) diverge.
+  std::uint64_t state = a * 0x9e3779b97f4a7c15ULL + b;
+  return splitmix64(state);
+}
+
+namespace {
+
+/// Mixes the decision coordinates into one splitmix64 state.
+std::uint64_t mix_state(std::uint64_t seed, std::string_view site,
+                        std::string_view key, std::uint64_t salt) noexcept {
+  std::uint64_t state = seed;
+  state ^= fnv1a(site) * 0x9e3779b97f4a7c15ULL;
+  state ^= fnv1a(key) + 0x632be59bd9b4e019ULL + (state << 6) + (state >> 2);
+  state ^= salt * 0xbf58476d1ce4e5b9ULL;
+  return state;
+}
+
+/// Uniform [0, 1) draw advancing the local state.
+double draw(std::uint64_t& state) noexcept {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(std::string_view site, std::string_view key,
+                                std::uint64_t salt,
+                                SimTime now) const noexcept {
+  const FaultSpec* s = spec(site);
+  if (s == nullptr) return {};
+  FaultDecision d;
+  for (const auto& [start, end] : s->outages) {
+    if (now >= start && now < end) {
+      d.error = true;
+      break;
+    }
+  }
+  std::uint64_t state = mix_state(seed_, site, key, salt);
+  // Fixed draw order per kind, so one kind's rate never shifts another's
+  // stream within the same decision.
+  if (draw(state) < s->error_rate) d.error = true;
+  if (draw(state) < s->drop_rate) d.drop = true;
+  if (draw(state) < s->duplicate_rate) d.duplicate = true;
+  const double delay_hit = draw(state);
+  const double delay_frac = draw(state);
+  if (delay_hit < s->delay_rate) {
+    d.delay = s->delay_min;
+    if (s->delay_max > s->delay_min) {
+      d.delay += static_cast<SimTime>(
+          delay_frac * static_cast<double>(s->delay_max - s->delay_min));
+    }
+  }
+  return d;
+}
+
+double FaultPlan::uniform(std::string_view site, std::string_view key,
+                          std::uint64_t salt) const noexcept {
+  std::uint64_t state = mix_state(seed_, site, key, ~salt);
+  return draw(state);
+}
+
+}  // namespace tacc::util

@@ -1,0 +1,121 @@
+// Deterministic, seed-driven fault injection for the transport layer.
+//
+// A FaultPlan maps named injection sites ("broker.publish", "cron.rsync",
+// ...) to a FaultSpec of outcome rates and outage windows. Decisions are
+// *stateless*: decide() hashes (plan seed, site, key, salt, SimTime) into a
+// private splitmix64 stream, so the same inputs always yield the same
+// outcome regardless of call order, thread interleaving, or how many other
+// sites drew "random" numbers first. That is what makes whole chaos runs
+// reproducible bit-for-bit from one seed (the golden-determinism tests) and
+// lets a failing soak print a seed that replays exactly.
+//
+// The plan is immutable once configured; share it across threads as a
+// std::shared_ptr<const FaultPlan> — decide() touches no mutable state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace tacc::util {
+
+// Canonical injection-site names. Sites are dotted lowercase identifiers;
+// tools/lint/lint_repo.py (TS011) checks that any site a test references
+// still exists somewhere in src/, so renaming one here without updating the
+// chaos tests is a lint failure, not silently disabled coverage.
+inline constexpr std::string_view kFaultBrokerPublish = "broker.publish";
+inline constexpr std::string_view kFaultDaemonPublish = "daemon.publish";
+inline constexpr std::string_view kFaultConsumerCrash = "consumer.crash";
+inline constexpr std::string_view kFaultCronRsync = "cron.rsync";
+inline constexpr std::string_view kFaultCronDisk = "cron.disk";
+
+/// Fault rates and scheduled outages for one injection site. Which kinds a
+/// site honors is up to the site: the broker applies drop/duplicate/delay,
+/// the daemon's publish path and cron's rsync/disk sites use error (plus
+/// outage windows), the consumer uses error as crash-before-ack.
+struct FaultSpec {
+  double drop_rate = 0.0;       // message lost in flight (detectably)
+  double duplicate_rate = 0.0;  // message enqueued twice
+  double delay_rate = 0.0;      // delivery delayed by [delay_min, delay_max)
+  double error_rate = 0.0;      // operation fails (connection refused, ...)
+  SimTime delay_min = 0;
+  SimTime delay_max = 0;
+  /// [start, end) windows of simulated time during which the site always
+  /// errors (a broker outage, an unreachable archive filesystem).
+  std::vector<std::pair<SimTime, SimTime>> outages;
+};
+
+/// The outcome of one decision at one site.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool error = false;
+  SimTime delay = 0;
+  bool any() const noexcept { return drop || duplicate || error || delay > 0; }
+};
+
+/// Counters for injected and recovered faults, embedded in BrokerStats /
+/// DaemonStats / CronStats and merged by core::ClusterMonitor so a bench
+/// can report delivered-vs-lost under a fault schedule.
+struct ResilienceStats {
+  std::uint64_t injected_drops = 0;       // messages lost in flight
+  std::uint64_t injected_duplicates = 0;  // extra copies enqueued
+  std::uint64_t injected_delays = 0;      // deliveries with added latency
+  std::uint64_t injected_errors = 0;      // outage / rsync / disk hits
+  std::uint64_t retries = 0;              // publish retry attempts
+  std::uint64_t spooled = 0;              // records diverted to a local spool
+  std::uint64_t replayed = 0;             // spooled records later delivered
+  std::uint64_t spool_dropped = 0;        // records lost to a full spool
+  std::uint64_t dead_lettered = 0;        // messages parked in a DLQ
+  std::uint64_t requeued = 0;             // crash-before-ack redeliveries
+  std::uint64_t deduped = 0;              // duplicate deliveries suppressed
+
+  void merge(const ResilienceStats& other) noexcept;
+  bool operator==(const ResilienceStats&) const noexcept = default;
+};
+
+class FaultPlan {
+ public:
+  /// An empty plan injects nothing and is cheap to consult.
+  FaultPlan() noexcept = default;
+  explicit FaultPlan(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Configures one site. Call during setup only: the plan must not change
+  /// once it is shared with running components.
+  void set(std::string_view site, FaultSpec spec);
+
+  /// The spec for a site, or nullptr if the site is not configured.
+  const FaultSpec* spec(std::string_view site) const noexcept;
+
+  bool empty() const noexcept { return sites_.empty(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::vector<std::string> sites() const;
+
+  /// Folds two identifiers (sequence number + attempt, tag + delivery)
+  /// into one decision salt.
+  static std::uint64_t salt(std::uint64_t a, std::uint64_t b) noexcept;
+
+  /// Decides the outcome at `site` for one event. `key` identifies the
+  /// stream (producer hostname, queue name), `salt` the event within the
+  /// stream (sequence number, attempt), `now` the simulated time (consulted
+  /// for outage windows only). Pure function of (seed, site, key, salt,
+  /// now): deterministic across threads and call order.
+  FaultDecision decide(std::string_view site, std::string_view key,
+                       std::uint64_t salt, SimTime now) const noexcept;
+
+  /// Deterministic uniform in [0, 1) for the same inputs — used for
+  /// reproducible retry-backoff jitter.
+  double uniform(std::string_view site, std::string_view key,
+                 std::uint64_t salt) const noexcept;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::map<std::string, FaultSpec, std::less<>> sites_;
+};
+
+}  // namespace tacc::util

@@ -1,0 +1,186 @@
+// Chaos soak: a randomized fault schedule (rates, outage windows, crash
+// points all drawn from one seed) runs through the full daemon-mode stack —
+// real broker/consumer threads, queue limits, consumer crashes — and then
+// conservation invariants are checked: every unique record is archived,
+// dead-lettered, or spooled; nothing is lost and nothing is archived twice.
+//
+// The seed comes from the TACC_CHAOS_SEED environment variable when set
+// (the CI matrix pins three), otherwise a fixed default. On failure the
+// seed is part of every assertion message, so a red run is reproducible
+// with TACC_CHAOS_SEED=<seed> ctest -R chaos.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/monitor.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace tacc {
+namespace {
+
+constexpr util::SimTime kStart = 1451865600LL * util::kSecond;  // 2016-01-04
+
+std::uint64_t chaos_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("TACC_CHAOS_SEED")) {
+    char* end = nullptr;
+    const auto v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+/// Draws a full fault schedule from the seed: every rate, window, and
+/// structural choice (queue limit on/off, crash cadence) is seed-derived.
+std::shared_ptr<util::FaultPlan> random_plan(util::Rng& rng,
+                                             std::uint64_t seed) {
+  auto plan = std::make_shared<util::FaultPlan>(seed);
+  util::FaultSpec publish;
+  publish.drop_rate = rng.uniform(0.0, 0.15);
+  publish.duplicate_rate = rng.uniform(0.0, 0.05);
+  publish.delay_rate = rng.uniform(0.0, 0.2);
+  publish.delay_min = util::kSecond;
+  publish.delay_max = util::kSecond + static_cast<util::SimTime>(
+                                          rng.uniform(0.0, 60.0) *
+                                          static_cast<double>(util::kSecond));
+  plan->set(std::string(util::kFaultBrokerPublish), publish);
+  util::FaultSpec daemon;
+  daemon.error_rate = rng.uniform(0.0, 0.05);
+  const auto outage_start =
+      kStart + rng.uniform_int(0, 5) * 30 * util::kMinute;
+  daemon.outages.push_back(
+      {outage_start, outage_start + rng.uniform_int(1, 6) * util::kMinute *
+                                        10});
+  plan->set(std::string(util::kFaultDaemonPublish), daemon);
+  util::FaultSpec crash;
+  crash.error_rate = rng.uniform(0.0, 0.08);
+  plan->set(std::string(util::kFaultConsumerCrash), crash);
+  return plan;
+}
+
+TEST(ChaosSoak, DaemonModeConservesEveryRecord) {
+  const auto seed = chaos_seed(20160104);
+  SCOPED_TRACE("TACC_CHAOS_SEED=" + std::to_string(seed));
+  util::Rng rng("chaos.soak", seed);
+
+  auto cluster = [&] {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    cc.topology = simhw::Topology{2, 4, false};
+    cc.phi_fraction = 0.0;
+    return simhw::Cluster(cc);
+  }();
+
+  core::MonitorConfig mc;
+  mc.mode = core::TransportMode::Daemon;
+  mc.start = kStart;
+  mc.interval = 10 * util::kMinute;
+  mc.online_analysis = false;
+  mc.fault_plan = random_plan(rng, seed);
+  mc.retry.max_attempts = static_cast<int>(rng.uniform_int(2, 6));
+  // Unbounded dedup memory: the conservation check below needs the full
+  // seen-set, not a sliding window.
+  mc.consumer_options.dedup_window = 0;
+  const bool limited = rng.bernoulli(0.5);
+  if (limited) {
+    mc.queue_limit = static_cast<std::size_t>(rng.uniform_int(4, 32));
+  }
+  core::ClusterMonitor monitor(cluster, mc);
+
+  const auto hours = rng.uniform_int(3, 6);
+  const auto crashes = rng.uniform_int(0, 3);
+  for (std::int64_t h = 0; h < hours; ++h) {
+    monitor.advance_to(kStart + (h + 1) * util::kHour);
+    if (h < crashes) {
+      monitor.crash_consumer();
+      // Let the cluster run headless for a while: the broker buffers.
+      monitor.advance_to(monitor.now() + rng.uniform_int(1, 3) * 10 *
+                                             util::kMinute);
+      monitor.restart_consumer();
+    }
+  }
+  monitor.drain();
+
+  // --- Conservation ---------------------------------------------------
+  // Each unique (producer, seq) ends in exactly one place: the archive,
+  // the dead-letter store (only its non-delivered seqs count), or a
+  // daemon's local spool.
+  std::size_t archived_unique = 0;
+  for (const auto& host : monitor.archive().hosts()) {
+    archived_unique += monitor.archive().seen_count(host);
+  }
+  std::set<std::pair<std::string, std::uint64_t>> dead_unique;
+  for (const auto& msg :
+       monitor.broker().drain_dead_letters("raw_stats")) {
+    if (!monitor.archive().was_seen(msg.producer, msg.seq)) {
+      dead_unique.insert({msg.producer, msg.seq});
+    }
+  }
+  EXPECT_EQ(archived_unique + dead_unique.size() + monitor.spool_depth(),
+            monitor.published_unique())
+      << "lost or double-counted records";
+  // Zero duplicates in the archive: records per host == unique seqs.
+  EXPECT_EQ(monitor.archive().total_records(), archived_unique);
+  // A clean drain leaves nothing queued.
+  EXPECT_EQ(monitor.broker().depth("raw_stats"), 0u);
+  // Spool bookkeeping is self-consistent: every record ever pushed was
+  // replayed, aged out, or is still parked.
+  const auto r = monitor.resilience_stats();
+  EXPECT_EQ(r.spooled,
+            r.replayed + r.spool_dropped + monitor.spool_depth());
+}
+
+TEST(ChaosSoak, CronModeConservesEveryRecord) {
+  const auto seed = chaos_seed(20160104);
+  SCOPED_TRACE("TACC_CHAOS_SEED=" + std::to_string(seed));
+  util::Rng rng("chaos.cron", seed);
+
+  auto cluster = [&] {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = static_cast<std::size_t>(rng.uniform_int(2, 5));
+    cc.topology = simhw::Topology{1, 8, false};
+    cc.phi_fraction = 0.0;
+    return simhw::Cluster(cc);
+  }();
+
+  auto plan = std::make_shared<util::FaultPlan>(seed);
+  util::FaultSpec rsync;
+  rsync.error_rate = rng.uniform(0.1, 0.6);
+  plan->set(std::string(util::kFaultCronRsync), rsync);
+  util::FaultSpec disk;
+  disk.error_rate = rng.uniform(0.0, 0.1);
+  plan->set(std::string(util::kFaultCronDisk), disk);
+
+  core::MonitorConfig mc;
+  mc.mode = core::TransportMode::Cron;
+  mc.start = kStart;
+  mc.interval = 30 * util::kMinute;
+  mc.online_analysis = false;
+  mc.fault_plan = plan;
+  core::ClusterMonitor monitor(cluster, mc);
+
+  const auto days = rng.uniform_int(2, 4);
+  monitor.advance_to(kStart + days * util::kDay);
+
+  const auto stats = monitor.cron_stats();
+  EXPECT_GT(stats.collected_records, 0u);
+  // Conservation: collected = staged (archived) + lost (disk full /
+  // failed nodes) + backlog (node-local, awaiting rotation or a
+  // successful rsync).
+  EXPECT_EQ(stats.collected_records,
+            stats.staged_records + stats.lost_records +
+                static_cast<std::uint64_t>(monitor.cron_backlog()))
+      << "cron conservation violated";
+  EXPECT_EQ(monitor.archive().total_records(), stats.staged_records);
+  if (stats.rsync_failures > 0) {
+    // Failed stagings must not lose data: lost comes only from disk-full.
+    EXPECT_EQ(stats.lost_records, stats.disk_full_drops);
+  }
+}
+
+}  // namespace
+}  // namespace tacc

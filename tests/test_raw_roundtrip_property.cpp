@@ -1,0 +1,213 @@
+// Property-based round trip for the raw record text format: seeded random
+// HostLogs must survive serialize -> parse exactly, and corrupted inputs
+// (truncated tails, snipped bytes) must fail with an exception rather than
+// crash or silently mis-parse — the same contract Spool::load_day relies on
+// when re-ingesting historical day files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "collect/rawfile.hpp"
+#include "transport/spool.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::collect {
+namespace {
+
+constexpr util::SimTime kEpoch = 1451606400LL * util::kSecond;  // 2016-01-01
+
+std::string random_ident(util::Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-_";
+  const auto len = static_cast<std::size_t>(rng.uniform_int(
+      1, static_cast<std::int64_t>(max_len)));
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s += kAlphabet[static_cast<std::size_t>(
+        rng.uniform_int(0, sizeof(kAlphabet) - 2))];
+  }
+  return s;
+}
+
+Schema random_schema(util::Rng& rng, const std::string& type) {
+  std::vector<SchemaEntry> entries;
+  const auto n = rng.uniform_int(1, 6);
+  for (std::int64_t i = 0; i < n; ++i) {
+    SchemaEntry e;
+    e.key = "k" + std::to_string(i) + random_ident(rng, 4);
+    e.cumulative = rng.bernoulli(0.7);
+    if (rng.bernoulli(0.3)) e.width_bits = rng.bernoulli(0.5) ? 32 : 48;
+    if (rng.bernoulli(0.3)) e.unit = random_ident(rng, 5);
+    entries.push_back(std::move(e));
+  }
+  return Schema(type, std::move(entries));
+}
+
+/// A random but well-formed HostLog: every block's type has a schema and
+/// the value count matches the schema arity (what a real collector emits).
+HostLog random_log(std::uint64_t seed) {
+  util::Rng rng("roundtrip.log", seed);
+  HostLog log;
+  log.hostname = "c" + std::to_string(rng.uniform_int(100, 999)) + "-" +
+                 std::to_string(rng.uniform_int(100, 999));
+  log.arch = random_ident(rng, 6);
+  const auto num_types = rng.uniform_int(1, 4);
+  for (std::int64_t t = 0; t < num_types; ++t) {
+    log.schemas.push_back(
+        random_schema(rng, "t" + std::to_string(t) + random_ident(rng, 3)));
+  }
+  const auto num_records = rng.uniform_int(0, 12);
+  for (std::int64_t r = 0; r < num_records; ++r) {
+    Record rec;
+    rec.time = kEpoch + r * 600 * util::kSecond +
+               rng.uniform_int(0, 59) * util::kSecond;
+    const auto num_jobs = rng.uniform_int(0, 3);
+    for (std::int64_t j = 0; j < num_jobs; ++j) {
+      rec.jobids.push_back(static_cast<long>(rng.uniform_int(1, 1000000)));
+    }
+    if (rng.bernoulli(0.2)) {
+      rec.mark = rng.bernoulli(0.5) ? "begin" : "end";
+    }
+    for (const auto& schema : log.schemas) {
+      const auto num_devices = rng.uniform_int(0, 3);
+      for (std::int64_t d = 0; d < num_devices; ++d) {
+        RawBlock block;
+        block.type = schema.type();
+        block.device = rng.bernoulli(0.2) ? std::string{}
+                                          : std::to_string(d);
+        for (std::size_t k = 0; k < schema.size(); ++k) {
+          // Bias toward edge values: 0, small, and near-2^64.
+          const double p = rng.uniform();
+          if (p < 0.2) {
+            block.values.push_back(0);
+          } else if (p < 0.4) {
+            block.values.push_back(~0ULL - static_cast<std::uint64_t>(
+                                               rng.uniform_int(0, 5)));
+          } else {
+            block.values.push_back(static_cast<std::uint64_t>(rng()));
+          }
+        }
+        rec.blocks.push_back(std::move(block));
+      }
+    }
+    log.records.push_back(std::move(rec));
+  }
+  return log;
+}
+
+TEST(RawRoundtrip, RandomLogsSurviveExactly) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto log = random_log(seed);
+    const auto text = log.serialize();
+    HostLog parsed;
+    ASSERT_NO_THROW(parsed = HostLog::parse(text)) << "seed " << seed;
+    EXPECT_EQ(parsed.hostname, log.hostname) << "seed " << seed;
+    EXPECT_EQ(parsed.arch, log.arch) << "seed " << seed;
+    ASSERT_EQ(parsed.schemas.size(), log.schemas.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < log.schemas.size(); ++i) {
+      EXPECT_EQ(parsed.schemas[i].spec_line(), log.schemas[i].spec_line())
+          << "seed " << seed;
+    }
+    EXPECT_EQ(parsed.records, log.records) << "seed " << seed;
+    // Second trip is a fixed point.
+    EXPECT_EQ(parsed.serialize(), text) << "seed " << seed;
+  }
+}
+
+TEST(RawRoundtrip, TruncatedTailsFailCleanlyOrParsePrefix) {
+  // Cutting a serialized log anywhere must never crash: the parser either
+  // throws std::invalid_argument or returns a prefix of the records (the
+  // final record may itself be truncated; everything before it must be
+  // byte-exact).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto log = random_log(seed);
+    if (log.records.empty()) continue;
+    const auto text = log.serialize();
+    for (std::size_t cut = 0; cut < text.size();
+         cut += 1 + text.size() / 97) {
+      const auto partial = text.substr(0, cut);
+      try {
+        const auto parsed = HostLog::parse(partial);
+        // Whatever parsed must be a prefix-consistent subset.
+        ASSERT_LE(parsed.records.size(), log.records.size());
+        for (std::size_t r = 0; r + 1 < parsed.records.size(); ++r) {
+          // All but the possibly-truncated last record match exactly.
+          EXPECT_EQ(parsed.records[r], log.records[r])
+              << "seed " << seed << " cut " << cut;
+        }
+      } catch (const std::invalid_argument&) {
+        // Clean rejection is fine.
+      }
+    }
+  }
+}
+
+TEST(RawRoundtrip, CorruptedBytesNeverCrash) {
+  const auto log = random_log(3);
+  const auto text = log.serialize();
+  util::Rng rng("roundtrip.corrupt", 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = text;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(1, 255));
+    try {
+      (void)HostLog::parse(mutated);
+    } catch (const std::invalid_argument&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST(RawRoundtrip, GarbageHeadersRejected) {
+  EXPECT_THROW(HostLog::parse(""), std::invalid_argument);
+  EXPECT_THROW(HostLog::parse("$bogus 9.9\n"), std::invalid_argument);
+  EXPECT_THROW(HostLog::parse("no header at all\n"), std::invalid_argument);
+  EXPECT_THROW(
+      HostLog::parse("$tacc_stats 2.1\n$hostname h\n$arch x\n"
+                     "1443657600 -\ncpu 0 1 2\n"),
+      std::invalid_argument);  // data row with no schema for its type
+}
+
+TEST(RawRoundtrip, SpoolSurvivesRoundTripAndRejectsTruncatedFiles) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "ts_roundtrip_spool_test";
+  fs::remove_all(root);
+  transport::Spool spool(root);
+
+  const auto log = random_log(7);
+  spool.write_host(log);
+  const auto days = spool.days();
+  ASSERT_FALSE(days.empty());
+
+  // Full files load back intact.
+  transport::RawArchive archive;
+  std::size_t loaded = 0;
+  for (const auto& day : days) loaded += spool.load_day(day, archive);
+  EXPECT_EQ(loaded, log.records.size());
+  EXPECT_EQ(archive.total_records(), log.records.size());
+
+  // Truncate one file mid-record (a crashed writer): load_day of that day
+  // must throw, not crash, and must not corrupt the archive.
+  const auto day = days.front();
+  const auto hosts = spool.hosts(day);
+  ASSERT_FALSE(hosts.empty());
+  const fs::path file = root / day / hosts.front();
+  const auto size = fs::file_size(file);
+  ASSERT_GT(size, 10u);
+  fs::resize_file(file, size - size / 3);
+  {
+    // Append a malformed half line so the tail is definitely broken.
+    std::ofstream out(file, std::ios::app);
+    out << "\ncpu 0 12 garbage";
+  }
+  transport::RawArchive archive2;
+  EXPECT_THROW(spool.load_day(day, archive2), std::invalid_argument);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace tacc::collect

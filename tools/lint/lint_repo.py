@@ -16,6 +16,10 @@ Enforces the correctness invariants no off-the-shelf tool knows about
   TS010  collector class defined in src/collect/*.hpp but never
          instantiated in src/collect/registry.cpp — the collector would
          silently never run on any node.
+  TS011  fault-injection site name (a dotted "layer.event" string literal
+         passed to FaultPlan::set/spec/decide in tests/ or bench/) that no
+         src/ file declares — the plan entry would never fire, so the test
+         exercises nothing while appearing to pass.
   TS020  tuning knob (field of tsdb::StoreOptions or
          pipeline::TsdbIngestOptions) not documented in
          docs/ARCHITECTURE.md — operators tune from the docs, so an
@@ -39,6 +43,7 @@ CHECKS = {
     "TS001": "raw concurrency primitive not allowlisted",
     "TS002": "util::Mutex never referenced by a TACC_* annotation",
     "TS010": "collector not registered in registry.cpp",
+    "TS011": "fault site name not declared anywhere in src/",
     "TS020": "options knob not documented in docs/ARCHITECTURE.md",
     "TS030": "test file not registered in tests/CMakeLists.txt",
 }
@@ -136,10 +141,60 @@ class Linter:
                         "src/collect/registry.cpp — it will never run",
                     )
 
+    # -- TS011 --------------------------------------------------------------
+    # A dotted "layer.event" string literal in the first-argument slot of a
+    # FaultPlan call. Matches plan.set("broker.publish", …),
+    # plan->decide("daemon.publish", …), plan.spec("cron.rsync"), including
+    # literals wrapped in std::string(...) / std::string_view(...).
+    FAULT_SITE_CALL_RE = re.compile(
+        r"\b(?:set|spec|decide|uniform)\s*\(\s*"
+        r'(?:std::string(?:_view)?\s*\(\s*)?"([a-z_]+(?:\.[a-z_]+)+)"'
+    )
+    # Canonical site declarations: the kFault* string_view constants in
+    # src/util/fault.hpp.
+    FAULT_SITE_DECL_RE = re.compile(r'\bkFault\w+\s*=\s*"([a-z_]+(?:\.[a-z_]+)+)"')
+
+    def declared_fault_sites(self) -> set[str]:
+        sites: set[str] = set()
+        src = self.root / "src"
+        if not src.is_dir():
+            return sites
+        for path in sorted(src.rglob("*.[hc]pp")):
+            text = path.read_text()
+            sites.update(self.FAULT_SITE_DECL_RE.findall(text))
+            # Sites consulted inline in src/ (decide("x.y", …)) also count
+            # as declared: the injection point exists.
+            sites.update(self.FAULT_SITE_CALL_RE.findall(text))
+        return sites
+
+    def check_fault_sites(self) -> None:
+        declared = self.declared_fault_sites()
+        for subdir in ("tests", "bench"):
+            base = self.root / subdir
+            if not base.is_dir():
+                continue
+            for path in sorted(base.glob("*.cpp")):
+                rel = path.relative_to(self.root)
+                for lineno, line in enumerate(
+                    path.read_text().splitlines(), 1
+                ):
+                    code = line.split("//", 1)[0]
+                    for site in self.FAULT_SITE_CALL_RE.findall(code):
+                        if site not in declared:
+                            self.report(
+                                rel, lineno, "TS011",
+                                f"fault site '{site}' is not declared in "
+                                "src/ (see kFault* in src/util/fault.hpp) — "
+                                "this plan entry can never fire",
+                            )
+
     # -- TS020 --------------------------------------------------------------
     KNOB_STRUCTS = (
         ("src/tsdb/store.hpp", "StoreOptions"),
         ("src/pipeline/ingest.hpp", "TsdbIngestOptions"),
+        ("src/util/fault.hpp", "FaultSpec"),
+        ("src/transport/daemon.hpp", "RetryPolicy"),
+        ("src/transport/consumer.hpp", "ConsumerOptions"),
     )
 
     @staticmethod
@@ -197,6 +252,7 @@ class Linter:
     def run(self) -> int:
         self.check_concurrency()
         self.check_collectors()
+        self.check_fault_sites()
         self.check_knobs()
         self.check_tests()
         for path, line, code, message in self.findings:

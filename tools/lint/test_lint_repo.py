@@ -144,6 +144,76 @@ class LintRepoTest(unittest.TestCase):
         self.assertIn("BarCollector", out)
         self.assertNotIn("FooCollector' is not registered", out)
 
+    # -- TS011 --------------------------------------------------------------
+    def test_unknown_fault_site_flagged(self):
+        self.tree.write(
+            "src/util/fault.hpp",
+            'inline constexpr std::string_view kFaultBrokerPublish =\n'
+            '    "broker.publish";\n',
+        )
+        self.tree.write("tests/CMakeLists.txt", "ts_test(test_faults)\n")
+        self.tree.write(
+            "tests/test_faults.cpp",
+            'plan.set("broker.publish", spec);\n'
+            'plan.set("borker.publish", spec);  // typo: never fires\n',
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS011", out)
+        self.assertIn("borker.publish", out)
+        self.assertIn("tests/test_faults.cpp:2", out)
+        self.assertNotIn("'broker.publish' is not declared", out)
+
+    def test_fault_site_in_bench_checked_too(self):
+        self.tree.write(
+            "src/util/fault.hpp",
+            'inline constexpr std::string_view kFaultCronRsync =\n'
+            '    "cron.rsync";\n',
+        )
+        self.tree.write(
+            "bench/bench_chaos.cpp",
+            'plan->decide("cron.resync", "h", 1, now);\n',
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS011", out)
+        self.assertIn("cron.resync", out)
+
+    def test_wrapped_and_inline_site_literals_pass(self):
+        self.tree.write(
+            "src/util/fault.hpp",
+            'inline constexpr std::string_view kFaultDaemonPublish =\n'
+            '    "daemon.publish";\n',
+        )
+        # A site consulted inline in src/ counts as declared even without
+        # a kFault* constant.
+        self.tree.write(
+            "src/transport/extra.cpp",
+            'faults->decide("extra.site", host, salt, now);\n',
+        )
+        self.tree.write("tests/CMakeLists.txt", "ts_test(test_faults)\n")
+        self.tree.write(
+            "tests/test_faults.cpp",
+            'plan.set(std::string("daemon.publish"), spec);\n'
+            'plan.spec("extra.site");\n'
+            '// plan.set("commented.out", spec); is ignored\n',
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    def test_non_site_dotted_strings_ignored(self):
+        # Dotted strings not in a FaultPlan call position (rng names, file
+        # names) must not be flagged.
+        self.tree.write("src/util/fault.hpp", "// no sites declared\n")
+        self.tree.write("tests/CMakeLists.txt", "ts_test(test_other)\n")
+        self.tree.write(
+            "tests/test_other.cpp",
+            'util::Rng rng("chaos.soak", seed);\n'
+            'spool.read_host("2016-01-01", "c400-001.local");\n',
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
     # -- TS020 --------------------------------------------------------------
     def test_undocumented_knob_flagged(self):
         self.tree.write(
