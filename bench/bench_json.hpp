@@ -1,0 +1,194 @@
+// Machine-readable benchmark results (satellite of the compressed-storage
+// PR): each tsdb bench accumulates one flat section of key -> value pairs
+// and merges it into BENCH_tsdb.json, so the perf trajectory (points/s,
+// bytes/point, queries/s) is tracked across PRs instead of living only in
+// scrollback. The file is a single JSON object of named sections; merging
+// replaces this bench's section and preserves the others, so the two tsdb
+// benches can both write the same file in any order.
+//
+// Only this writer produces the file, so the reader is a deliberately
+// minimal brace-balanced scanner, not a general JSON parser.
+#pragma once
+
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tacc::bench {
+
+/// Destination path: TACC_BENCH_JSON env override, else BENCH_tsdb.json
+/// in the working directory.
+inline std::string bench_json_path() {
+  const char* env = std::getenv("TACC_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_tsdb.json";
+}
+
+/// True when the caller should shrink workloads to smoke-test size (the
+/// CI bench-smoke job sets TACC_BENCH_SMOKE=1).
+inline bool bench_smoke() {
+  const char* env = std::getenv("TACC_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string section) : section_(std::move(section)) {
+    add_machine_context();
+  }
+
+  void put(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.8g", value);
+    entries_[key] = buf;
+  }
+  void put(const std::string& key, std::int64_t value) {
+    entries_[key] = std::to_string(value);
+  }
+  void put(const std::string& key, std::size_t value) {
+    entries_[key] = std::to_string(value);
+  }
+  void put(const std::string& key, const std::string& value) {
+    entries_[key] = quote(value);
+  }
+
+  /// Merges this section into `path` (default bench_json_path()),
+  /// replacing any previous run's section of the same name. Returns false
+  /// if the file could not be written.
+  bool write(const std::string& path = bench_json_path()) const {
+    std::map<std::string, std::string> sections = read_sections(path);
+    std::ostringstream body;
+    bool first = true;
+    for (const auto& [k, v] : entries_) {
+      body << (first ? "" : ",") << "\n    " << quote(k) << ": " << v;
+      first = false;
+    }
+    body << "\n  ";
+    sections[section_] = body.str();
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << "{";
+    first = true;
+    for (const auto& [name, content] : sections) {
+      out << (first ? "" : ",") << "\n  " << quote(name) << ": {" << content
+          << "}";
+      first = false;
+    }
+    out << "\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  void add_machine_context() {
+    char host[256] = "unknown";
+    ::gethostname(host, sizeof(host) - 1);
+    entries_["machine.hostname"] = quote(host);
+    entries_["machine.cores"] =
+        std::to_string(std::thread::hardware_concurrency());
+#if defined(__VERSION__)
+    entries_["machine.compiler"] = quote(__VERSION__);
+#endif
+#if defined(NDEBUG)
+    entries_["machine.build"] = quote("optimized");
+#else
+    entries_["machine.build"] = quote("debug");
+#endif
+    const auto now = std::chrono::system_clock::now();
+    entries_["machine.unix_time"] = std::to_string(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            now.time_since_epoch())
+            .count());
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  /// Splits a previously-written file into its named top-level sections
+  /// (raw inner text, braces stripped). Anything unreadable is dropped —
+  /// the file is regenerated wholesale on every write.
+  static std::map<std::string, std::string> read_sections(
+      const std::string& path) {
+    std::map<std::string, std::string> sections;
+    std::ifstream in(path);
+    if (!in) return sections;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::size_t pos = text.find('{');
+    if (pos == std::string::npos) return sections;
+    ++pos;
+    for (;;) {
+      const std::size_t name_start = text.find('"', pos);
+      if (name_start == std::string::npos) break;
+      const std::size_t name_end = text.find('"', name_start + 1);
+      if (name_end == std::string::npos) break;
+      const std::string name =
+          text.substr(name_start + 1, name_end - name_start - 1);
+      const std::size_t open = text.find('{', name_end);
+      if (open == std::string::npos) break;
+      int depth = 1;
+      std::size_t close = open + 1;
+      bool in_string = false;
+      while (close < text.size() && depth > 0) {
+        const char c = text[close];
+        if (in_string) {
+          if (c == '\\') {
+            ++close;
+          } else if (c == '"') {
+            in_string = false;
+          }
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          --depth;
+        }
+        ++close;
+      }
+      if (depth != 0) break;
+      sections[name] = text.substr(open + 1, close - open - 2);
+      pos = close;
+    }
+    return sections;
+  }
+
+  std::string section_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace tacc::bench

@@ -13,8 +13,13 @@
 // here is emergent from the collected counters, not post-processed.
 #include "bench_common.hpp"
 
+#include <chrono>
+#include <tuple>
+
+#include "bench_json.hpp"
 #include "core/monitor.hpp"
 #include "tsdb/store.hpp"
+#include "util/clock.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -205,6 +210,147 @@ void report() {
   t.print();
 }
 
+// ---- Compressed block storage + rollup read path ----
+// The Fig. 2-style archive workload: a daemon-mode monitor runs a cluster
+// for a simulated day and every raw counter stream is loaded into the
+// time-series store. The compressed store (sealed Gorilla blocks, default
+// block_points) is measured against a raw store (block_points = 0, never
+// sealed — the pre-block-tier full-scan layout) for storage bytes/point
+// and for whole-job downsampled aggregate queries, where buckets cover
+// whole blocks and are answered from summaries (the rollup fast path).
+void report_storage() {
+  bench::banner(
+      "Compressed block storage + rollup read path (Fig. 2 archive "
+      "workload)");
+  const bool smoke = bench::bench_smoke();
+  const int nodes = smoke ? 4 : 16;
+  const util::SimTime window = (smoke ? 3 : 24) * util::kHour;
+
+  simhw::ClusterConfig cc;
+  cc.num_nodes = nodes;
+  cc.topology = simhw::Topology{2, 4, false};
+  cc.phi_fraction = 0.0;
+  simhw::Cluster cluster(cc);
+  core::MonitorConfig mc;
+  mc.start = kStart;
+  // 1-minute cadence: a day of samples per series, so the read path is
+  // dominated by point data (decode vs summary), not per-query overhead.
+  mc.interval = util::kMinute;
+  mc.online_analysis = false;
+  core::ClusterMonitor monitor(cluster, mc);
+  monitor.advance_to(kStart + window);
+  monitor.drain();
+  const auto& archive = monitor.archive();
+
+  const auto timed_ingest = [&](const tsdb::StoreOptions& so, bool seal) {
+    tsdb::Store store(so);
+    pipeline::TsdbIngestOptions io;
+    io.seal = seal;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = pipeline::ingest_archive_tsdb(store, archive, nullptr,
+                                                     io);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return std::tuple{std::move(store), stats, dt.count()};
+  };
+
+  tsdb::StoreOptions raw_opts;
+  raw_opts.block_points = 0;  // never sealed: the 16 B/point raw layout
+  auto [raw_store, raw_stats, raw_s] = timed_ingest(raw_opts, false);
+  auto [sealed_store, sealed_stats, sealed_s] =
+      timed_ingest(tsdb::StoreOptions{}, true);
+
+  const auto storage = sealed_store.storage_stats();
+  const double bytes_per_point =
+      static_cast<double>(storage.sealed_bytes) /
+      static_cast<double>(storage.sealed_points);
+
+  // The acceptance query: whole-job downsampled aggregate — one bucket
+  // spanning the whole window per host, answered from block summaries on
+  // the sealed store and by full scan on the raw store. Max combines
+  // across the several blocks a day bucket covers, so the sealed store
+  // never decodes a point.
+  tsdb::Query whole;
+  whole.metric = "taccstats.cpu.user";
+  whole.group_by = {"host"};
+  whole.downsample = window;
+  whole.downsample_aggregator = tsdb::Aggregator::Max;
+  whole.aggregator = tsdb::Aggregator::Sum;
+  // A finer query that must decode partial buckets: the honest cost of
+  // reading compressed data back.
+  tsdb::Query fine = whole;
+  fine.downsample = 30 * util::kMinute;
+
+  const auto queries_per_s = [&](const tsdb::Store& store,
+                                 const tsdb::Query& q) {
+    // Verify equivalence once, then time repeated runs.
+    const int iters = smoke ? 5 : 40;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(store.query(q));
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return iters / dt.count();
+  };
+  const double rollup_qps = queries_per_s(sealed_store, whole);
+  const double scan_qps = queries_per_s(raw_store, whole);
+  const double fine_sealed_qps = queries_per_s(sealed_store, fine);
+  const double fine_raw_qps = queries_per_s(raw_store, fine);
+
+  bench::ReproTable t;
+  t.row("archive points", "-", std::to_string(sealed_stats.points),
+        std::to_string(sealed_stats.series) + " series, " +
+            std::to_string(nodes) + " nodes, " +
+            util::format_duration(window));
+  t.row("storage, raw layout", "16 B/point", "16 B/point",
+        "DataPoint = 8 B time + 8 B value");
+  t.row("storage, sealed blocks", "<= 4 B/point (acceptance)",
+        bench::num(bytes_per_point, 3) + " B/point",
+        std::to_string(storage.sealed_blocks) + " blocks, " +
+            std::to_string(storage.sealed_bytes) + " B payload");
+  t.row("ingest+seal throughput", "-",
+        bench::num(static_cast<double>(sealed_stats.points) / sealed_s / 1e6,
+                   3) +
+            " Mpoints/s",
+        "raw ingest " +
+            bench::num(
+                static_cast<double>(raw_stats.points) / raw_s / 1e6, 3) +
+            " Mpoints/s");
+  t.row("whole-job aggregate, sealed", ">= 3x raw (acceptance)",
+        bench::num(rollup_qps, 1) + " queries/s",
+        "rollup fast path: summaries only, " +
+            bench::num(rollup_qps / scan_qps, 2) + "x raw (" +
+            bench::num(scan_qps, 1) + " q/s)");
+  t.row("30-min downsample, sealed", "-",
+        bench::num(fine_sealed_qps, 1) + " queries/s",
+        "partial buckets decode; raw " + bench::num(fine_raw_qps, 1) +
+            " q/s");
+  t.print();
+
+  bench::BenchJson json("tsdb_interference");
+  json.put("archive.nodes", static_cast<std::int64_t>(nodes));
+  json.put("archive.points", sealed_stats.points);
+  json.put("archive.series", sealed_stats.series);
+  json.put("ingest.sealed_mpoints_per_s",
+           static_cast<double>(sealed_stats.points) / sealed_s / 1e6);
+  json.put("ingest.raw_mpoints_per_s",
+           static_cast<double>(raw_stats.points) / raw_s / 1e6);
+  json.put("storage.raw_bytes_per_point", 16.0);
+  json.put("storage.sealed_bytes_per_point", bytes_per_point);
+  json.put("storage.sealed_blocks", storage.sealed_blocks);
+  json.put("query.whole_job_rollup_qps", rollup_qps);
+  json.put("query.whole_job_scan_qps", scan_qps);
+  json.put("query.whole_job_speedup", rollup_qps / scan_qps);
+  json.put("query.fine_sealed_qps", fine_sealed_qps);
+  json.put("query.fine_raw_qps", fine_raw_qps);
+  json.put("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
+  if (!json.write()) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 bench::bench_json_path().c_str());
+  }
+}
+
 void BM_TsdbPut(benchmark::State& state) {
   tsdb::Store store;
   const tsdb::TagSet tags = {
@@ -344,6 +490,11 @@ BENCHMARK(BM_TsdbGroupByQueryParallel)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void report_all() {
+  report();
+  report_storage();
+}
+
 }  // namespace
 
-TS_BENCH_MAIN(report)
+TS_BENCH_MAIN(report_all)

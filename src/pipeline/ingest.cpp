@@ -164,6 +164,7 @@ TsdbIngestStats ingest_archive_tsdb(tsdb::Store& store,
   } else {
     for (std::size_t hi = 0; hi < hosts.size(); ++hi) load_host(hi);
   }
+  if (options.seal) store.seal_all();
 
   TsdbIngestStats stats;
   stats.hosts = hosts.size();

@@ -48,6 +48,11 @@ struct TsdbIngestOptions {
   std::size_t batch_points = 4096;
   /// Prefix for generated metric names: <prefix>.<type>.<event>.
   std::string metric_prefix = "taccstats";
+  /// Seal every series after the load (Store::seal_all), compressing the
+  /// archive into immutable blocks and enabling summary skips and rollup
+  /// fast paths on the read side. Disable only when more appends to the
+  /// same series follow immediately (sealing then just cuts blocks short).
+  bool seal = true;
 };
 
 struct TsdbIngestStats {

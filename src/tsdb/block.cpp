@@ -1,0 +1,208 @@
+#include "tsdb/block.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "tsdb/store.hpp"
+
+namespace tacc::tsdb {
+
+namespace {
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t& pos) noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = data[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// MSB-first bit appender over a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) noexcept : out_(out) {}
+
+  void bit(bool b) { bits(b ? 1 : 0, 1); }
+
+  /// Appends the low `n` bits of `v`, most significant first. n in [0, 64].
+  void bits(std::uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) {
+      if (fill_ == 0) {
+        out_.push_back(0);
+        fill_ = 8;
+      }
+      --fill_;
+      if ((v >> i) & 1) out_.back() |= static_cast<std::uint8_t>(1u << fill_);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  int fill_ = 0;  // unused low bits remaining in out_.back()
+};
+
+/// Reads `n` bits starting at absolute bit offset `pos` (MSB-first),
+/// advancing `pos`.
+std::uint64_t read_bits(const std::uint8_t* data, std::size_t& pos,
+                        int n) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i, ++pos) {
+    v = (v << 1) |
+        ((data[pos >> 3] >> (7 - (pos & 7))) & 1u);
+  }
+  return v;
+}
+
+std::uint64_t double_bits(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+double bits_double(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+}  // namespace
+
+std::shared_ptr<const SealedBlock> SealedBlock::seal(
+    std::span<const DataPoint> points) {
+  auto block = std::shared_ptr<SealedBlock>(new SealedBlock());
+
+  // Summary, with the exact folds tsdb::aggregate() applies so a bucket
+  // answered from the summary is bit-identical to one answered by decode.
+  std::vector<double> values;
+  values.reserve(points.size());
+  for (const auto& p : points) values.push_back(p.value);
+  BlockSummary& s = block->summary_;
+  s.t_min = points.front().time;
+  s.t_max = points.back().time;
+  s.count = static_cast<std::uint32_t>(points.size());
+  s.sum = aggregate(Aggregator::Sum, values);
+  s.min = aggregate(Aggregator::Min, values);
+  s.max = aggregate(Aggregator::Max, values);
+
+  // Timestamps: zigzag varints of t0, then delta, then delta-of-delta.
+  auto& ts = block->times_;
+  ts.reserve(points.size() + 16);
+  util::SimTime prev_t = 0;
+  util::SimTime prev_delta = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const util::SimTime t = points[i].time;
+    if (i == 0) {
+      put_varint(ts, zigzag(t));
+    } else if (i == 1) {
+      prev_delta = t - prev_t;
+      put_varint(ts, zigzag(prev_delta));
+    } else {
+      const util::SimTime delta = t - prev_t;
+      put_varint(ts, zigzag(delta - prev_delta));
+      prev_delta = delta;
+    }
+    prev_t = t;
+  }
+
+  // Values: Gorilla XOR with a leading/meaningful-bit window.
+  BitWriter w(block->values_);
+  std::uint64_t prev_bits = 0;
+  int win_lead = 0;
+  int win_bits = 0;
+  bool have_window = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t bits = double_bits(points[i].value);
+    if (i == 0) {
+      w.bits(bits, 64);
+    } else {
+      const std::uint64_t x = bits ^ prev_bits;
+      if (x == 0) {
+        w.bit(false);
+      } else {
+        w.bit(true);
+        int lead = std::countl_zero(x);
+        if (lead > 31) lead = 31;  // 5-bit field
+        const int trail = std::countr_zero(x);
+        if (have_window && lead >= win_lead &&
+            trail >= 64 - win_lead - win_bits) {
+          // Fits the previous window: reuse it, write only its bits.
+          w.bit(false);
+          w.bits(x >> (64 - win_lead - win_bits), win_bits);
+        } else {
+          win_lead = lead;
+          win_bits = 64 - lead - trail;
+          have_window = true;
+          w.bit(true);
+          w.bits(static_cast<std::uint64_t>(win_lead), 5);
+          w.bits(static_cast<std::uint64_t>(win_bits - 1), 6);
+          w.bits(x >> trail, win_bits);
+        }
+      }
+    }
+    prev_bits = bits;
+  }
+
+  block->times_.shrink_to_fit();
+  block->values_.shrink_to_fit();
+  return block;
+}
+
+bool SealedBlock::Cursor::next(DataPoint& out) noexcept {
+  if (index_ >= block_->summary_.count) return false;
+  const std::uint8_t* ts = block_->times_.data();
+  const std::uint8_t* vs = block_->values_.data();
+
+  if (index_ == 0) {
+    prev_time_ = unzigzag(get_varint(ts, time_pos_));
+    prev_bits_ = read_bits(vs, value_bit_, 64);
+  } else {
+    if (index_ == 1) {
+      prev_delta_ = unzigzag(get_varint(ts, time_pos_));
+    } else {
+      prev_delta_ += unzigzag(get_varint(ts, time_pos_));
+    }
+    prev_time_ += prev_delta_;
+
+    if (read_bits(vs, value_bit_, 1) != 0) {
+      if (read_bits(vs, value_bit_, 1) != 0) {
+        window_leading_ = static_cast<int>(read_bits(vs, value_bit_, 5));
+        window_bits_ = static_cast<int>(read_bits(vs, value_bit_, 6)) + 1;
+        have_window_ = true;
+      }
+      const std::uint64_t meaningful =
+          read_bits(vs, value_bit_, window_bits_);
+      prev_bits_ ^= meaningful << (64 - window_leading_ - window_bits_);
+    }
+  }
+
+  ++index_;
+  out.time = prev_time_;
+  out.value = bits_double(prev_bits_);
+  return true;
+}
+
+void SealedBlock::decode_append(std::vector<DataPoint>& out) const {
+  out.reserve(out.size() + summary_.count);
+  Cursor c(*this);
+  DataPoint p;
+  while (c.next(p)) out.push_back(p);
+}
+
+}  // namespace tacc::tsdb

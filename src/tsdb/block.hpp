@@ -1,0 +1,104 @@
+// Immutable compressed blocks for the time-series store's sealed tier.
+//
+// A series lives as a small mutable head buffer plus a run of SealedBlocks,
+// each holding a fixed-size chunk of the series' append sequence in
+// compressed form (see docs/ARCHITECTURE.md, "TSDB storage format"):
+//
+//   * Timestamps: delta-of-delta, zigzag + LEB128 varint per point. At a
+//     regular cadence the second difference is zero, so each timestamp
+//     after the second costs one byte.
+//   * Values: Gorilla-style XOR of consecutive IEEE-754 bit patterns with
+//     leading/meaningful-bit windows, bit-packed. Near-constant counters
+//     cost ~1 bit per point; slowly-moving integral counters a few bytes.
+//
+// Every block carries a summary (t_min, t_max, count, sum, min, max) so
+// queries can skip blocks entirely outside their time range and answer
+// downsample buckets that cover a whole block straight from the summary
+// without decoding (the rollup fast path). The summary aggregates are
+// computed with the exact same folds as tsdb::aggregate(), so a
+// summary-answered bucket is bit-identical to the decoded answer.
+//
+// Blocks are immutable after seal(): they can be shared across query
+// snapshots by shared_ptr with no further locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace tacc::tsdb {
+
+struct DataPoint {
+  util::SimTime time = 0;
+  double value = 0.0;
+};
+
+/// Per-block rollup summary. `sum`, `min`, `max` are computed over the
+/// block's values in stored (time-sorted) order with the same folds
+/// tsdb::aggregate() uses, so rollup answers match decoded answers bit for
+/// bit.
+struct BlockSummary {
+  util::SimTime t_min = 0;
+  util::SimTime t_max = 0;
+  std::uint32_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class SealedBlock {
+ public:
+  /// Compresses `points` (which must be sorted by time; ties keep their
+  /// order) into an immutable block. Requires a non-empty span.
+  static std::shared_ptr<const SealedBlock> seal(
+      std::span<const DataPoint> points);
+
+  const BlockSummary& summary() const noexcept { return summary_; }
+  std::uint32_t count() const noexcept { return summary_.count; }
+  util::SimTime t_min() const noexcept { return summary_.t_min; }
+  util::SimTime t_max() const noexcept { return summary_.t_max; }
+
+  /// Compressed payload size (timestamp stream + value stream), the number
+  /// the bytes/point benchmarks report.
+  std::size_t payload_bytes() const noexcept {
+    return times_.size() + values_.size();
+  }
+
+  /// Streaming decoder: yields the block's points in stored order without
+  /// materializing them. Cheap to construct; hold one per block being read.
+  class Cursor {
+   public:
+    explicit Cursor(const SealedBlock& block) noexcept : block_(&block) {}
+    /// Decodes the next point into `out`; returns false once exhausted.
+    bool next(DataPoint& out) noexcept;
+
+   private:
+    const SealedBlock* block_;
+    std::uint32_t index_ = 0;
+    std::size_t time_pos_ = 0;   // byte offset into times_
+    std::size_t value_bit_ = 0;  // bit offset into values_
+    util::SimTime prev_time_ = 0;
+    util::SimTime prev_delta_ = 0;
+    std::uint64_t prev_bits_ = 0;
+    int window_leading_ = 0;
+    int window_bits_ = 0;
+    bool have_window_ = false;
+  };
+  Cursor cursor() const noexcept { return Cursor(*this); }
+
+  /// Decodes the whole block, appending to `out`.
+  void decode_append(std::vector<DataPoint>& out) const;
+
+ private:
+  SealedBlock() = default;
+
+  BlockSummary summary_;
+  std::vector<std::uint8_t> times_;   // zigzag-varint delta-of-delta stream
+  std::vector<std::uint8_t> values_;  // Gorilla XOR bitstream
+};
+
+}  // namespace tacc::tsdb

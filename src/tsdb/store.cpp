@@ -34,9 +34,159 @@ std::size_t round_up_pow2(std::size_t n) noexcept {
   return p;
 }
 
+bool time_less(const DataPoint& a, const DataPoint& b) noexcept {
+  return a.time < b.time;
+}
+
+/// Inclusive-exclusive range filter; both bounds 0 = unbounded.
+bool in_range(const Query& q, util::SimTime t) noexcept {
+  if (q.start == 0 && q.end == 0) return true;
+  return t >= q.start && (q.end == 0 || t < q.end);
+}
+
+util::SimTime bucket_of(const Query& q, util::SimTime t) noexcept {
+  return q.downsample > 0 ? t - t % q.downsample : t;
+}
+
+/// Sequential per-series bucket builder. Points arrive in merged time
+/// order, so buckets complete strictly in order. For Min/Max/Count the
+/// open bucket is a running fold — bit-identical to aggregate() over the
+/// same values, and whole-block summaries can join the fold mid-bucket
+/// (std::min/std::max keep the leftmost of tied values, which makes the
+/// folds associative for non-NaN inputs; counts add exactly). For Sum/Avg,
+/// whose float folds are order-dependent, the open bucket's values stage
+/// in one reusable scratch vector — no per-bucket map nodes or temporary
+/// vectors in the hot loop.
+class BucketStager {
+ public:
+  BucketStager(const Query& q,
+               std::vector<std::pair<util::SimTime, double>>& out) noexcept
+      : q_(q),
+        out_(out),
+        fold_(q.downsample_aggregator == Aggregator::Min ||
+              q.downsample_aggregator == Aggregator::Max ||
+              q.downsample_aggregator == Aggregator::Count) {}
+
+  void add(util::SimTime t, double v) {
+    roll(bucket_of(q_, t));
+    if (fold_) {
+      fold_value(v);
+      ++count_;
+    } else {
+      values_.push_back(v);
+    }
+  }
+
+  /// True for Min/Max/Count: buckets fold, so whole-block summaries can
+  /// join an open bucket via add_summary.
+  bool foldable() const noexcept { return fold_; }
+
+  /// Folds a whole block's summary into bucket `b` at the current stream
+  /// position, exactly as if its points had been decoded one by one.
+  /// Foldable aggregators only; the caller gates NaN summaries (a decode
+  /// fold skips mid-stream NaNs a summary would absorb).
+  void add_summary(util::SimTime b, double value, std::size_t count) {
+    roll(b);
+    fold_value(value);
+    count_ += count;
+  }
+
+  /// True if the next contribution to bucket `b` would be its first — a
+  /// NaN summary may seed a fold (the decode fold would stay NaN too) but
+  /// must not join one.
+  bool would_seed(util::SimTime b) const noexcept {
+    return !open_ || bucket_ != b;
+  }
+
+  /// Emits a bucket answered entirely from summaries (Sum/Avg rollup);
+  /// the caller guarantees no other point touches it.
+  void emit_summary(util::SimTime b, double v) {
+    flush();
+    out_.emplace_back(b, v);
+    last_ = b;
+    has_last_ = true;
+  }
+
+  /// The most recent bucket touched (staged or emitted), if any.
+  std::optional<util::SimTime> last_bucket() const noexcept {
+    if (open_) return bucket_;
+    if (has_last_) return last_;
+    return std::nullopt;
+  }
+
+  void flush() {
+    if (!open_) return;
+    double v;
+    if (fold_) {
+      v = q_.downsample_aggregator == Aggregator::Count
+              ? static_cast<double>(count_)
+              : acc_;
+      have_acc_ = false;
+      count_ = 0;
+    } else {
+      v = aggregate(q_.downsample_aggregator, values_);
+      values_.clear();
+    }
+    out_.emplace_back(bucket_, v);
+    last_ = bucket_;
+    has_last_ = true;
+    open_ = false;
+  }
+
+ private:
+  void roll(util::SimTime b) {
+    if (!open_ || b != bucket_) {
+      flush();
+      bucket_ = b;
+      open_ = true;
+    }
+  }
+
+  void fold_value(double v) noexcept {
+    if (!have_acc_) {
+      acc_ = v;
+      have_acc_ = true;
+    } else {
+      acc_ = q_.downsample_aggregator == Aggregator::Min ? std::min(acc_, v)
+                                                         : std::max(acc_, v);
+    }
+  }
+
+  const Query& q_;
+  std::vector<std::pair<util::SimTime, double>>& out_;
+  const bool fold_;
+  std::vector<double> values_;
+  double acc_ = 0.0;
+  std::size_t count_ = 0;
+  bool have_acc_ = false;
+  util::SimTime bucket_ = 0;
+  util::SimTime last_ = 0;
+  bool open_ = false;
+  bool has_last_ = false;
+};
+
+/// Bucket answer straight from a block summary. Summary fields were
+/// computed with aggregate()'s folds over the same value order a decode
+/// would feed it, so this is bit-identical to the decoded answer.
+double rollup_value(const BlockSummary& s, Aggregator agg) noexcept {
+  switch (agg) {
+    case Aggregator::Sum:
+      return s.sum;
+    case Aggregator::Avg:
+      return s.sum / static_cast<double>(s.count);
+    case Aggregator::Min:
+      return s.min;
+    case Aggregator::Max:
+      return s.max;
+    case Aggregator::Count:
+      return static_cast<double>(s.count);
+  }
+  return 0.0;
+}
+
 }  // namespace
 
-double aggregate(Aggregator agg, const std::vector<double>& values) noexcept {
+double aggregate(Aggregator agg, std::span<const double> values) noexcept {
   if (agg == Aggregator::Count) return static_cast<double>(values.size());
   if (values.empty()) return 0.0;
   double out = values.front();
@@ -70,7 +220,8 @@ std::string Store::canonical(const TagSet& tags) {
   return out;
 }
 
-Store::Store(const StoreOptions& options) {
+Store::Store(const StoreOptions& options)
+    : block_points_(options.block_points) {
   const std::size_t n = round_up_pow2(std::max<std::size_t>(1, options.shards));
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -106,16 +257,41 @@ Store::Series& Store::resolve_series(Shard& shard, const std::string& metric,
   return sit->second;
 }
 
+void Store::seal_prefix(Series& series, std::size_t n) {
+  // Seal the oldest `n` points of the append sequence. The chunk is
+  // stable-sorted by time, so together with the stable cross-source merge
+  // at query time the decoded order reproduces the stable sort of the full
+  // append sequence — the order the never-sealed store uses.
+  std::vector<DataPoint> chunk(series.head.begin(),
+                               series.head.begin() + static_cast<long>(n));
+  std::stable_sort(chunk.begin(), chunk.end(), time_less);
+  series.blocks.push_back(SealedBlock::seal(chunk));
+  series.head.erase(series.head.begin(),
+                    series.head.begin() + static_cast<long>(n));
+  series.head_sorted = true;
+  for (std::size_t i = 1; i < series.head.size(); ++i) {
+    if (series.head[i].time < series.head[i - 1].time) {
+      series.head_sorted = false;
+      break;
+    }
+  }
+}
+
 void Store::append_run(Shard& shard, Series& series,
                        std::span<const DataPoint> points) {
-  series.points.reserve(series.points.size() + points.size());
+  series.head.reserve(series.head.size() + points.size());
   for (const auto& p : points) {
-    if (!series.points.empty() && series.points.back().time > p.time) {
-      series.sorted = false;
+    if (!series.head.empty() && series.head.back().time > p.time) {
+      series.head_sorted = false;
     }
-    series.points.push_back(p);
+    series.head.push_back(p);
   }
   shard.points.fetch_add(points.size(), std::memory_order_relaxed);
+  if (block_points_ > 0) {
+    while (series.head.size() >= block_points_) {
+      seal_prefix(series, block_points_);
+    }
+  }
 }
 
 void Store::put(const std::string& metric, const TagSet& tags,
@@ -157,6 +333,17 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
   }
 }
 
+void Store::seal_all() {
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    for (auto& [metric, by_tags] : shard->metrics) {
+      for (auto& [key, series] : by_tags) {
+        if (!series.head.empty()) seal_prefix(series, series.head.size());
+      }
+    }
+  }
+}
+
 std::size_t Store::num_series() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
@@ -174,6 +361,24 @@ std::size_t Store::num_points() const noexcept {
   return n;
 }
 
+StorageStats Store::storage_stats() const {
+  StorageStats s;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    for (const auto& [metric, by_tags] : shard->metrics) {
+      for (const auto& [key, series] : by_tags) {
+        s.head_points += series.head.size();
+        s.sealed_blocks += series.blocks.size();
+        for (const auto& b : series.blocks) {
+          s.sealed_points += b->count();
+          s.sealed_bytes += b->payload_bytes();
+        }
+      }
+    }
+  }
+  return s;
+}
+
 std::vector<SeriesResult> Store::query(const Query& q) const {
   return query_impl(q, nullptr);
 }
@@ -183,12 +388,135 @@ std::vector<SeriesResult> Store::query(const Query& q,
   return query_impl(q, &pool);
 }
 
+void Store::process_series(const Query& q, Partial& p) {
+  if (!p.head_sorted) {
+    std::stable_sort(p.head.begin(), p.head.end(), time_less);
+    p.head_sorted = true;
+  }
+
+  // Are the sources (blocks in seal order, then the head) already in
+  // global time order? In the common monotonic-ingest case they are, and
+  // the series can be streamed source by source with summary-based block
+  // skipping and rollups. Overlapping sources fall back to decode+merge.
+  bool ordered = true;
+  util::SimTime prev_max = 0;
+  bool have_prev = false;
+  for (const auto& b : p.blocks) {
+    if (have_prev && b->t_min() < prev_max) {
+      ordered = false;
+      break;
+    }
+    prev_max = b->t_max();
+    have_prev = true;
+  }
+  if (ordered && have_prev && !p.head.empty() &&
+      p.head.front().time < prev_max) {
+    ordered = false;
+  }
+
+  if (q.rate || !ordered) {
+    // Materializing path: rate needs successive deltas over the whole
+    // merged sequence, and overlapping sources need a merge. Decoded
+    // blocks are time-sorted runs in append-chunk order, so a stable sort
+    // of the concatenation reproduces the stable sort of the full append
+    // sequence — bit-identical to the never-sealed store.
+    std::vector<DataPoint> pts;
+    std::size_t total = p.head.size();
+    for (const auto& b : p.blocks) total += b->count();
+    pts.reserve(total);
+    for (const auto& b : p.blocks) b->decode_append(pts);
+    pts.insert(pts.end(), p.head.begin(), p.head.end());
+    if (!ordered) std::stable_sort(pts.begin(), pts.end(), time_less);
+    if (q.rate) {
+      std::vector<DataPoint> rates;
+      rates.reserve(pts.size() > 0 ? pts.size() - 1 : 0);
+      for (std::size_t i = 1; i < pts.size(); ++i) {
+        const double dt = util::to_seconds(pts[i].time - pts[i - 1].time);
+        if (dt <= 0.0) continue;
+        const double delta = pts[i].value - pts[i - 1].value;
+        rates.push_back({pts[i].time, delta > 0.0 ? delta / dt : 0.0});
+      }
+      pts = std::move(rates);
+    }
+    BucketStager stager(q, p.downsampled);
+    for (const auto& pt : pts) {
+      if (!in_range(q, pt.time)) continue;
+      stager.add(pt.time, pt.value);
+    }
+    stager.flush();
+    return;
+  }
+
+  // Streaming path: visit sources in time order. A block entirely outside
+  // the query range is skipped on its summary alone; a downsample bucket
+  // covered by whole blocks — with both neighbours clear of it — is
+  // answered from summaries without decoding (the rollup fast path);
+  // everything else streams through a decode cursor.
+  BucketStager stager(q, p.downsampled);
+  DataPoint pt;
+  for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+    const SealedBlock& b = *p.blocks[i];
+    if (!(q.start == 0 && q.end == 0) &&
+        (b.t_max() < q.start || (q.end != 0 && b.t_min() >= q.end))) {
+      continue;
+    }
+    if (q.downsample > 0 && in_range(q, b.t_min()) &&
+        in_range(q, b.t_max()) &&
+        bucket_of(q, b.t_min()) == bucket_of(q, b.t_max())) {
+      const util::SimTime bb = bucket_of(q, b.t_min());
+      const Aggregator agg = q.downsample_aggregator;
+      if (stager.foldable()) {
+        // Min/Max/Count: the summary joins the bucket's running fold at
+        // this stream position, so neighbouring blocks and head points may
+        // share the bucket freely. A NaN Min/Max summary may only seed a
+        // fresh fold (decode skips mid-stream NaNs a summary would absorb).
+        const double s = rollup_value(b.summary(), agg);
+        if (agg == Aggregator::Count || s == s || stager.would_seed(bb)) {
+          stager.add_summary(bb, s, b.summary().count);
+          continue;
+        }
+      } else {
+        // Sum/Avg folds are order-dependent in float, so the summary is
+        // usable only when it covers the bucket exclusively: nothing
+        // staged there yet, and the next source starts in a later bucket.
+        util::SimTime next_t = 0;
+        bool has_next = false;
+        if (i + 1 < p.blocks.size()) {
+          next_t = p.blocks[i + 1]->t_min();
+          has_next = true;
+        } else if (!p.head.empty()) {
+          next_t = p.head.front().time;
+          has_next = true;
+        }
+        const auto last = stager.last_bucket();
+        if ((!last.has_value() || *last < bb) &&
+            (!has_next || bucket_of(q, next_t) > bb)) {
+          stager.emit_summary(bb, rollup_value(b.summary(), agg));
+          continue;
+        }
+      }
+    }
+    auto c = b.cursor();
+    while (c.next(pt)) {
+      if (!in_range(q, pt.time)) continue;
+      stager.add(pt.time, pt.value);
+    }
+  }
+  for (const auto& hp : p.head) {
+    if (!in_range(q, hp.time)) continue;
+    stager.add(hp.time, hp.value);
+  }
+  stager.flush();
+}
+
 std::vector<SeriesResult> Store::query_impl(const Query& q,
                                             util::ThreadPool* pool) const {
-  // Phase 1, per shard (parallel when a pool is given): snapshot every
-  // matching series under the shard lock, then — outside the lock — sort,
-  // rate-convert, range-filter and downsample it into a per-series bucket
-  // list. This part is embarrassingly parallel across series.
+  // Phase 1, per shard (parallel when a pool is given): under the shard
+  // lock, snapshot every matching series — shared_ptr refs to its
+  // immutable sealed blocks plus a copy of its bounded head buffer — then,
+  // outside the lock, stream it into a per-series bucket list (decode,
+  // rate, range filter, downsample, with summary skips and rollups). This
+  // part is embarrassingly parallel across series.
   std::vector<std::vector<Partial>> per_shard(shards_.size());
   const auto scan_shard = [&](std::size_t si) {
     const Shard& shard = *shards_[si];
@@ -226,46 +554,14 @@ std::vector<SeriesResult> Store::query_impl(const Query& q,
                                 ? std::string{}
                                 : std::string(it->second);
         }
-        p.points = series.points;
-        p.sorted = series.sorted;
+        p.blocks = series.blocks;
+        p.head = series.head;
+        p.head_sorted = series.head_sorted;
         out.push_back(std::move(p));
       }
     }
 
-    for (Partial& p : out) {
-      std::vector<DataPoint> pts = std::move(p.points);
-      if (!p.sorted) {
-        std::sort(pts.begin(), pts.end(),
-                  [](const DataPoint& a, const DataPoint& b) {
-                    return a.time < b.time;
-                  });
-      }
-      if (q.rate) {
-        std::vector<DataPoint> rates;
-        rates.reserve(pts.size() > 0 ? pts.size() - 1 : 0);
-        for (std::size_t i = 1; i < pts.size(); ++i) {
-          const double dt = util::to_seconds(pts[i].time - pts[i - 1].time);
-          if (dt <= 0.0) continue;
-          const double delta = pts[i].value - pts[i - 1].value;
-          rates.push_back({pts[i].time, delta > 0.0 ? delta / dt : 0.0});
-        }
-        pts = std::move(rates);
-      }
-      std::map<util::SimTime, std::vector<double>> local;
-      for (const auto& pt : pts) {
-        if (q.start != 0 || q.end != 0) {
-          if (pt.time < q.start || (q.end != 0 && pt.time >= q.end)) continue;
-        }
-        const util::SimTime t =
-            q.downsample > 0 ? pt.time - pt.time % q.downsample : pt.time;
-        local[t].push_back(pt.value);
-      }
-      p.downsampled.reserve(local.size());
-      for (const auto& [t, vals] : local) {
-        p.downsampled.emplace_back(t,
-                                   aggregate(q.downsample_aggregator, vals));
-      }
-    }
+    for (Partial& p : out) process_series(q, p);
   };
   if (pool != nullptr && shards_.size() > 1) {
     pool->parallel_for(shards_.size(), scan_shard);

@@ -12,18 +12,37 @@
 // tag strings are interned per shard so each distinct key/value is stored
 // once no matter how many series share it.
 //
+// Storage is two-tier (see docs/ARCHITECTURE.md, "TSDB storage format"):
+// each series keeps a small mutable head buffer of recent points, and once
+// the head reaches StoreOptions::block_points the oldest chunk is sealed
+// into an immutable Gorilla-compressed SealedBlock (~1-4 bytes/point on
+// counter data vs 16 bytes raw) carrying a (t_min, t_max, count, sum, min,
+// max) summary. Queries snapshot the block pointers plus the bounded head
+// under the shard lock, then stream outside it: blocks wholly outside the
+// time range are skipped by summary, and a block lying wholly inside one
+// downsample bucket is answered from its summary without decoding (the
+// rollup fast path). For Min/Max/Count the summary joins the bucket's
+// running fold — exactly, by associativity — so summaries mix freely with
+// neighbouring blocks and head points in the same bucket; for Sum/Avg,
+// whose float folds are order-dependent, the summary is used only when it
+// covers the bucket exclusively. Everything else goes through a streaming
+// decode cursor.
+//
 // Thread-safety contract:
-//   * put(), put_batch(), put_batches(), query(), num_series() and
-//     num_points() are all safe to call concurrently from any number of
-//     threads, including queries interleaved with ingest.
-//   * A query observes each series atomically (its points are snapshotted
-//     under the shard lock) but is not a cross-shard snapshot: points
-//     ingested while the query runs may or may not be visible.
+//   * put(), put_batch(), put_batches(), seal_all(), query(), num_series(),
+//     num_points() and storage_stats() are all safe to call concurrently
+//     from any number of threads, including queries interleaved with
+//     ingest and sealing.
+//   * A query observes each series atomically (its head is snapshotted and
+//     its immutable blocks ref'd under the shard lock) but is not a
+//     cross-shard snapshot: points ingested while the query runs may or
+//     may not be visible.
 //   * Construction, move, and destruction are NOT thread-safe; complete
 //     them before sharing the store across threads.
 //   * Query results are deterministic: for a fixed set of stored points
-//     they are byte-identical regardless of shard count, ingest order
-//     across series, ingest thread count, or query thread count.
+//     they are byte-identical regardless of shard count, block size
+//     (including "never sealed"), seal timing, ingest order across series,
+//     ingest thread count, or query thread count.
 #pragma once
 
 #include <atomic>
@@ -36,6 +55,7 @@
 #include <string_view>
 #include <vector>
 
+#include "tsdb/block.hpp"
 #include "util/clock.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -48,11 +68,6 @@ namespace tacc::tsdb {
 /// Sorted key=value tag pairs identifying one series (plus the metric
 /// name kept separately).
 using TagSet = std::map<std::string, std::string>;
-
-struct DataPoint {
-  util::SimTime time = 0;
-  double value = 0.0;
-};
 
 enum class Aggregator { Sum, Avg, Min, Max, Count };
 
@@ -88,6 +103,12 @@ struct StoreOptions {
   /// Number of lock-striped shards; rounded up to a power of two, min 1.
   /// More shards = less writer contention, slightly more query fan-out.
   std::size_t shards = 16;
+  /// Points accumulated in a series' mutable head before the oldest chunk
+  /// is sealed into an immutable compressed block. 0 disables automatic
+  /// sealing (points stay raw until seal_all()). Bigger blocks compress
+  /// better and give coarser rollups; smaller blocks give finer block
+  /// skipping.
+  std::size_t block_points = 1024;
 };
 
 /// One series' worth of points staged for bulk insertion; the unit
@@ -96,6 +117,15 @@ struct SeriesBatch {
   std::string metric;
   TagSet tags;
   std::vector<DataPoint> points;
+};
+
+/// Storage accounting across both tiers, for the bytes/point benchmarks.
+struct StorageStats {
+  std::size_t head_points = 0;
+  std::size_t sealed_points = 0;
+  std::size_t sealed_blocks = 0;
+  /// Compressed payload bytes across all sealed blocks.
+  std::size_t sealed_bytes = 0;
 };
 
 class Store {
@@ -107,7 +137,7 @@ class Store {
   Store& operator=(Store&&) noexcept = default;
 
   /// Appends a point to the series (metric, tags). Out-of-order writes are
-  /// allowed; series are sorted lazily at query time. Thread-safe.
+  /// allowed; series are sorted lazily at seal/query time. Thread-safe.
   /// Prefer put_batch() on hot paths: put() re-canonicalizes the tag set
   /// and re-resolves the series on every call.
   void put(const std::string& metric, const TagSet& tags, util::SimTime time,
@@ -115,7 +145,7 @@ class Store {
 
   /// Appends a run of points to the series (metric, tags), resolving the
   /// series and taking the shard lock once for the whole run. Out-of-order
-  /// points are allowed (sorted lazily at query time). Thread-safe.
+  /// points are allowed (sorted lazily at seal/query time). Thread-safe.
   void put_batch(const std::string& metric, const TagSet& tags,
                  std::span<const DataPoint> points);
 
@@ -125,6 +155,12 @@ class Store {
   /// locally and hand the whole buffer over in one call. Thread-safe.
   void put_batches(std::span<const SeriesBatch> batches);
 
+  /// Seals every series' remaining head buffer into a final (possibly
+  /// short) compressed block. Call after a bulk load to get full
+  /// compression and rollup coverage; later appends simply start a new
+  /// head. Thread-safe, including against concurrent ingest and queries.
+  void seal_all();
+
   /// Number of distinct series across all metrics. Thread-safe.
   std::size_t num_series() const;
   /// Total stored points. Thread-safe (per-shard atomic counters summed on
@@ -132,13 +168,15 @@ class Store {
   std::size_t num_points() const noexcept;
   /// Number of lock-striped shards (after power-of-two rounding).
   std::size_t num_shards() const noexcept { return shards_.size(); }
+  /// Per-tier storage accounting. Thread-safe.
+  StorageStats storage_stats() const;
 
   /// Runs a query: filter series, group, downsample, and aggregate across
   /// series within each group (per aligned timestamp). Thread-safe, and
   /// safe while ingest is in flight.
   std::vector<SeriesResult> query(const Query& q) const;
 
-  /// Same query semantics, but fans the per-series work (sort, rate,
+  /// Same query semantics, but fans the per-series work (decode, rate,
   /// downsample) out across `pool`, one task per shard; the final merge is
   /// ordered so results are byte-identical to the serial overload.
   /// Thread-safe; `pool` may be shared with concurrent ingest.
@@ -148,8 +186,11 @@ class Store {
   struct Series {
     /// Sorted (key, value) views into the owning shard's intern pool.
     std::vector<std::pair<std::string_view, std::string_view>> tags;
-    std::vector<DataPoint> points;
-    bool sorted = true;
+    /// Immutable sealed tier, in seal (append-chunk) order.
+    std::vector<std::shared_ptr<const SealedBlock>> blocks;
+    /// Mutable tail of the append sequence.
+    std::vector<DataPoint> head;
+    bool head_sorted = true;
   };
   struct Shard {
     mutable util::Mutex mu;
@@ -164,13 +205,15 @@ class Store {
     /// Lock-free read path for num_points(); not guarded on purpose.
     std::atomic<std::size_t> points{0};
   };
-  /// A matched series snapshot plus its per-series query result, produced
-  /// under the shard lock and processed outside it.
+  /// A matched series snapshot plus its per-series query result; the
+  /// snapshot (block refs + head copy) is taken under the shard lock and
+  /// processed outside it.
   struct Partial {
     std::string series_key;  // canonical tags: global merge order
     TagSet group_tags;
-    std::vector<DataPoint> points;
-    bool sorted = true;
+    std::vector<std::shared_ptr<const SealedBlock>> blocks;
+    std::vector<DataPoint> head;
+    bool head_sorted = true;
     std::vector<std::pair<util::SimTime, double>> downsampled;
   };
 
@@ -181,18 +224,23 @@ class Store {
   Series& resolve_series(Shard& shard, const std::string& metric,
                          const TagSet& tags, std::string_view canon)
       TACC_REQUIRES(shard.mu);
-  static void append_run(Shard& shard, Series& series,
-                         std::span<const DataPoint> points)
-      TACC_REQUIRES(shard.mu);
+  void append_run(Shard& shard, Series& series,
+                  std::span<const DataPoint> points) TACC_REQUIRES(shard.mu);
+  /// Seals the first `n` head points (append order, stable-sorted by time)
+  /// into a new block.
+  static void seal_prefix(Series& series, std::size_t n);
+  /// Computes one matched series' downsampled buckets from its snapshot.
+  static void process_series(const Query& q, Partial& p);
   std::vector<SeriesResult> query_impl(const Query& q,
                                        util::ThreadPool* pool) const;
 
   static std::string canonical(const TagSet& tags);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t block_points_ = 1024;
 };
 
-/// Applies an aggregator to a set of values (empty -> 0, except Count).
-double aggregate(Aggregator agg, const std::vector<double>& values) noexcept;
+/// Applies an aggregator to a run of values (empty -> 0, except Count).
+double aggregate(Aggregator agg, std::span<const double> values) noexcept;
 
 }  // namespace tacc::tsdb

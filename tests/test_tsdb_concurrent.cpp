@@ -267,6 +267,99 @@ TEST(TsdbConcurrent, ParallelQueryMatchesSerialQuery) {
   }
 }
 
+// Acceptance workload for the compressed tier: queries interleaved with
+// ingest AND concurrent sealing (auto-seal from the writers plus explicit
+// seal_all() from a dedicated sealer thread). Every observed series must
+// stay internally consistent — per-writer values are monotone in time no
+// matter how points migrate from head buffers into sealed blocks.
+TEST(TsdbConcurrent, QueriesDuringIngestAndConcurrentSealing) {
+  constexpr int kWriters = 4;
+  constexpr int kBatches = 40;
+  constexpr int kBatchPoints = 50;
+
+  StoreOptions opts;
+  opts.shards = 8;
+  opts.block_points = 64;  // writers cross seal boundaries constantly
+  Store store(opts);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> failures{0};
+
+  std::thread sealer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      store.seal_all();
+    }
+    store.seal_all();
+  });
+
+  std::thread reader([&] {
+    Query plain;
+    plain.metric = "m";
+    plain.group_by = {"host"};
+    Query coarse = plain;
+    coarse.downsample = util::kHour;  // buckets cover whole blocks: rollups
+    coarse.downsample_aggregator = Aggregator::Max;
+    while (!done.load(std::memory_order_acquire)) {
+      for (const auto& r : store.query(plain)) {
+        for (std::size_t p = 1; p < r.points.size(); ++p) {
+          if (r.points[p].value < r.points[p - 1].value) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+      for (const auto& r : store.query(coarse)) {
+        for (std::size_t p = 1; p < r.points.size(); ++p) {
+          if (r.points[p].value < r.points[p - 1].value) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      const TagSet tags = {{"host", "h" + std::to_string(w)}};
+      int seq = 0;
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<DataPoint> run;
+        run.reserve(kBatchPoints);
+        for (int p = 0; p < kBatchPoints; ++p, ++seq) {
+          run.push_back({kT0 + seq * util::kSecond,
+                         static_cast<double>(seq)});
+        }
+        store.put_batch("m", tags, run);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  sealer.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(store.num_points(),
+            static_cast<std::size_t>(kWriters) * kBatches * kBatchPoints);
+  // Everything sealed; the sealed tier holds every point, compressed.
+  const auto stats = store.storage_stats();
+  EXPECT_EQ(stats.head_points, 0u);
+  EXPECT_EQ(stats.sealed_points, store.num_points());
+
+  // After the dust settles: identical to a never-sealed serial store.
+  Store flat(StoreOptions{.shards = 1, .block_points = 0});
+  for (int w = 0; w < kWriters; ++w) {
+    const TagSet tags = {{"host", "h" + std::to_string(w)}};
+    for (int seq = 0; seq < kBatches * kBatchPoints; ++seq) {
+      flat.put("m", tags, kT0 + seq * util::kSecond,
+               static_cast<double>(seq));
+    }
+  }
+  for (auto q : probe_queries()) {
+    q.group_by = {"host"};
+    expect_identical(flat.query(q), store.query(q));
+  }
+}
+
 /// Fills a small synthetic raw archive: `hosts` hosts, two schema types,
 /// a few devices each, `records` records at one-minute cadence.
 void fill_archive(transport::RawArchive& archive, int hosts, int records) {
