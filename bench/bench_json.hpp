@@ -25,11 +25,17 @@
 
 namespace tacc::bench {
 
-/// Destination path: TACC_BENCH_JSON env override, else BENCH_tsdb.json
-/// in the working directory.
-inline std::string bench_json_path() {
+/// Destination path: TACC_BENCH_JSON env override, else `fallback` in the
+/// working directory. Each bench family names its own fallback so files
+/// stay per-subsystem (BENCH_tsdb.json, BENCH_portal.json, ...).
+inline std::string bench_json_path(const std::string& fallback) {
   const char* env = std::getenv("TACC_BENCH_JSON");
-  return env != nullptr && *env != '\0' ? env : "BENCH_tsdb.json";
+  return env != nullptr && *env != '\0' ? env : fallback;
+}
+
+/// Destination path for the tsdb bench family.
+inline std::string bench_json_path() {
+  return bench_json_path("BENCH_tsdb.json");
 }
 
 /// True when the caller should shrink workloads to smoke-test size (the

@@ -201,30 +201,40 @@ std::string threshold_report(const db::Table& jobs, db::RowId row,
   return table.render();
 }
 
-std::string query_histograms(const db::Table& jobs,
-                             const std::vector<db::RowId>& rows,
-                             std::size_t bins) {
-  std::string out;
-  struct Panel {
-    const char* title;
-    const char* column;
-    double scale;
-  };
-  const Panel panels[] = {
+std::span<const HistogramPanel> histogram_panels() {
+  static const HistogramPanel panels[] = {
       {"Run time (hours)", "runtime", 1.0 / 3600.0},
       {"Nodes", "nodes", 1.0},
       {"Queue wait time (hours)", "queue_wait", 1.0 / 3600.0},
       {"Max metadata reqs (1k/s)", "MetaDataRate", 1.0 / 1000.0},
   };
-  for (const auto& p : panels) {
-    auto values = jobs.column_values(p.column, rows);
-    for (auto& v : values) v *= p.scale;
+  return panels;
+}
+
+std::string render_query_histograms(
+    std::span<const std::vector<double>> panel_values, std::size_t bins) {
+  const auto panels = histogram_panels();
+  std::string out;
+  for (std::size_t i = 0; i < panels.size() && i < panel_values.size(); ++i) {
+    const auto& values = panel_values[i];
     const auto h = util::Histogram::of(
         std::span<const double>(values.data(), values.size()), bins);
-    out += h.render(p.title);
+    out += h.render(panels[i].title);
     out += "\n";
   }
   return out;
+}
+
+std::string query_histograms(const db::Table& jobs,
+                             const std::vector<db::RowId>& rows,
+                             std::size_t bins) {
+  std::vector<std::vector<double>> panel_values;
+  for (const auto& p : histogram_panels()) {
+    auto values = jobs.column_values(p.column, rows);
+    for (auto& v : values) v *= p.scale;
+    panel_values.push_back(std::move(values));
+  }
+  return render_query_histograms(panel_values, bins);
 }
 
 }  // namespace tacc::portal

@@ -221,7 +221,8 @@ std::string Store::canonical(const TagSet& tags) {
 }
 
 Store::Store(const StoreOptions& options)
-    : block_points_(options.block_points) {
+    : epoch_(std::make_unique<std::atomic<std::uint64_t>>(0)),
+      block_points_(options.block_points) {
   const std::size_t n = round_up_pow2(std::max<std::size_t>(1, options.shards));
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -305,8 +306,11 @@ void Store::put_batch(const std::string& metric, const TagSet& tags,
   if (points.empty()) return;
   const std::string canon = canonical(tags);
   Shard& shard = shard_for(metric, canon);
-  util::MutexLock lock(shard.mu);
-  append_run(shard, resolve_series(shard, metric, tags, canon), points);
+  {
+    util::MutexLock lock(shard.mu);
+    append_run(shard, resolve_series(shard, metric, tags, canon), points);
+  }
+  bump_epoch();
 }
 
 void Store::put_batches(std::span<const SeriesBatch> batches) {
@@ -321,8 +325,10 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
              (shards_.size() - 1)]
         .push_back(i);
   }
+  bool appended = false;
   for (std::size_t s = 0; s < by_shard.size(); ++s) {
     if (by_shard[s].empty()) continue;
+    appended = true;
     Shard& shard = *shards_[s];
     util::MutexLock lock(shard.mu);
     for (const std::size_t i : by_shard[s]) {
@@ -331,6 +337,7 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
                  b.points);
     }
   }
+  if (appended) bump_epoch();
 }
 
 void Store::seal_all() {
@@ -342,6 +349,7 @@ void Store::seal_all() {
       }
     }
   }
+  bump_epoch();
 }
 
 std::size_t Store::num_series() const {

@@ -46,6 +46,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -171,6 +172,15 @@ class Store {
   /// Per-tier storage accounting. Thread-safe.
   StorageStats storage_stats() const;
 
+  /// Store-wide ingest epoch: a monotonic counter bumped by every mutation
+  /// (put / put_batch / put_batches / seal_all), so a cache layered above
+  /// the store (portal::QueryEngine) can key results by epoch and drop
+  /// them the moment new data lands. The value carries no meaning beyond
+  /// "changed since I last looked". Thread-safe, lock-free.
+  std::uint64_t ingest_epoch() const noexcept {
+    return epoch_->load(std::memory_order_acquire);
+  }
+
   /// Runs a query: filter series, group, downsample, and aggregate across
   /// series within each group (per aligned timestamp). Thread-safe, and
   /// safe while ingest is in flight.
@@ -236,7 +246,13 @@ class Store {
 
   static std::string canonical(const TagSet& tags);
 
+  void bump_epoch() noexcept {
+    epoch_->fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Heap-allocated so the store stays movable (atomics are not).
+  std::unique_ptr<std::atomic<std::uint64_t>> epoch_;
   std::size_t block_points_ = 1024;
 };
 

@@ -1,0 +1,43 @@
+#include "util/latency.hpp"
+
+#include <bit>
+
+namespace tacc::util {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) noexcept {
+  if (ns < 2) return 0;
+  const auto log2 = static_cast<std::size_t>(std::bit_width(ns) - 1);
+  return log2 < kBuckets ? log2 : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const noexcept {
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // The 1-based rank of the percentile sample (nearest-rank definition):
+  // ceil(p/100 * total), at least 1.
+  const double exact = p / 100.0 * static_cast<double>(total);
+  auto rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += snap[i];
+    if (snap[i] != 0 && seen >= rank) return bucket_hi(i);
+  }
+  return 0;  // unreachable: rank <= total
+}
+
+}  // namespace tacc::util

@@ -1,0 +1,62 @@
+// Fixed-bucket latency histogram for serving-path observability
+// (portal::QueryEngine's p50/p99 counters). Unlike util::Histogram — a
+// data-dependent, single-threaded analysis helper — this one has a fixed
+// power-of-two bucket layout known at compile time and lock-free atomic
+// counters, so concurrent workers can record() with no coordination and a
+// stats reader can take a consistent-enough snapshot while they do.
+//
+// Bucket i counts samples in [2^i, 2^(i+1)) nanoseconds (bucket 0 also
+// absorbs 0 ns; the last bucket absorbs everything above ~2^62 ns).
+// Percentiles are therefore resolved to the bucket upper bound — at most
+// one octave of overestimate, which is the right trade for monitoring
+// counters: cheap, bounded error, no allocation on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tacc::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 63;
+
+  LatencyHistogram() noexcept = default;
+
+  /// Records one sample. Thread-safe, lock-free, wait-free.
+  void record(std::uint64_t ns) noexcept {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Total recorded samples. Thread-safe.
+  std::uint64_t count() const noexcept;
+
+  /// The upper bound (exclusive) of the bucket containing the p-th
+  /// percentile sample, in nanoseconds; 0 when empty. p is clamped to
+  /// [0, 100]. Thread-safe; concurrent record() calls may or may not be
+  /// included (each bucket is read atomically).
+  std::uint64_t percentile_ns(double p) const noexcept;
+
+  /// One bucket's count (i < kBuckets). Thread-safe.
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// [lo, hi) bounds of bucket i in nanoseconds.
+  static std::uint64_t bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << i;
+  }
+  static std::uint64_t bucket_hi(std::size_t i) noexcept {
+    return std::uint64_t{1} << (i + 1);
+  }
+
+  /// Bucket index for a sample: floor(log2(ns)), clamped to the layout.
+  static std::size_t bucket_of(std::uint64_t ns) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace tacc::util

@@ -26,6 +26,11 @@ Enforces the correctness invariants no off-the-shelf tool knows about
          undocumented knob is effectively unshipped.
   TS030  tests/test_*.cpp not registered in tests/CMakeLists.txt — the
          test builds nowhere and rots.
+  TS040  documentation drift: a relative markdown link in README.md or
+         docs/*.md that points at a file which does not exist, or a
+         `Struct::field` knob reference naming a field the knob struct
+         no longer has. Docs are the operator interface, so a dead link
+         or a renamed-away knob is a broken control panel.
 
 Exit codes: 0 = clean, 1 = violations found, 2 = usage/setup error.
 """
@@ -46,6 +51,7 @@ CHECKS = {
     "TS011": "fault site name not declared anywhere in src/",
     "TS020": "options knob not documented in docs/ARCHITECTURE.md",
     "TS030": "test file not registered in tests/CMakeLists.txt",
+    "TS040": "doc drift: dead relative link or unresolved knob reference",
 }
 
 ALLOWLIST_PATH = Path("tools/lint/concurrency_allowlist.txt")
@@ -195,6 +201,7 @@ class Linter:
         ("src/util/fault.hpp", "FaultSpec"),
         ("src/transport/daemon.hpp", "RetryPolicy"),
         ("src/transport/consumer.hpp", "ConsumerOptions"),
+        ("src/portal/engine.hpp", "QueryEngineOptions"),
     )
 
     @staticmethod
@@ -234,6 +241,66 @@ class Linter:
                         "docs/ARCHITECTURE.md",
                     )
 
+    # -- TS040 --------------------------------------------------------------
+    # Inline markdown links: [text](target). Reference-style links are not
+    # used in this repo's docs.
+    MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+    # A qualified knob mention: Struct::field. Only structs in KNOB_STRUCTS
+    # are checked; other qualified names (util::Mutex, tsdb::Store) pass.
+    KNOB_REF_RE = re.compile(r"\b(\w+)::(\w+)\b")
+
+    def doc_files(self) -> list[Path]:
+        docs = []
+        readme = self.root / "README.md"
+        if readme.is_file():
+            docs.append(readme)
+        docs_dir = self.root / "docs"
+        if docs_dir.is_dir():
+            docs.extend(sorted(docs_dir.glob("*.md")))
+        return docs
+
+    def knob_fields(self) -> dict[str, set[str]]:
+        """struct name -> its field names, for every KNOB_STRUCTS entry."""
+        fields: dict[str, set[str]] = {}
+        for rel_path, struct in self.KNOB_STRUCTS:
+            path = self.root / rel_path
+            if not path.is_file():
+                continue
+            fields.setdefault(struct, set()).update(
+                name for _, name in self.struct_fields(path.read_text(), struct)
+            )
+        return fields
+
+    def check_docs(self) -> None:
+        knob_fields = self.knob_fields()
+        for path in self.doc_files():
+            rel = path.relative_to(self.root)
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                for target in self.MD_LINK_RE.findall(line):
+                    if re.match(r"[a-z][a-z0-9+.-]*:", target) or \
+                            target.startswith("#"):
+                        continue  # external URL or in-page anchor
+                    file_part = target.split("#", 1)[0]
+                    if not file_part:
+                        continue
+                    resolved = (path.parent / file_part).resolve()
+                    if not resolved.exists():
+                        self.report(
+                            rel, lineno, "TS040",
+                            f"relative link '{target}' does not resolve "
+                            f"(no such file {file_part})",
+                        )
+                for m in self.KNOB_REF_RE.finditer(line):
+                    struct, field = m.group(1), m.group(2)
+                    if struct in knob_fields and \
+                            field not in knob_fields[struct]:
+                        self.report(
+                            rel, lineno, "TS040",
+                            f"knob reference '{struct}::{field}' names a "
+                            "field the struct does not have — the doc has "
+                            "drifted from the code",
+                        )
+
     # -- TS030 --------------------------------------------------------------
     def check_tests(self) -> None:
         tests_dir = self.root / "tests"
@@ -255,6 +322,7 @@ class Linter:
         self.check_fault_sites()
         self.check_knobs()
         self.check_tests()
+        self.check_docs()
         for path, line, code, message in self.findings:
             print(f"{path.as_posix()}:{line}: {code}: {message}")
         if self.findings:

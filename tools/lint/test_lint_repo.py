@@ -258,6 +258,56 @@ class LintRepoTest(unittest.TestCase):
         code, out = run_linter(self.tree.root)
         self.assertEqual(code, 0, out)
 
+    # -- TS040 --------------------------------------------------------------
+    def test_dead_relative_link_flagged(self):
+        self.tree.write("docs/GUIDE.md", "See [the plan](MISSING.md).\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS040", out)
+        self.assertIn("MISSING.md", out)
+        self.assertIn("docs/GUIDE.md:1", out)
+
+    def test_resolving_links_and_urls_pass(self):
+        self.tree.write("docs/OTHER.md", "target\n")
+        self.tree.write(
+            "README.md",
+            "[docs](docs/OTHER.md), [anchor](docs/OTHER.md#sec),\n"
+            "[in-page](#local), [web](https://example.com/x.md)\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    def test_readme_dead_link_flagged(self):
+        self.tree.write("README.md", "[gone](docs/GONE.md)\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS040", out)
+        self.assertIn("README.md:1", out)
+
+    def test_stale_knob_reference_flagged(self):
+        self.tree.write(
+            "src/tsdb/store.hpp",
+            "struct StoreOptions {\n  std::size_t shards = 16;\n};\n",
+        )
+        self.tree.write(
+            "docs/ARCHITECTURE.md",
+            "| `StoreOptions::shards` | ok |\n"
+            "| `StoreOptions::shard_count` | renamed away |\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS040", out)
+        self.assertIn("StoreOptions::shard_count", out)
+        self.assertNotIn("StoreOptions::shards'", out)
+
+    def test_non_knob_qualified_names_ignored(self):
+        self.tree.write(
+            "docs/NOTES.md",
+            "util::Mutex and tsdb::Store are not knob structs.\n",
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
     # -- CLI ----------------------------------------------------------------
     def test_missing_root_is_usage_error(self):
         code, out = run_linter(self.tree.root / "nonexistent")
