@@ -91,6 +91,11 @@ struct Stage {
   std::vector<tsdb::SeriesBatch> batches;
   // (type, device, event) -> index into `batches`; tags are built once per
   // series here, not once per point.
+  // Determinism audit (DT002): `index` is lookup-only (try_emplace) and
+  // never iterated — output order comes from `batches`, which appends in
+  // record order, i.e. the deterministic order of the parsed raw log.
+  // The store then re-keys every batch under Shard::metrics (an ordered
+  // std::map), so archive bytes never see this container's bucket order.
   std::unordered_map<std::string, std::size_t> index;
   std::size_t staged_points = 0;
 

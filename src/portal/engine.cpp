@@ -100,6 +100,10 @@ const char* to_string(QueryStatus status) noexcept {
 
 /// Wall-clock budget: expired() is the cooperative check every execution
 /// stage polls. A default-constructed Deadline never expires.
+///
+/// Determinism audit (DT001): Deadline::* and run_admitted are
+/// allowlisted — wall time is compared against the budget and reported
+/// in QueryStats timing fields, but results come from the store alone.
 struct QueryEngine::Deadline {
   bool limited = false;
   SteadyClock::time_point due{};

@@ -245,6 +245,10 @@ class QueryEngine {
   mutable util::Mutex cache_mu_;
   /// LRU: most recent at the front; index_ points into the list.
   std::list<std::pair<std::string, CacheEntry>> lru_ TACC_GUARDED_BY(cache_mu_);
+  // Determinism audit (DT002): cache_index_ is lookup/erase-only — it is
+  // never iterated, so its bucket order cannot reach results. Eviction
+  // and cache observability walk `lru_`, whose order is recency (a
+  // deterministic function of the request sequence), not hashing.
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, CacheEntry>>::iterator>
       cache_index_ TACC_GUARDED_BY(cache_mu_);

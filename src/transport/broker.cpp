@@ -96,6 +96,9 @@ std::size_t Broker::publish(const std::string& routing_key, std::string body,
 std::optional<Message> Broker::consume(const std::string& queue,
                                        std::chrono::milliseconds timeout) {
   util::MutexLock lock(mu_);
+  // Determinism audit (DT001, allowlisted): real-time timeout for the
+  // CondVar wait below; the message payload and order come from the
+  // deterministic queue regardless of when the wait wakes.
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   auto it = queues_.find(queue);
   if (it == queues_.end()) {

@@ -46,6 +46,11 @@ std::string format_duration(SimTime dt);
 /// Monotonic wall-clock stopwatch used to measure real collection overhead
 /// (the paper reports ~0.09 s per collection, 0.02% overhead at 10-minute
 /// sampling).
+///
+/// Determinism audit (DT001): allowlisted in
+/// tools/analysis/determinism_allowlist.txt — readings are reported as
+/// latency/benchmark numbers only and never key results or feed the
+/// seeded simulation.
 class WallTimer {
  public:
   WallTimer() noexcept : start_(std::chrono::steady_clock::now()) {}

@@ -1,0 +1,792 @@
+#!/usr/bin/env python3
+"""Determinism & lock-order static auditor for the tacc_stats_cpp tree.
+
+The repo's core invariant — same seed => byte-identical archives,
+ResilienceStats, and query results — and its freedom from deadlocks are
+runtime properties today (TSan, the chaos suite). This auditor proves the
+*static* half at lint time, using a real (lightweight) C++ lexer and
+scope tracker (tools/analysis/cpp_scope.py) instead of line regexes, so
+findings are scope-aware: attributed to enclosing functions, with lock
+lifetimes following real brace scopes.
+
+Checks (see docs/STATIC_ANALYSIS.md for the rationale and fix patterns):
+
+  DT001  nondeterminism source in src/: steady_clock/system_clock ::now,
+         random_device, rand/srand, getenv, this_thread::get_id — and
+         clock aliases (`using X = ...steady_clock` then X::now) — plus
+         pointer-keyed unordered containers (iteration/hash order is
+         address order). Timing/latency *measurement* is legitimate and
+         allowlisted with a reason per enclosing scope.
+  DT002  range-for over a std::unordered_map/unordered_set whose body
+         appends to output-bearing state (vectors, strings, streams,
+         tables): bucket order leaks into results. Suppressed when the
+         sink is canonically sorted later in the same function, when the
+         append target is an ordered container, or via the allowlist.
+  DT003  floating-point accumulation (`+=` into a float/double) inside an
+         unordered-iteration body: float addition is non-associative, so
+         bucket order changes the sum bit pattern.
+  LK001  lock-order cycles: a directed graph is mined from nested
+         util::MutexLock (and std lock guard) scopes plus TACC_REQUIRES/
+         TACC_ACQUIRE annotations on function definitions; any cycle
+         (including a self-edge: re-acquiring a held capability) is a
+         potential deadlock. The full graph is emitted as DOT (--dot) and
+         uploaded as a CI artifact.
+  LK002  a lock held across a blocking call (ThreadPool::submit /
+         parallel_for, Broker::publish/consume, future get/wait, join,
+         drain): at best a latency cliff under contention, at worst a
+         deadlock when the blocked-on work needs the held lock. CondVar
+         waits are excluded — releasing the mutex is their contract.
+
+Known limits (by design — the runtime layers cover them): lambdas are
+treated as deferred, so locks held at the *creation* site are not
+considered held in the body; member types are resolved repo-wide by name;
+macro-generated code is invisible. See the doc for the full list.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "lint"))
+
+import cpp_scope as cs  # noqa: E402
+from lint_output import Finding, emit  # noqa: E402
+
+CHECKS = {
+    "DT001": "nondeterminism source (clock/rand/env/pointer-order) in src/",
+    "DT002": "unordered-container iteration feeds output-bearing state",
+    "DT003": "float accumulation inside unordered-iteration body",
+    "LK001": "lock-order cycle (potential deadlock) in the acquisition graph",
+    "LK002": "lock held across a blocking call",
+}
+
+ALLOWLIST_PATH = Path("tools/analysis/determinism_allowlist.txt")
+
+# Files that define the analysis vocabulary itself.
+EXCLUDED_FILES = {"src/util/thread_annotations.hpp"}
+
+# DT001 source tokens. `clocks` require a following ::now to fire (a
+# time_point declaration is not a read); `calls` require a call paren.
+NONDET_CLOCKS = {"steady_clock", "system_clock", "high_resolution_clock"}
+NONDET_CALLS = {"rand", "srand", "rand_r", "getenv", "get_id",
+                "gettimeofday", "clock_gettime"}
+NONDET_TYPES = {"random_device"}
+
+UNORDERED_TYPES = {"unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset"}
+ORDERED_TYPES = {"map", "set", "multimap", "multiset", "flat_map",
+                 "flat_set"}
+SINK_TYPES = {"vector", "string", "deque", "basic_string", "ostringstream",
+              "stringstream", "ostream", "TextTable"}
+FLOAT_TYPES = {"double", "float"}
+FUTURE_TYPES = {"future", "shared_future"}
+CONDVAR_TYPES = {"CondVar", "condition_variable", "condition_variable_any"}
+
+LOCK_GUARDS = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}
+MUTEX_TYPES = {"Mutex", "mutex", "shared_mutex", "recursive_mutex"}
+
+# Blocking calls for LK002. future-gated names only fire on receivers
+# known to be futures (so shared_ptr::get stays quiet); the rest are this
+# repo's known blocking entry points and fire on any receiver.
+BLOCKING_FUTURE = {"get", "wait"}
+BLOCKING_TIMED = {"wait_for", "wait_until"}
+BLOCKING_ALWAYS = {"submit", "parallel_for", "publish", "consume", "join",
+                   "drain"}
+
+APPEND_METHODS = {"push_back", "emplace_back", "append", "push_front",
+                  "emplace_front"}
+
+
+class FileModel:
+    """Everything the checks need to know about one source file."""
+
+    def __init__(self, rel: str, text: str):
+        self.rel = rel
+        self.tokens = cs.lex(text)
+        self.scopes, self.at = cs.build_scopes(self.tokens)
+        self.local_kinds: dict[str, str] = {}  # var -> decl kind
+        self.local_types: dict[str, str] = {}  # var -> class-ish type name
+        self.aliases: set[str] = set()  # clock aliases
+        self.using_ranges: list[tuple[int, int]] = []
+        # acquisitions per scope id: [(token_idx, normalized later)]
+        self.acquisitions: list[tuple[int, cs.Scope, str, int]] = []
+
+
+def scope_key(model: FileModel, idx: int) -> str:
+    """The allowlist scope key for a finding at token index idx: the
+    qualified enclosing function, else class, else '<file>'."""
+    scope = model.at[idx]
+    fn = scope.enclosing(cs.FUNCTION, cs.LAMBDA)
+    if fn is not None:
+        return fn.qualified() or "<file>"
+    cl = scope.enclosing(cs.CLASS)
+    if cl is not None:
+        return cl.qualified() or cl.name or "<file>"
+    return "<file>"
+
+
+def enclosing_class_name(scope: cs.Scope) -> str:
+    cl = scope.enclosing(cs.CLASS)
+    if cl is not None and cl.name:
+        return cl.name
+    fn = scope.enclosing(cs.FUNCTION)
+    if fn is not None and "::" in fn.name:
+        return fn.name.rsplit("::", 2)[-2]
+    return ""
+
+
+def template_group_end(tokens: list[cs.Token], lt: int) -> int:
+    """Index one past the `>` matching the `<` at index lt (token-level,
+    treats >> as two closes)."""
+    depth = 0
+    i = lt
+    while i < len(tokens):
+        t = tokens[i]
+        if t.kind == cs.PUNCT and t.text == "<":
+            depth += 1
+        elif t.kind == cs.PUNCT and t.text in (">", ">>"):
+            depth -= 2 if t.text == ">>" else 1
+            if depth <= 0:
+                return i + 1
+        i += 1
+    return len(tokens)
+
+
+class Auditor:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[Finding] = []
+        self.models: list[FileModel] = []
+        # capability name ("Class::member" or "path:name") -> decl site
+        self.capabilities: dict[str, tuple[str, int]] = {}
+        # member name -> set of container kinds seen repo-wide
+        self.member_kinds: dict[str, set[str]] = {}
+        # lock-order graph: (from, to) -> [(path, line)]
+        self.edges: dict[tuple[str, str], list[tuple[str, int]]] = {}
+        self.allow: dict[str, str] = {}  # key -> reason
+        self.allow_used: set[str] = set()
+
+    # -- allowlist -----------------------------------------------------------
+    def load_allowlist(self) -> str | None:
+        """Returns an error message on malformed entries, else None."""
+        path = self.root / ALLOWLIST_PATH
+        if not path.is_file():
+            return None
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            entry = raw.split("#", 1)[0].strip()
+            if not entry:
+                continue
+            parts = entry.split(None, 2)
+            if len(parts) < 3 or parts[0] not in CHECKS:
+                return (f"{ALLOWLIST_PATH.as_posix()}:{lineno}: malformed "
+                        "entry — want '<CODE> <path>:<scope> <reason>' with "
+                        "a non-empty reason")
+            self.allow[f"{parts[0]} {parts[1]}"] = parts[2]
+        return None
+
+    def allowed(self, code: str, key: str) -> bool:
+        for entry in self.allow:
+            ecode, _, pattern = entry.partition(" ")
+            if ecode == code and fnmatch.fnmatchcase(key, pattern):
+                self.allow_used.add(entry)
+                return True
+        return False
+
+    def report(self, model: FileModel, idx: int, code: str,
+               message: str) -> None:
+        key = f"{model.rel}:{scope_key(model, idx)}"
+        if self.allowed(code, key):
+            return
+        line = model.tokens[idx].line
+        self.findings.append(Finding(model.rel, line, code,
+                                     f"{message} [scope {key}]"))
+
+    # -- pass 1: load files, harvest declarations ----------------------------
+    def load(self) -> None:
+        for path in sorted((self.root / "src").rglob("*.[hc]pp")):
+            rel = path.relative_to(self.root).as_posix()
+            if rel in EXCLUDED_FILES:
+                continue
+            model = FileModel(rel, path.read_text())
+            self.models.append(model)
+            self.harvest_declarations(model)
+
+    def harvest_declarations(self, model: FileModel) -> None:
+        toks = model.tokens
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.kind != cs.IDENT:
+                i += 1
+                continue
+            # using Alias = ...steady_clock...;
+            if t.text == "using" and i + 2 < len(toks) \
+                    and toks[i + 1].kind == cs.IDENT \
+                    and toks[i + 2].kind == cs.PUNCT \
+                    and toks[i + 2].text == "=":
+                j = i + 3
+                start = i
+                is_clock = False
+                while j < len(toks) and toks[j].text != ";":
+                    if toks[j].kind == cs.IDENT and \
+                            toks[j].text in NONDET_CLOCKS:
+                        is_clock = True
+                    j += 1
+                model.using_ranges.append((start, j))
+                if is_clock:
+                    model.aliases.add(toks[i + 1].text)
+                i = j
+                continue
+            kind = None
+            if t.text in UNORDERED_TYPES:
+                kind = "unordered"
+            elif t.text in ORDERED_TYPES and i > 0 \
+                    and toks[i - 1].text == "::":
+                kind = "ordered"
+            elif t.text in SINK_TYPES:
+                kind = "sink"
+            elif t.text in FLOAT_TYPES:
+                kind = "float"
+            elif t.text in FUTURE_TYPES and i > 0 \
+                    and toks[i - 1].text == "::":
+                kind = "future"
+            elif t.text in CONDVAR_TYPES:
+                kind = "condvar"
+            elif t.text in MUTEX_TYPES:
+                kind = "mutex"
+            if kind is None:
+                # Typed local: `Type& name = ...` / `Type* name = ...`
+                if t.text[0].isupper() and i + 2 < len(toks) \
+                        and toks[i + 1].kind == cs.PUNCT \
+                        and toks[i + 1].text in ("&", "*") \
+                        and toks[i + 2].kind == cs.IDENT \
+                        and i + 3 < len(toks) \
+                        and toks[i + 3].text in ("=", ";"):
+                    model.local_types[toks[i + 2].text] = t.text
+                i += 1
+                continue
+            # Skip the template argument list, noting pointer keys.
+            j = i + 1
+            ptr_key = False
+            if j < len(toks) and toks[j].kind == cs.PUNCT \
+                    and toks[j].text == "<":
+                end = template_group_end(toks, j)
+                if kind == "unordered":
+                    depth, k = 0, j
+                    first_arg_last = None
+                    while k < end:
+                        tk = toks[k]
+                        if tk.kind == cs.PUNCT and tk.text == "<":
+                            depth += 1
+                        elif tk.kind == cs.PUNCT and tk.text in (">", ">>"):
+                            depth -= 2 if tk.text == ">>" else 1
+                        elif tk.kind == cs.PUNCT and tk.text == "," \
+                                and depth == 1:
+                            break
+                        elif depth >= 1:
+                            first_arg_last = tk
+                        k += 1
+                    ptr_key = first_arg_last is not None and \
+                        first_arg_last.kind == cs.PUNCT and \
+                        first_arg_last.text == "*"
+                j = end
+            # Optional ref/cv noise before the declared name.
+            while j < len(toks) and toks[j].kind == cs.PUNCT \
+                    and toks[j].text in ("&", "*"):
+                j += 1
+            while j < len(toks) and toks[j].kind == cs.IDENT \
+                    and toks[j].text in ("const", "mutable"):
+                j += 1
+            if j < len(toks) and toks[j].kind == cs.IDENT:
+                name = toks[j].text
+                nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+                if nxt in (";", "=", "{", ",", ")"):
+                    if kind == "mutex":
+                        self.register_capability(model, j, name)
+                    else:
+                        model.local_kinds.setdefault(name, kind)
+                        scope = model.at[j]
+                        if scope.enclosing(cs.CLASS) is not None:
+                            self.member_kinds.setdefault(name, set()) \
+                                .add(kind)
+                if ptr_key:
+                    self.report(
+                        model, i, "DT001",
+                        "unordered container keyed by pointer value — "
+                        "iteration and hash order depend on allocation "
+                        "addresses")
+            i = j if j > i else i + 1
+
+    def register_capability(self, model: FileModel, idx: int,
+                            name: str) -> None:
+        scope = model.at[idx]
+        cl = scope.enclosing(cs.CLASS)
+        if cl is not None and cl.name:
+            cap = f"{cl.name}::{name}"
+        else:
+            cap = f"{model.rel}:{name}"
+        self.capabilities.setdefault(cap, (model.rel, model.tokens[idx].line))
+        model.local_kinds.setdefault(name, "mutex")
+
+    # -- lock normalization --------------------------------------------------
+    def normalize_lock(self, model: FileModel, idx: int, expr: str) -> str:
+        expr = expr.replace("this->", "").replace("->", ".")
+        expr = expr.replace("*", "")
+        parts = expr.split(".")
+        member = parts[-1]
+        encl = enclosing_class_name(model.at[idx])
+        if len(parts) == 1 and encl and f"{encl}::{member}" in \
+                self.capabilities:
+            return f"{encl}::{member}"
+        if len(parts) > 1:
+            base_type = model.local_types.get(parts[0])
+            if base_type and f"{base_type}::{member}" in self.capabilities:
+                return f"{base_type}::{member}"
+        matches = [c for c in self.capabilities
+                   if c.endswith(f"::{member}")]
+        if len(matches) == 1:
+            return matches[0]
+        return f"{model.rel}:{expr}"
+
+    # -- pass 2: per-file checks --------------------------------------------
+    def kind_of(self, model: FileModel, name: str) -> str | None:
+        """Container kind of a variable: file-local first, then the
+        repo-wide member map (only when unambiguous)."""
+        if name in model.local_kinds:
+            return model.local_kinds[name]
+        kinds = self.member_kinds.get(name, set())
+        if len(kinds) == 1:
+            return next(iter(kinds))
+        return None
+
+    def audit_file(self, model: FileModel) -> None:
+        self.check_sources(model)
+        self.collect_locks(model)
+        self.check_unordered_loops(model)
+
+    def in_using(self, model: FileModel, idx: int) -> bool:
+        return any(a <= idx <= b for a, b in model.using_ranges)
+
+    def check_sources(self, model: FileModel) -> None:
+        toks = model.tokens
+        for i, t in enumerate(toks):
+            if t.kind != cs.IDENT or self.in_using(model, i):
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            nxt2 = toks[i + 2].text if i + 2 < len(toks) else ""
+            if (t.text in NONDET_CLOCKS or t.text in model.aliases) \
+                    and nxt == "::" and nxt2 == "now":
+                self.report(
+                    model, i, "DT001",
+                    f"'{t.text}::now()' is a nondeterminism source — "
+                    "results derived from it vary run to run; allowlist "
+                    "with a reason if this only measures time")
+            elif t.text in NONDET_TYPES:
+                self.report(
+                    model, i, "DT001",
+                    f"'std::{t.text}' is a nondeterminism source — seed "
+                    "util::Rng from configuration instead")
+            elif t.text in NONDET_CALLS and nxt == "(":
+                origin = "this_thread::" if t.text == "get_id" else ""
+                self.report(
+                    model, i, "DT001",
+                    f"'{origin}{t.text}()' is a nondeterminism source — "
+                    "it varies per run/environment/thread")
+
+    def collect_locks(self, model: FileModel) -> None:
+        """Finds lock-guard declarations, records acquisitions and graph
+        edges, and runs LK002 on calls made while locks are held."""
+        toks = model.tokens
+        # scope -> list of (token_idx, normalized_name)
+        held_in: dict[int, list[tuple[int, str]]] = {}
+
+        def held_at(idx: int) -> list[tuple[str, int]]:
+            """Locks held at token idx: guard scopes up to the nearest
+            function boundary, plus that function's TACC_REQUIRES."""
+            out: list[tuple[str, int]] = []
+            s: cs.Scope | None = model.at[idx]
+            while s is not None:
+                for acq_idx, name in held_in.get(id(s), []):
+                    if acq_idx < idx:
+                        out.append((name, acq_idx))
+                if s.kind in (cs.FUNCTION, cs.LAMBDA):
+                    for expr in s.requires:
+                        out.append(
+                            (self.normalize_lock(model, s.start, expr),
+                             s.start))
+                    break
+                s = s.parent
+            return out
+
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.kind == cs.IDENT and t.text in LOCK_GUARDS:
+                j = i + 1
+                if j < len(toks) and toks[j].kind == cs.PUNCT \
+                        and toks[j].text == "<":
+                    j = template_group_end(toks, j)
+                if j + 1 < len(toks) and toks[j].kind == cs.IDENT \
+                        and toks[j + 1].kind == cs.PUNCT \
+                        and toks[j + 1].text in ("(", "{"):
+                    close = ")" if toks[j + 1].text == "(" else "}"
+                    opener = toks[j + 1].text
+                    depth, k = 0, j + 1
+                    expr_toks: list[cs.Token] = []
+                    while k < len(toks):
+                        tk = toks[k]
+                        if tk.kind == cs.PUNCT and tk.text == opener:
+                            depth += 1
+                            if depth == 1:
+                                k += 1
+                                continue
+                        elif tk.kind == cs.PUNCT and tk.text == close:
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        expr_toks.append(tk)
+                        k += 1
+                    expr = "".join(tok.text for tok in expr_toks)
+                    name = self.normalize_lock(model, i, expr)
+                    line = t.line
+                    for prior, _ in held_at(i):
+                        if prior == name:
+                            self.report(
+                                model, i, "LK001",
+                                f"'{name}' acquired while already held — "
+                                "immediate self-deadlock on a "
+                                "non-recursive mutex (or an instance-"
+                                "ambiguous double lock: allowlist the "
+                                "edge with the ordering argument)")
+                        self.edges.setdefault((prior, name), []).append(
+                            (model.rel, line))
+                    scope = model.at[i]
+                    held_in.setdefault(id(scope), []).append((i, name))
+                    i = k + 1
+                    continue
+            if t.kind == cs.IDENT and i + 1 < len(toks) \
+                    and toks[i + 1].kind == cs.PUNCT \
+                    and toks[i + 1].text == "(":
+                blocking = None
+                if t.text in BLOCKING_ALWAYS:
+                    blocking = t.text
+                elif t.text in (BLOCKING_FUTURE | BLOCKING_TIMED):
+                    recv = ""
+                    if i >= 2 and toks[i - 1].kind == cs.PUNCT \
+                            and toks[i - 1].text in (".", "->") \
+                            and toks[i - 2].kind == cs.IDENT:
+                        recv = toks[i - 2].text
+                    rkind = self.kind_of(model, recv) if recv else None
+                    if rkind == "future":
+                        blocking = f"{recv}.{t.text}"
+                    elif rkind == "condvar":
+                        blocking = None  # releasing the mutex is the contract
+                if blocking is not None:
+                    # CondVar receivers never block while holding: excluded
+                    # above. Receivers of BLOCKING_ALWAYS are checked too.
+                    recv = ""
+                    if i >= 2 and toks[i - 1].kind == cs.PUNCT \
+                            and toks[i - 1].text in (".", "->") \
+                            and toks[i - 2].kind == cs.IDENT:
+                        recv = toks[i - 2].text
+                    if recv and self.kind_of(model, recv) == "condvar":
+                        i += 1
+                        continue
+                    held = held_at(i)
+                    if held:
+                        names = ", ".join(sorted({h for h, _ in held}))
+                        self.report(
+                            model, i, "LK002",
+                            f"blocking call '{blocking}()' made while "
+                            f"holding [{names}] — move the call outside "
+                            "the critical section or snapshot under the "
+                            "lock and operate outside it")
+            i += 1
+
+    def check_unordered_loops(self, model: FileModel) -> None:
+        toks = model.tokens
+        reported: set[tuple[int, str]] = set()
+        for scope in model.scopes:
+            if scope.kind != cs.RANGE_FOR:
+                continue
+            container = None
+            for t in scope.range_expr:
+                if t.kind == cs.IDENT and \
+                        (self.kind_of(model, t.text) == "unordered"
+                         or t.text in UNORDERED_TYPES):
+                    container = t.text
+                    break
+            if container is None:
+                continue
+            fn = scope.enclosing(cs.FUNCTION, cs.LAMBDA)
+            fn_end = fn.end if fn is not None and fn.end >= 0 else len(toks)
+            for i, t in cs.iter_scope_tokens(toks, scope):
+                if t.kind != cs.IDENT:
+                    continue
+                nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+                # sink.push_back(...) style appends
+                if t.text in APPEND_METHODS or t.text == "insert":
+                    if not (i >= 2 and toks[i - 1].kind == cs.PUNCT
+                            and toks[i - 1].text in (".", "->")
+                            and toks[i - 2].kind == cs.IDENT):
+                        continue
+                    recv = toks[i - 2].text
+                    rkind = self.kind_of(model, recv)
+                    if rkind in ("ordered", "unordered"):
+                        continue  # keyed/canonicalizing insert: order-free
+                    if t.text == "insert" and rkind != "sink":
+                        continue
+                    if self.sorted_later(toks, scope.end, fn_end, recv):
+                        continue
+                    key = (toks[i].line, recv)
+                    if key not in reported:
+                        reported.add(key)
+                        self.report(
+                            model, i, "DT002",
+                            f"iteration over unordered '{container}' "
+                            f"appends to '{recv}' — bucket order leaks "
+                            "into output; iterate a sorted view or sort "
+                            f"'{recv}' before it is consumed")
+                # accumulation: target += ...
+                elif nxt == "+=":
+                    tkind = self.kind_of(model, t.text)
+                    if i >= 1 and toks[i - 1].kind == cs.PUNCT \
+                            and toks[i - 1].text in (".", "->", "]"):
+                        continue  # member/subscript target: handled above
+                    if tkind == "float":
+                        key = (toks[i].line, t.text)
+                        if key not in reported:
+                            reported.add(key)
+                            self.report(
+                                model, i, "DT003",
+                                f"float accumulation into '{t.text}' "
+                                f"inside unordered iteration over "
+                                f"'{container}' — addition order changes "
+                                "the bit pattern; accumulate into a "
+                                "sorted intermediate first")
+                    elif tkind == "sink":
+                        if self.sorted_later(toks, scope.end, fn_end,
+                                             t.text):
+                            continue
+                        key = (toks[i].line, t.text)
+                        if key not in reported:
+                            reported.add(key)
+                            self.report(
+                                model, i, "DT002",
+                                f"iteration over unordered '{container}' "
+                                f"appends to '{t.text}' — bucket order "
+                                "leaks into output; iterate a sorted "
+                                "view instead")
+
+    @staticmethod
+    def sorted_later(toks: list[cs.Token], start: int, end: int,
+                     sink: str) -> bool:
+        """True when sort/stable_sort is applied to `sink` after token
+        index `start` (the loop's close) within the enclosing function."""
+        for i in range(max(start, 0), min(end, len(toks))):
+            t = toks[i]
+            if t.kind == cs.IDENT and t.text in ("sort", "stable_sort"):
+                depth = 0
+                for j in range(i + 1, min(end, len(toks))):
+                    tj = toks[j]
+                    if tj.kind == cs.PUNCT and tj.text == "(":
+                        depth += 1
+                    elif tj.kind == cs.PUNCT and tj.text == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif tj.kind == cs.IDENT and tj.text == sink:
+                        return True
+        return False
+
+    # -- pass 3: the global lock graph --------------------------------------
+    def check_lock_graph(self) -> None:
+        """Cycle detection over the mined acquisition graph. Allowlisted
+        edges (`LK001 edge:A=>B`) are excluded from cycle search but kept
+        in the DOT output, dashed."""
+        active: dict[tuple[str, str], list[tuple[str, int]]] = {}
+        self.suppressed_edges: set[tuple[str, str]] = set()
+        for (a, b), sites in self.edges.items():
+            if self.allowed("LK001", f"edge:{a}=>{b}"):
+                self.suppressed_edges.add((a, b))
+                continue
+            if a == b:
+                continue  # self-edges are reported at the acquisition site
+            active[(a, b)] = sites
+        adj: dict[str, list[str]] = {}
+        for (a, b) in active:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, [])
+        self.cycle_edges: set[tuple[str, str]] = set()
+        for comp in tarjan_scc(adj):
+            if len(comp) < 2:
+                continue
+            comp_set = set(comp)
+            cycle = sorted(comp)
+            example = None
+            for (a, b), sites in active.items():
+                if a in comp_set and b in comp_set:
+                    self.cycle_edges.add((a, b))
+                    if example is None:
+                        example = (a, b, sites[0])
+            assert example is not None
+            a, b, (path, line) = example
+            self.findings.append(Finding(
+                path, line, "LK001",
+                f"lock-order cycle between [{', '.join(cycle)}] — e.g. "
+                f"'{b}' acquired here while '{a}' is held, and the "
+                "reverse order exists elsewhere; pick one global order "
+                "or allowlist the edge with the ordering argument"))
+
+    def write_dot(self, path: Path) -> None:
+        nodes = set(self.capabilities)
+        for (a, b) in self.edges:
+            nodes.add(a)
+            nodes.add(b)
+        lines = [
+            "// Lock-order graph mined by tools/analysis/"
+            "determinism_audit.py.",
+            "// Nodes are mutex capabilities (declared or acquired);",
+            "// an edge A -> B means B was acquired while A was held.",
+            "// Red edges participate in a cycle; dashed edges are",
+            "// allowlisted ordering exceptions.",
+            "digraph lock_order {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontsize=10, fontname="Helvetica"];',
+            '  edge [fontsize=8, fontname="Helvetica"];',
+        ]
+        for n in sorted(nodes):
+            decl = self.capabilities.get(n)
+            tip = f' tooltip="declared at {decl[0]}:{decl[1]}"' if decl \
+                else ""
+            lines.append(f'  "{n}" [{tip.strip()}];'.replace("[];", "[];"))
+        for (a, b), sites in sorted(self.edges.items()):
+            path_, line = sites[0]
+            attrs = [f'label="{path_}:{line}"']
+            if (a, b) in getattr(self, "cycle_edges", set()):
+                attrs.append('color=red penwidth=2')
+            if (a, b) in getattr(self, "suppressed_edges", set()):
+                attrs.append('style=dashed color=gray')
+            lines.append(f'  "{a}" -> "{b}" [{" ".join(attrs)}];')
+        lines.append("}")
+        path.write_text("\n".join(lines) + "\n")
+
+    # -- driver --------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        self.load()
+        for model in self.models:
+            self.audit_file(model)
+        self.check_lock_graph()
+        for entry in sorted(set(self.allow) - self.allow_used):
+            print(f"determinism_audit: note: unused allowlist entry "
+                  f"'{entry}' (kept: it documents an audited site)",
+                  file=sys.stderr)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.code))
+        return self.findings
+
+
+def tarjan_scc(adj: dict[str, list[str]]) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    for start in adj:
+        if start in index:
+            continue
+        work: list[tuple[str, int]] = [(start, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            for k in range(pi, len(adj[node])):
+                nb = adj[node][k]
+                if nb not in index:
+                    work[-1] = (node, k + 1)
+                    work.append((nb, 0))
+                    advanced = True
+                    break
+                if nb in on_stack:
+                    low[node] = min(low[node], index[nb])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                out.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parents[2],
+        help="repository root to audit (default: this script's repo)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true",
+        help="print check codes and exit",
+    )
+    parser.add_argument(
+        "--dot", type=Path, default=None, metavar="FILE",
+        help="write the lock-order graph as Graphviz DOT to FILE",
+    )
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a machine-readable JSON document",
+    )
+    fmt.add_argument(
+        "--github", action="store_true",
+        help="emit findings as ::error workflow commands (inline PR "
+             "annotations on GitHub Actions)",
+    )
+    args = parser.parse_args(argv)
+    if args.list_checks:
+        for code, desc in CHECKS.items():
+            print(f"{code}  {desc}")
+        return 0
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"determinism_audit: {root} has no src/ directory",
+              file=sys.stderr)
+        return 2
+    auditor = Auditor(root)
+    error = auditor.load_allowlist()
+    if error is not None:
+        print(f"determinism_audit: {error}", file=sys.stderr)
+        return 2
+    findings = auditor.run()
+    if args.dot is not None:
+        auditor.write_dot(args.dot)
+    return emit(
+        findings, tool="determinism_audit", checks=CHECKS,
+        fmt="json" if args.json else "github" if args.github else "plain",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

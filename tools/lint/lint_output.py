@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Shared output formatting for the repo's two Python analyzers.
+
+Both tools/lint/lint_repo.py (line-level repo invariants) and
+tools/analysis/determinism_audit.py (scope-aware determinism & lock-order
+checks) report findings through this module so their output is uniform in
+all three modes:
+
+  plain   path:line: CODE: message           (human, default)
+  github  ::error file=...,line=...,...      (GitHub Actions inline PR
+                                              annotations; the workflow
+                                              runner parses these natively)
+  json    machine-readable findings document (for dashboards / tooling)
+
+Keeping the formats here means a new check in either tool automatically
+annotates PRs and lands in the JSON schema without touching the driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from typing import Iterable, TextIO
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a (file, line) anchored violation of a named check."""
+
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    code: str  # e.g. "TS001", "DT002", "LK001"
+    message: str
+
+
+def plain_line(f: Finding) -> str:
+    return f"{f.path}:{f.line}: {f.code}: {f.message}"
+
+
+def github_line(f: Finding) -> str:
+    """A GitHub Actions workflow command: the runner turns these into
+    inline PR annotations with no problem-matcher configuration needed.
+    Newlines and the characters %, \r must be URL-encoded per the
+    workflow-command escaping rules."""
+
+    def esc(s: str) -> str:
+        return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+    def esc_prop(s: str) -> str:
+        return esc(s).replace(":", "%3A").replace(",", "%2C")
+
+    return (
+        f"::error file={esc_prop(f.path)},line={f.line},"
+        f"title={esc_prop(f.code)}::{esc(f.message)}"
+    )
+
+
+def to_json(tool: str, checks: dict[str, str],
+            findings: Iterable[Finding]) -> str:
+    doc = {
+        "tool": tool,
+        "checks": checks,
+        "findings": [dataclasses.asdict(f) for f in findings],
+    }
+    doc["count"] = len(doc["findings"])
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def emit(findings: list[Finding], *, tool: str, checks: dict[str, str],
+         fmt: str = "plain", out: TextIO | None = None,
+         err: TextIO | None = None) -> int:
+    """Prints findings in the requested format plus a summary line on
+    stderr, and returns the process exit code (0 clean, 1 violations)."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    if fmt == "json":
+        out.write(to_json(tool, checks, findings))
+    elif fmt == "github":
+        for f in findings:
+            out.write(github_line(f) + "\n")
+    else:
+        for f in findings:
+            out.write(plain_line(f) + "\n")
+    if findings:
+        codes = sorted({f.code for f in findings})
+        print(
+            f"{tool}: {len(findings)} violation(s) ({', '.join(codes)})",
+            file=err,
+        )
+        return 1
+    return 0

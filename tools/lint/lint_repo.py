@@ -42,6 +42,9 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_output import Finding, emit  # noqa: E402
+
 # (code, human description) — kept in one place so --list-checks and the
 # fixture tests stay in sync with reality.
 CHECKS = {
@@ -75,10 +78,10 @@ TEST_REGISTRATION_RE = re.compile(r"\b(?:ts_test\s*\(|add_executable\s*\()\s*(\w
 class Linter:
     def __init__(self, root: Path):
         self.root = root
-        self.findings: list[tuple[Path, int, str, str]] = []
+        self.findings: list[Finding] = []
 
     def report(self, path: Path, line: int, code: str, message: str) -> None:
-        self.findings.append((path, line, code, message))
+        self.findings.append(Finding(path.as_posix(), line, code, message))
 
     # -- TS001 / TS002 ------------------------------------------------------
     def load_allowlist(self) -> set[str]:
@@ -316,24 +319,14 @@ class Linter:
                     "tests/CMakeLists.txt — it never builds or runs",
                 )
 
-    def run(self) -> int:
+    def run(self) -> list[Finding]:
         self.check_concurrency()
         self.check_collectors()
         self.check_fault_sites()
         self.check_knobs()
         self.check_tests()
         self.check_docs()
-        for path, line, code, message in self.findings:
-            print(f"{path.as_posix()}:{line}: {code}: {message}")
-        if self.findings:
-            counts = sorted({f[2] for f in self.findings})
-            print(
-                f"lint_repo: {len(self.findings)} violation(s) "
-                f"({', '.join(counts)})",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
+        return self.findings
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -345,6 +338,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-checks", action="store_true", help="print check codes and exit"
     )
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a machine-readable JSON document",
+    )
+    fmt.add_argument(
+        "--github", action="store_true",
+        help="emit findings as ::error workflow commands (inline PR "
+             "annotations on GitHub Actions)",
+    )
     args = parser.parse_args(argv)
     if args.list_checks:
         for code, desc in CHECKS.items():
@@ -354,7 +357,11 @@ def main(argv: list[str] | None = None) -> int:
     if not (root / "src").is_dir():
         print(f"lint_repo: {root} has no src/ directory", file=sys.stderr)
         return 2
-    return Linter(root).run()
+    findings = Linter(root).run()
+    return emit(
+        findings, tool="lint_repo", checks=CHECKS,
+        fmt="json" if args.json else "github" if args.github else "plain",
+    )
 
 
 if __name__ == "__main__":

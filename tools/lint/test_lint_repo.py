@@ -20,10 +20,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import lint_repo  # noqa: E402
 
 
-def run_linter(root: Path) -> tuple[int, str]:
+def run_linter(root: Path, *extra: str) -> tuple[int, str]:
     out = io.StringIO()
     with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
-        code = lint_repo.main(["--root", str(root)])
+        code = lint_repo.main(["--root", str(root), *extra])
     return code, out.getvalue()
 
 
@@ -325,6 +325,40 @@ class LintRepoTest(unittest.TestCase):
         self.assertIn("TS001", out)
         self.assertIn("TS030", out)
         self.assertIn("2 violation(s)", out)
+
+    # -- output modes (shared lint_output helper) ---------------------------
+    def test_json_output_mode(self):
+        import json
+
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  std::mutex mu_;\n};\n",
+        )
+        code, out = run_linter(self.tree.root, "--json")
+        self.assertEqual(code, 1, out)
+        doc = json.loads(out[:out.rindex("lint_repo:")])
+        self.assertEqual(doc["tool"], "lint_repo")
+        self.assertEqual(doc["count"], 1)
+        self.assertEqual(doc["findings"][0]["code"], "TS001")
+        self.assertEqual(doc["findings"][0]["path"], "src/core/state.hpp")
+        self.assertIn("TS001", doc["checks"])
+
+    def test_github_output_mode(self):
+        self.tree.write(
+            "src/core/state.hpp",
+            "class State {\n  std::mutex mu_;\n};\n",
+        )
+        code, out = run_linter(self.tree.root, "--github")
+        self.assertEqual(code, 1, out)
+        self.assertIn(
+            "::error file=src/core/state.hpp,line=2,title=TS001::", out)
+
+    def test_github_output_escapes_newlines_and_percent(self):
+        from lint_output import Finding, github_line
+
+        line = github_line(Finding("src/a.cpp", 1, "TS001", "50%\nbroken"))
+        self.assertEqual(
+            line, "::error file=src/a.cpp,line=1,title=TS001::50%25%0Abroken")
 
 
 if __name__ == "__main__":
