@@ -1,141 +1,190 @@
 #include "collect/rawfile.hpp"
 
-#include <sstream>
+#include <algorithm>
+#include <charconv>
 #include <stdexcept>
 
+#include "collect/rawview.hpp"
 #include "util/strings.hpp"
 
 namespace tacc::collect {
 
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[21];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_record(std::string& out, const Record& record) {
+  append_i64(out, record.time / util::kSecond);
+  out += ' ';
+  if (record.jobids.empty()) {
+    out += '-';
+  } else {
+    for (std::size_t i = 0; i < record.jobids.size(); ++i) {
+      if (i) out += ',';
+      append_i64(out, record.jobids[i]);
+    }
+  }
+  if (!record.mark.empty()) {
+    out += ' ';
+    out += record.mark;
+  }
+  out += '\n';
+  for (const auto& b : record.blocks) {
+    out += b.type;
+    out += ' ';
+    if (b.device.empty()) {
+      out += '-';
+    } else {
+      out += b.device;
+    }
+    for (const std::uint64_t v : b.values) {
+      out += ' ';
+      append_u64(out, v);
+    }
+    out += '\n';
+  }
+}
+
+/// Appends owning Records from the view stream, replicating the legacy
+/// parser's partial-progress contract: the record lands in `records`
+/// before its data rows parse, so a throw mid-record leaves the rows
+/// parsed so far attached to it.
+struct MaterializeSink {
+  std::vector<Record>& records;
+  // Records in one log share a shape, so the previous record's block
+  // count is a near-exact reserve hint for the next.
+  std::size_t block_hint = 0;
+
+  void record(const RecordView& r) {
+    if (!records.empty()) block_hint = records.back().blocks.size();
+    Record rec;
+    rec.time = r.time;
+    rec.jobids.assign(r.jobids.begin(), r.jobids.end());
+    rec.mark = std::string(r.mark);
+    rec.blocks.reserve(block_hint);
+    records.push_back(std::move(rec));
+  }
+
+  void block(const RawBlockView& b) {
+    RawBlock blk;
+    blk.type = std::string(b.type);
+    blk.device = std::string(b.device);
+    blk.values.assign(b.values.begin(), b.values.end());
+    records.back().blocks.push_back(std::move(blk));
+  }
+};
+
+}  // namespace
+
 const Schema* HostLog::schema_for(std::string_view type) const noexcept {
+  if (schema_index_.size() == schemas.size() && !schema_index_.empty()) {
+    const auto it = std::lower_bound(
+        schema_index_.begin(), schema_index_.end(), type,
+        [this](std::uint32_t i, std::string_view t) noexcept {
+          return schemas[i].type() < t;
+        });
+    if (it != schema_index_.end() && schemas[*it].type() == type) {
+      return &schemas[*it];
+    }
+    // A miss under a current index is authoritative only if the index is
+    // actually sorted over today's schemas; fall through to the scan so a
+    // stale same-size index can never hide a schema.
+  }
   for (const auto& s : schemas) {
     if (s.type() == type) return &s;
   }
   return nullptr;
 }
 
+void HostLog::reindex_schemas() {
+  schema_index_.resize(schemas.size());
+  for (std::uint32_t i = 0; i < schema_index_.size(); ++i) {
+    schema_index_[i] = i;
+  }
+  std::sort(schema_index_.begin(), schema_index_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return schemas[a].type() < schemas[b].type();
+            });
+}
+
 std::string HostLog::serialize_header() const {
-  std::ostringstream os;
-  os << '$' << kFormatTag << '\n';
-  os << "$hostname " << hostname << '\n';
-  os << "$arch " << arch << '\n';
-  for (const auto& s : schemas) os << s.spec_line() << '\n';
-  return os.str();
+  std::string out;
+  out += '$';
+  out += kFormatTag;
+  out += '\n';
+  out += "$hostname ";
+  out += hostname;
+  out += '\n';
+  out += "$arch ";
+  out += arch;
+  out += '\n';
+  for (const auto& s : schemas) {
+    out += s.spec_line();
+    out += '\n';
+  }
+  return out;
 }
 
 std::string HostLog::serialize_record(const Record& record) {
-  std::ostringstream os;
-  os << record.time / util::kSecond << ' ';
-  if (record.jobids.empty()) {
-    os << '-';
-  } else {
-    for (std::size_t i = 0; i < record.jobids.size(); ++i) {
-      if (i) os << ',';
-      os << record.jobids[i];
-    }
-  }
-  if (!record.mark.empty()) os << ' ' << record.mark;
-  os << '\n';
-  for (const auto& b : record.blocks) {
-    os << b.type << ' ' << (b.device.empty() ? "-" : b.device);
-    for (const std::uint64_t v : b.values) os << ' ' << v;
-    os << '\n';
-  }
-  return os.str();
+  std::string out;
+  append_record(out, record);
+  return out;
 }
 
 std::string HostLog::serialize() const {
   std::string out = serialize_header();
-  for (const auto& r : records) out += serialize_record(r);
+  for (const auto& r : records) append_record(out, r);
   return out;
 }
 
 void HostLog::parse_records(std::string_view body) {
-  using util::split_ws;
-  Record* current = nullptr;
-  for (const auto line : util::split_lines(body)) {
-    if (line.empty()) continue;
-    if (line[0] >= '0' && line[0] <= '9') {
-      const auto fields = split_ws(line);
-      if (fields.empty()) throw std::invalid_argument("empty record line");
-      const auto secs = util::parse_i64(fields[0]);
-      if (!secs) {
-        throw std::invalid_argument("bad timestamp: " + std::string(line));
-      }
-      Record rec;
-      rec.time = *secs * util::kSecond;
-      if (fields.size() > 1 && fields[1] != "-") {
-        for (const auto j : util::split(fields[1], ',')) {
-          const auto id = util::parse_i64(j);
-          if (!id) {
-            throw std::invalid_argument("bad job id: " + std::string(line));
-          }
-          rec.jobids.push_back(static_cast<long>(*id));
-        }
-      }
-      if (fields.size() > 2) rec.mark = std::string(fields[2]);
-      records.push_back(std::move(rec));
-      current = &records.back();
-      continue;
-    }
-    // Data row.
-    if (current == nullptr) {
-      throw std::invalid_argument("data row before any timestamp line");
-    }
-    const auto fields = split_ws(line);
-    if (fields.size() < 2) {
-      throw std::invalid_argument("short data row: " + std::string(line));
-    }
-    RawBlock block;
-    block.type = std::string(fields[0]);
-    block.device = fields[1] == "-" ? std::string{} : std::string(fields[1]);
-    const Schema* schema = schema_for(block.type);
-    if (schema == nullptr) {
-      throw std::invalid_argument("data row with unknown type: " +
-                                  block.type);
-    }
-    if (fields.size() - 2 != schema->size()) {
-      throw std::invalid_argument("data row arity mismatch for type " +
-                                  block.type);
-    }
-    block.values.reserve(fields.size() - 2);
-    for (std::size_t i = 2; i < fields.size(); ++i) {
-      const auto v = util::parse_u64(fields[i]);
-      if (!v) {
-        throw std::invalid_argument("bad counter value: " +
-                                    std::string(fields[i]));
-      }
-      block.values.push_back(*v);
-    }
-    current->blocks.push_back(std::move(block));
-  }
+  // One parser per thread so repeated parses (the daemon consumer decodes
+  // one message body per record) reuse the same arena slabs and token
+  // scratch: zero heap allocations from the scan itself in steady state.
+  static thread_local RecordViewParser parser;
+  MaterializeSink sink{records};
+  parser.parse_body(*this, body, sink);
 }
 
-HostLog HostLog::parse(std::string_view text) {
-  HostLog log;
+std::size_t HostLog::parse_header(std::string_view text) {
   std::size_t body_start = 0;
   bool saw_format = false;
-  for (const auto line : util::split_lines(text)) {
-    const std::size_t line_end =
-        static_cast<std::size_t>(line.data() - text.data()) + line.size() + 1;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    const std::size_t line_end = eol < text.size() ? eol + 1 : text.size();
     if (!line.empty() && line[0] == '$') {
       const std::string_view rest = line.substr(1);
       if (rest == kFormatTag) {
         saw_format = true;
       } else if (util::starts_with(rest, "hostname ")) {
-        log.hostname = std::string(util::trim(rest.substr(9)));
+        hostname = std::string(util::trim(rest.substr(9)));
       } else if (util::starts_with(rest, "arch ")) {
-        log.arch = std::string(util::trim(rest.substr(5)));
+        arch = std::string(util::trim(rest.substr(5)));
       } else {
         throw std::invalid_argument("unknown header line: " +
                                     std::string(line));
       }
       body_start = line_end;
+      pos = line_end;
       continue;
     }
     if (!line.empty() && line[0] == '!') {
-      log.schemas.push_back(Schema::parse(line));
+      schemas.push_back(Schema::parse(line));
       body_start = line_end;
+      pos = line_end;
       continue;
     }
     break;  // first non-header line: body begins
@@ -143,6 +192,13 @@ HostLog HostLog::parse(std::string_view text) {
   if (!saw_format) {
     throw std::invalid_argument("missing $tacc_stats format line");
   }
+  reindex_schemas();
+  return body_start;
+}
+
+HostLog HostLog::parse(std::string_view text) {
+  HostLog log;
+  const std::size_t body_start = log.parse_header(text);
   if (body_start < text.size()) {
     log.parse_records(text.substr(body_start));
   }

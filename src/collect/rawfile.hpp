@@ -65,8 +65,16 @@ struct HostLog {
 
   std::vector<Record> records;
 
-  /// Returns the schema for a type, or nullptr.
+  /// Returns the schema for a type, or nullptr. Uses the sorted index
+  /// from reindex_schemas() when it is current (parse() and the archive
+  /// keep it so); otherwise falls back to a linear scan, so a stale index
+  /// can cost a scan but never returns a wrong or missing schema.
   const Schema* schema_for(std::string_view type) const noexcept;
+
+  /// Rebuilds the type -> schema lookup index. Call after mutating
+  /// `schemas` directly; parse()/parse_header() do it themselves. Must not
+  /// race with schema_for() on the same log (build before sharing).
+  void reindex_schemas();
 
   /// Serializes header (format/hostname/arch/schema lines).
   std::string serialize_header() const;
@@ -78,9 +86,20 @@ struct HostLog {
   /// Parses a full file. Throws std::invalid_argument on malformed input.
   static HostLog parse(std::string_view text);
 
+  /// Parses the header lines ($format/$hostname/$arch/!schema) at the top
+  /// of `text` into this log and returns the byte offset where the record
+  /// body begins. Throws std::invalid_argument on malformed headers or a
+  /// missing format line.
+  std::size_t parse_header(std::string_view text);
+
   /// Parses records from a body (no header) into an existing log, using its
   /// schemas for validation. Appends to `records`.
   void parse_records(std::string_view body);
+
+ private:
+  // Indices into `schemas`, sorted by type; used by schema_for when its
+  // size matches schemas.size(), ignored (stale) otherwise.
+  std::vector<std::uint32_t> schema_index_;
 };
 
 }  // namespace tacc::collect

@@ -1,0 +1,209 @@
+// Zero-copy view parser for raw stats record bodies.
+//
+// HostLog::parse_records materializes owning Records (strings + vectors,
+// several heap allocations per line); that is the right shape for the
+// archive but far too slow as a decode loop. RecordViewParser instead
+// walks the body with util::SimdScanner and emits *views*: string_views
+// into the input buffer plus arena-backed spans for the numeric payloads
+// (job-id lists, counter values). A parser instance reused across
+// records/bodies performs zero heap allocations in steady state — the
+// arena slabs and the token scratch vector are retained and reused.
+//
+// The sink receives one call per line, in input order:
+//
+//   sink.record(const RecordView&)  — a digit-led timestamp line
+//   sink.block(const RawBlockView&) — a "type device v0 v1 ..." data row
+//                                     belonging to the last record
+//
+// Lifetime: every view handed to the sink is valid only until the NEXT
+// sink.record() call (the arena rewinds per record) or the end of
+// parse_body. Sinks that need longer-lived data must copy.
+//
+// Error semantics are bit-for-bit those of the legacy parser: the same
+// std::invalid_argument messages, thrown at the same input positions, and
+// the same partial-progress contract (everything before the bad line has
+// already been delivered to the sink; a record line is delivered only if
+// it parsed completely). A property test pins this equivalence against
+// the materializing wrapper on seeded random and mutated inputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collect/rawfile.hpp"
+#include "util/arena.hpp"
+#include "util/clock.hpp"
+#include "util/simd_scan.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::collect {
+
+/// View equivalent of Record (minus blocks, which stream separately).
+struct RecordView {
+  util::SimTime time = 0;
+  std::span<const long> jobids;  // arena-backed; empty = no job
+  std::string_view mark;         // into the input buffer
+};
+
+/// View equivalent of RawBlock, with the schema already resolved.
+struct RawBlockView {
+  std::string_view type;    // into the input buffer
+  std::string_view device;  // empty if the row said "-"
+  const Schema* schema = nullptr;  // never null when delivered
+  std::span<const std::uint64_t> values;  // arena-backed, schema arity
+};
+
+namespace detail {
+
+/// util::parse_u64 with a fast path for the dominant case: at most 19
+/// plain digits, which cannot overflow a u64. Anything else — empty, a
+/// sign, a non-digit, 20+ digits — takes the from_chars path, so the
+/// accept/reject behavior is exactly parse_u64's.
+inline std::optional<std::uint64_t> parse_counter(
+    std::string_view s) noexcept {
+  if (s.empty() || s.size() > 19) return util::parse_u64(s);
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    const unsigned d = static_cast<unsigned>(c) - '0';
+    if (d > 9) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+}  // namespace detail
+
+class RecordViewParser {
+ public:
+  struct Options {
+    /// Classify kernel for the line scanner (Auto = TACC_SIMD env knob,
+    /// then the widest the CPU supports).
+    util::ScanMode scan = util::ScanMode::Auto;
+    /// Arena slab size for the per-record numeric payloads.
+    std::size_t arena_chunk = util::Arena::kDefaultChunkBytes;
+  };
+
+  /// What one parse_body call did, for PipelineMetrics accounting.
+  /// arena_resizes and allocations are zero in steady state (second and
+  /// later bodies of similar shape through the same parser).
+  struct BodyStats {
+    std::uint64_t bytes = 0;          // body bytes scanned
+    std::uint64_t lines = 0;          // non-empty lines
+    std::uint64_t records = 0;        // record lines delivered
+    std::uint64_t arena_resizes = 0;  // arena slab growths
+    std::uint64_t allocations = 0;    // scratch-vector growths
+  };
+
+  RecordViewParser() : RecordViewParser(Options{}) {}
+  explicit RecordViewParser(Options options)
+      : opts_(options), arena_(options.arena_chunk) {}
+
+  /// Streams one body (no header lines) into `sink`. Throws
+  /// std::invalid_argument on malformed input, with everything before the
+  /// bad line already delivered. `log` supplies the schemas.
+  template <typename Sink>
+  BodyStats parse_body(const HostLog& log, std::string_view body,
+                       Sink&& sink) {
+    BodyStats stats;
+    stats.bytes = body.size();
+    const std::uint64_t arena_allocs0 = arena_.stats().chunk_allocs;
+    util::SimdScanner scanner(body, opts_.scan);
+    bool have_record = false;
+    // One-entry schema memo: data rows arrive in device order, so runs of
+    // the same type are the common case.
+    std::string_view memo_type;
+    const Schema* memo_schema = nullptr;
+    std::size_t fields_cap = fields_.capacity();
+    while (scanner.next_line(fields_)) {
+      if (fields_.capacity() != fields_cap) {
+        fields_cap = fields_.capacity();
+        ++stats.allocations;
+      }
+      const std::string_view line = scanner.line();
+      if (line.empty()) continue;
+      ++stats.lines;
+      if (line[0] >= '0' && line[0] <= '9') {
+        if (fields_.empty()) {
+          throw std::invalid_argument("empty record line");
+        }
+        const auto secs = util::parse_i64(fields_[0]);
+        if (!secs) {
+          throw std::invalid_argument("bad timestamp: " + std::string(line));
+        }
+        arena_.reset();  // invalidates the previous record's views
+        RecordView rec;
+        rec.time = *secs * util::kSecond;
+        if (fields_.size() > 1 && fields_[1] != "-") {
+          rec.jobids = parse_jobids(fields_[1], line);
+        }
+        if (fields_.size() > 2) rec.mark = fields_[2];
+        have_record = true;
+        ++stats.records;
+        sink.record(rec);
+        continue;
+      }
+      // Data row.
+      if (!have_record) {
+        throw std::invalid_argument("data row before any timestamp line");
+      }
+      if (fields_.size() < 2) {
+        throw std::invalid_argument("short data row: " + std::string(line));
+      }
+      RawBlockView block;
+      block.type = fields_[0];
+      if (fields_[1] != "-") block.device = fields_[1];
+      if (block.type == memo_type && memo_schema != nullptr) {
+        block.schema = memo_schema;
+      } else {
+        block.schema = log.schema_for(block.type);
+        if (block.schema == nullptr) {
+          throw std::invalid_argument("data row with unknown type: " +
+                                      std::string(block.type));
+        }
+        memo_type = block.type;
+        memo_schema = block.schema;
+      }
+      if (fields_.size() - 2 != block.schema->size()) {
+        throw std::invalid_argument("data row arity mismatch for type " +
+                                    std::string(block.type));
+      }
+      const auto values = arena_.alloc_array<std::uint64_t>(fields_.size() - 2);
+      for (std::size_t i = 2; i < fields_.size(); ++i) {
+        const auto v = detail::parse_counter(fields_[i]);
+        if (!v) {
+          throw std::invalid_argument("bad counter value: " +
+                                      std::string(fields_[i]));
+        }
+        values[i - 2] = *v;
+      }
+      block.values = values;
+      sink.block(block);
+    }
+    stats.arena_resizes = arena_.stats().chunk_allocs - arena_allocs0;
+    return stats;
+  }
+
+  /// The resolved scan mode parse_body will run with.
+  util::ScanMode scan_mode() const noexcept {
+    return util::resolve_scan_mode(opts_.scan);
+  }
+
+  const util::Arena& arena() const noexcept { return arena_; }
+
+ private:
+  /// Parses a comma-separated job-id list into an arena span. `line` is
+  /// the full raw line, for the error message.
+  std::span<const long> parse_jobids(std::string_view list,
+                                     std::string_view line);
+
+  Options opts_;
+  util::Arena arena_;
+  std::vector<std::string_view> fields_;
+};
+
+}  // namespace tacc::collect

@@ -10,12 +10,15 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "db/table.hpp"
 #include "pipeline/flags.hpp"
 #include "pipeline/metrics.hpp"
 #include "transport/archive.hpp"
 #include "tsdb/store.hpp"
+#include "util/arena.hpp"
+#include "util/simd_scan.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/jobs.hpp"
 
@@ -40,6 +43,8 @@ std::size_t ingest_from_archive(
     db::Database& database, const transport::RawArchive& archive,
     const std::vector<workload::AccountingRecord>& accounting);
 
+class PipelineMetrics;  // pipeline/pipeline_metrics.hpp
+
 /// Tuning knobs for the archive -> time-series load.
 struct TsdbIngestOptions {
   /// Points staged per worker before a bulk flush via Store::put_batches.
@@ -53,6 +58,26 @@ struct TsdbIngestOptions {
   /// fast paths on the read side. Disable only when more appends to the
   /// same series follow immediately (sealing then just cuts blocks short).
   bool seal = true;
+  /// Put-stage threads for the serial (pool == nullptr) pipeline: 0 calls
+  /// Store::put_batches inline with batch building; N >= 1 hands flushed
+  /// batch groups to N consumer threads over bounded ring queues, so
+  /// decode/build overlaps store insertion. Ignored when hosts are
+  /// already fanned out across a thread pool. Any value produces stores
+  /// with byte-identical query results (put order is irrelevant to the
+  /// store).
+  std::size_t stage_threads = 0;
+  /// Capacity, in flushed batch groups, of each stage ring queue. Bounds
+  /// producer run-ahead (memory) when the store is the slower stage.
+  std::size_t queue_depth = 8;
+  /// SIMD mode for text-ingest tokenization (ingest_text_tsdb); Auto
+  /// defers to the TACC_SIMD env knob, then CPU detection.
+  util::ScanMode scan = util::ScanMode::Auto;
+  /// Arena slab size for the text-ingest record parser.
+  std::size_t arena_chunk = util::Arena::kDefaultChunkBytes;
+  /// Per-stage counters (pipeline/pipeline_metrics.hpp). nullptr falls
+  /// back to the TACC_PROFILE-gated process-wide instance, which is
+  /// itself null (counters off) unless that env knob is set.
+  PipelineMetrics* metrics = nullptr;
 };
 
 struct TsdbIngestStats {
@@ -81,5 +106,20 @@ TsdbIngestStats ingest_archive_tsdb(tsdb::Store& store,
                                     const transport::RawArchive& archive,
                                     util::ThreadPool* pool = nullptr,
                                     const TsdbIngestOptions& options = {});
+
+/// Loads one serialized host log (header + records, HostLog::serialize
+/// format) straight into the time-series store without materializing
+/// Records: the body streams through collect::RecordViewParser (SIMD
+/// tokenization, arena-backed values) directly into staged series
+/// batches. Series naming/tagging matches ingest_archive_tsdb, so a store
+/// loaded from text and one loaded from the equivalent archived log have
+/// byte-identical query results — as do runs with any scan mode or
+/// stage_threads value.
+///
+/// Throws std::invalid_argument on malformed input (same messages as
+/// HostLog::parse); points parsed before the bad line are already in the
+/// store.
+TsdbIngestStats ingest_text_tsdb(tsdb::Store& store, std::string_view text,
+                                 const TsdbIngestOptions& options = {});
 
 }  // namespace tacc::pipeline

@@ -1,0 +1,92 @@
+// Per-stage counters for the ingest pipeline (read -> parse -> batch-build
+// -> tsdb put), collected only when profiling is requested so the hot path
+// pays nothing by default.
+//
+// Counters are relaxed atomics because staged ingest splits the stages
+// across threads (producer tokenizes/builds, consumer puts); each counter
+// is a monotonic sum, so relaxed ordering is exact for the final snapshot
+// taken after join. The repo linter's TS001 allowlist records every atomic
+// member with this reason.
+//
+// Enabling: pass a PipelineMetrics* through TsdbIngestOptions::metrics, or
+// set the TACC_PROFILE env knob (any non-empty value) to route into the
+// process-wide instance from profile_metrics().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tacc::pipeline {
+
+/// Plain-value copy of the counters, safe to pass around and diff.
+struct PipelineMetricsSnapshot {
+  std::uint64_t bytes_read = 0;      // raw text bytes scanned
+  std::uint64_t lines = 0;           // lines tokenized (records + data rows)
+  std::uint64_t records = 0;         // timestamp records parsed
+  std::uint64_t points = 0;          // tsdb points emitted
+  std::uint64_t batches = 0;         // put_batches flushes
+  std::uint64_t parse_time_ns = 0;   // tokenize + decode stage time
+  std::uint64_t build_time_ns = 0;   // batch staging time
+  std::uint64_t put_time_ns = 0;     // Store::put_batches time
+  std::uint64_t queue_wait_ns = 0;   // producer+consumer stalls on the ring
+  std::uint64_t arena_resizes = 0;   // arena slab growths (0 = steady state)
+  std::uint64_t allocations = 0;     // heap allocs observed in parse stage
+};
+
+/// Thread-safe accumulator; add to it from any stage, snapshot after join.
+class PipelineMetrics {
+ public:
+  void add_bytes_read(std::uint64_t n) noexcept { add(bytes_read_, n); }
+  void add_lines(std::uint64_t n) noexcept { add(lines_, n); }
+  void add_records(std::uint64_t n) noexcept { add(records_, n); }
+  void add_points(std::uint64_t n) noexcept { add(points_, n); }
+  void add_batches(std::uint64_t n) noexcept { add(batches_, n); }
+  void add_parse_time_ns(std::uint64_t n) noexcept { add(parse_time_ns_, n); }
+  void add_build_time_ns(std::uint64_t n) noexcept { add(build_time_ns_, n); }
+  void add_put_time_ns(std::uint64_t n) noexcept { add(put_time_ns_, n); }
+  void add_queue_wait_ns(std::uint64_t n) noexcept { add(queue_wait_ns_, n); }
+  void add_arena_resizes(std::uint64_t n) noexcept { add(arena_resizes_, n); }
+  void add_allocations(std::uint64_t n) noexcept { add(allocations_, n); }
+
+  PipelineMetricsSnapshot snapshot() const noexcept;
+
+  /// Zeroes every counter (tests reuse the global instance).
+  void reset() noexcept;
+
+ private:
+  static void add(std::atomic<std::uint64_t>& c, std::uint64_t n) noexcept {
+    if (n != 0) c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> lines_{0};
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> points_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> parse_time_ns_{0};
+  std::atomic<std::uint64_t> build_time_ns_{0};
+  std::atomic<std::uint64_t> put_time_ns_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::atomic<std::uint64_t> arena_resizes_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+};
+
+/// True when the TACC_PROFILE env knob is set to a non-empty value.
+/// Read once per process.
+///
+/// Determinism audit (DT001): allowlisted — the knob only toggles counter
+/// collection and a summary line; it never changes parsed logs, archive
+/// bytes, or query results.
+bool profile_enabled() noexcept;
+
+/// The process-wide metrics instance used when TACC_PROFILE is set and the
+/// caller did not supply one. Returns nullptr when profiling is off, so
+/// call sites can do `if (auto* m = profile_metrics()) ...`.
+PipelineMetrics* profile_metrics() noexcept;
+
+/// Renders a snapshot as an aligned human-readable table (one counter per
+/// line) for TACC_PROFILE summary output and tests.
+std::string format_pipeline_metrics(const PipelineMetricsSnapshot& s);
+
+}  // namespace tacc::pipeline

@@ -10,6 +10,7 @@ void RawArchive::add_header_locked(const std::string& hostname,
     host.log.hostname = hostname;
     host.log.arch = arch;
     host.log.schemas = std::move(schemas);
+    host.log.reindex_schemas();
   }
 }
 
@@ -68,6 +69,14 @@ collect::HostLog RawArchive::log(const std::string& hostname) const {
   util::MutexLock lock(mu_);
   const auto it = hosts_.find(hostname);
   return it == hosts_.end() ? collect::HostLog{} : it->second.log;
+}
+
+void RawArchive::visit_log(
+    const std::string& hostname,
+    const std::function<void(const collect::HostLog&)>& fn) const {
+  util::MutexLock lock(mu_);
+  const auto it = hosts_.find(hostname);
+  if (it != hosts_.end()) fn(it->second.log);
 }
 
 std::vector<std::string> RawArchive::hosts() const {

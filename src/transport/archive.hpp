@@ -12,6 +12,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -56,6 +57,17 @@ class RawArchive {
   /// Snapshot of a host's log (copy; safe across threads). Nullopt-like
   /// empty log if the host is unknown.
   collect::HostLog log(const std::string& hostname) const TACC_EXCLUDES(mu_);
+
+  /// Runs `fn` against a host's log in place, under the archive lock —
+  /// the zero-copy alternative to log() for bulk readers (serial tsdb
+  /// ingest reads megabytes of records per host; copying them dominated
+  /// the load). `fn` must not call back into this archive (the lock is
+  /// held) and must not retain references past the call. Not called at
+  /// all for an unknown host. Writers block while `fn` runs, so keep it
+  /// off the daemon-consumer path for very long visits.
+  void visit_log(const std::string& hostname,
+                 const std::function<void(const collect::HostLog&)>& fn) const
+      TACC_EXCLUDES(mu_);
 
   std::vector<std::string> hosts() const TACC_EXCLUDES(mu_);
 

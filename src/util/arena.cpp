@@ -1,0 +1,56 @@
+#include "util/arena.hpp"
+
+namespace tacc::util {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  const std::size_t mask = align - 1;
+  auto aligned = reinterpret_cast<std::uintptr_t>(top_);
+  aligned = (aligned + mask) & ~static_cast<std::uintptr_t>(mask);
+  std::byte* p = reinterpret_cast<std::byte*>(aligned);
+  if (top_ == nullptr || p > end_ ||
+      bytes > static_cast<std::size_t>(end_ - p)) {
+    // A fresh chunk is max-aligned, so no re-alignment is needed; reserve
+    // `align` slack anyway in case a future chunk source is weaker.
+    p = refill(bytes + align);
+    aligned = reinterpret_cast<std::uintptr_t>(p);
+    aligned = (aligned + mask) & ~static_cast<std::uintptr_t>(mask);
+    p = reinterpret_cast<std::byte*>(aligned);
+  }
+  top_ = p + bytes;
+  stats_.bytes_used += bytes;
+  if (stats_.bytes_used > stats_.high_water) {
+    stats_.high_water = stats_.bytes_used;
+  }
+  return p;
+}
+
+std::byte* Arena::refill(std::size_t bytes) {
+  // Reuse an already-owned slab when it is big enough; skip (and leave
+  // rewound) any that are too small for this oversized request.
+  while (next_ < chunks_.size()) {
+    Chunk& c = chunks_[next_++];
+    if (c.size >= bytes) {
+      top_ = c.data.get();
+      end_ = top_ + c.size;
+      return top_;
+    }
+  }
+  const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+  ++next_;
+  ++stats_.chunk_allocs;
+  ++stats_.chunks;
+  stats_.bytes_reserved += size;
+  top_ = chunks_.back().data.get();
+  end_ = top_ + size;
+  return top_;
+}
+
+void Arena::reset() noexcept {
+  next_ = 0;
+  top_ = nullptr;
+  end_ = nullptr;
+  stats_.bytes_used = 0;
+}
+
+}  // namespace tacc::util

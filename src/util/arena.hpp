@@ -1,0 +1,85 @@
+// Bump allocator backing the slice-based raw-log parse results.
+//
+// The view parser (collect::RecordViewParser) hands out string_views into
+// the input buffer plus small arrays (job-id lists, counter-value runs)
+// that need real storage. Allocating those from the heap per record is
+// what made the old parser slow; the Arena instead bumps a pointer through
+// chunked slabs and rewinds in O(chunks) on reset(), so a parser that is
+// reused across records/hosts performs zero heap allocations once the
+// first records have sized the arena (the high-water chunks are kept by
+// reset() and reused).
+//
+// Not thread-safe: one Arena per parser/stage. Trivially-destructible
+// payloads only — reset()/~Arena run no destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace tacc::util {
+
+class Arena {
+ public:
+  /// Default slab size. Big enough that a typical host-day record body
+  /// (a few hundred values) never spans a slab boundary, small enough
+  /// that idle parser stages stay cheap.
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes) noexcept
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Uninitialized storage for `n` objects of T. Returns an empty span
+  /// for n == 0 without touching the arena.
+  template <typename T>
+  std::span<T> alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (n == 0) return {};
+    void* p = allocate(n * sizeof(T), alignof(T));
+    return std::span<T>(static_cast<T*>(p), n);
+  }
+
+  /// Raw aligned allocation (align must be a power of two).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewinds every chunk without releasing it: the next allocations reuse
+  /// the same slabs, so steady-state reuse is heap-allocation-free.
+  void reset() noexcept;
+
+  struct Stats {
+    std::size_t chunks = 0;          // slabs currently owned
+    std::size_t chunk_allocs = 0;    // lifetime slab allocations (growth)
+    std::size_t bytes_reserved = 0;  // total slab capacity
+    std::size_t bytes_used = 0;      // bytes handed out since last reset
+    std::size_t high_water = 0;      // max bytes_used over the lifetime
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Makes chunk `next_` (growing if needed) current with at least
+  /// `bytes` of room, and returns the allocation base.
+  std::byte* refill(std::size_t bytes);
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t next_ = 0;   // index of the chunk after current_
+  std::byte* top_ = nullptr;
+  std::byte* end_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace tacc::util

@@ -61,6 +61,12 @@ class WallTimer {
                                          start_)
         .count();
   }
+  /// Elapsed wall time in integer nanoseconds (for accumulating counters).
+  std::int64_t elapsed_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
 
  private:
   std::chrono::steady_clock::time_point start_;

@@ -1,0 +1,119 @@
+// Bounded single-producer / single-consumer ring queue wiring the ingest
+// pipeline stages (read -> parse/build -> tsdb put), so tokenization and
+// batch building overlap store insertion instead of alternating with it.
+//
+// Lock-free: head_ and tail_ are the only shared state, each written by
+// exactly one side (tail_ by the producer, head_ by the consumer) and
+// read with acquire/release ordering, so TSan-clean without a mutex. The
+// repo linter's TS001 allowlist records the three atomics with reasons.
+//
+// Blocking behavior: push() spins briefly then yields while full; pop()
+// likewise while empty, returning false once the queue is closed AND
+// drained. FIFO order is exact, which is what keeps staged ingest
+// deterministic: the consumer applies batches in precisely the order the
+// producer emitted them, so 0 stage threads (inline) and 1+ stage
+// threads produce byte-identical stores.
+//
+// Strictly one producer thread and one consumer thread; close() belongs
+// to the producer side.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tacc::util {
+
+template <typename T>
+class RingQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit RingQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer: enqueues if there is room. Returns false when full.
+  bool try_push(T&& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: blocks (spin, then yield) until the item is enqueued.
+  void push(T&& item) {
+    int spins = 0;
+    while (!try_push(std::move(item))) {
+      if (++spins < 64) {
+        // brief busy spin: the consumer is usually mid-batch
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Consumer: dequeues if an item is ready. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: blocks until an item arrives; returns false only when the
+  /// queue has been closed and fully drained.
+  bool pop(T& out) {
+    int spins = 0;
+    while (true) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire) && !try_pop(out)) {
+        // Re-check after observing closed: the producer closes only
+        // after its final push, so a drained queue here is final.
+        if (try_pop(out)) return true;
+        return false;
+      }
+      if (++spins < 64) {
+        // spin
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Producer: no more pushes will follow. Idempotent.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Instantaneous depth (racy by nature; for metrics only).
+  std::size_t depth() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace tacc::util

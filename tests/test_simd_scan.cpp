@@ -1,0 +1,209 @@
+// SimdScanner: delimiter semantics against the legacy split helpers, and
+// the cross-kernel property the pipeline's determinism rests on — every
+// scan mode emits byte-identical line/token spans.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd_scan.hpp"
+#include "util/strings.hpp"
+
+namespace tacc::util {
+namespace {
+
+std::vector<ScanMode> testable_modes() {
+  std::vector<ScanMode> modes = {ScanMode::Scalar};
+  if (resolve_scan_mode(ScanMode::Sse2) == ScanMode::Sse2) {
+    modes.push_back(ScanMode::Sse2);
+  }
+  if (resolve_scan_mode(ScanMode::Avx2) == ScanMode::Avx2) {
+    modes.push_back(ScanMode::Avx2);
+  }
+  return modes;
+}
+
+/// (line_begin, line_end, tokens...) per line — the full observable
+/// output of one scan.
+struct ScanTrace {
+  std::vector<std::size_t> line_begins;
+  std::vector<std::size_t> line_ends;
+  std::vector<std::vector<std::string>> tokens;
+
+  bool operator==(const ScanTrace&) const = default;
+};
+
+ScanTrace scan_all(std::string_view text, ScanMode mode) {
+  ScanTrace trace;
+  SimdScanner scanner(text, mode);
+  std::vector<std::string_view> fields;
+  while (scanner.next_line(fields)) {
+    trace.line_begins.push_back(scanner.line_begin());
+    trace.line_ends.push_back(scanner.line_end());
+    trace.tokens.emplace_back(fields.begin(), fields.end());
+  }
+  return trace;
+}
+
+/// The legacy reference: split_lines + split_ws.
+ScanTrace reference_scan(std::string_view text) {
+  ScanTrace trace;
+  for (const auto line : split_lines(text)) {
+    trace.line_begins.push_back(
+        static_cast<std::size_t>(line.data() - text.data()));
+    trace.line_ends.push_back(trace.line_begins.back() + line.size());
+    const auto fields = split_ws(line);
+    trace.tokens.emplace_back(fields.begin(), fields.end());
+  }
+  return trace;
+}
+
+TEST(SimdScan, DetectedModeIsSupported) {
+  const ScanMode m = detected_scan_mode();
+  EXPECT_NE(m, ScanMode::Auto);
+  EXPECT_EQ(resolve_scan_mode(ScanMode::Auto), m);
+  // Forcing the detected mode is a no-op; forcing above it clamps.
+  EXPECT_EQ(resolve_scan_mode(m), m);
+}
+
+TEST(SimdScan, BasicTokens) {
+  for (const ScanMode mode : testable_modes()) {
+    SCOPED_TRACE(std::string(scan_mode_name(mode)));
+    const auto trace = scan_all("cpu 0 818 0\nmem - 123\n", mode);
+    ASSERT_EQ(trace.tokens.size(), 2u);
+    EXPECT_EQ(trace.tokens[0],
+              (std::vector<std::string>{"cpu", "0", "818", "0"}));
+    EXPECT_EQ(trace.tokens[1], (std::vector<std::string>{"mem", "-", "123"}));
+    EXPECT_EQ(trace.line_begins[1], 12u);
+    EXPECT_EQ(trace.line_ends[1], 21u);
+  }
+}
+
+TEST(SimdScan, EdgeCases) {
+  const std::vector<std::string> cases = {
+      "",                       // empty input: no lines
+      "\n",                     // one empty line
+      "\n\n\n",                 // runs of newlines
+      "a",                      // unterminated single token
+      "a\n",                    // terminated single token
+      " \t ",                   // whitespace-only unterminated line
+      " \t \n",                 // whitespace-only terminated line
+      "  leading\n",            // leading whitespace
+      "trailing  \n",           // trailing whitespace
+      "a  b\tc\n",              // mixed delimiters
+      "\r\n",                   // '\r' is token content, not a delimiter
+      "a\rb c\n",
+      std::string(200, 'x'),    // token longer than one 64-byte window
+      std::string(63, 'x') + "\n" + std::string(64, 'y') + "\n",
+      std::string(64, ' ') + "z",  // window of pure whitespace
+  };
+  for (const auto& text : cases) {
+    const auto expected = reference_scan(text);
+    for (const ScanMode mode : testable_modes()) {
+      SCOPED_TRACE(std::string(scan_mode_name(mode)) + " on " + text);
+      EXPECT_EQ(scan_all(text, mode), expected);
+    }
+  }
+}
+
+TEST(SimdScan, ClassifyKernelsAgree) {
+  // Every kernel must produce identical masks on every byte value at
+  // every lane position.
+  char block[64];
+  auto* scalar = scan_classify_fn(ScanMode::Scalar);
+  for (const ScanMode mode : testable_modes()) {
+    auto* fn = scan_classify_fn(mode);
+    if (fn == scalar) continue;
+    Rng rng(7);
+    for (int iter = 0; iter < 2000; ++iter) {
+      for (char& c : block) {
+        // Bias towards delimiters so both mask words get exercised.
+        const auto roll = rng.uniform_int(0, 9);
+        if (roll < 2) {
+          c = ' ';
+        } else if (roll == 2) {
+          c = '\t';
+        } else if (roll == 3) {
+          c = '\n';
+        } else {
+          c = static_cast<char>(rng.uniform_int(0, 255));
+        }
+      }
+      ScanMasks want;
+      ScanMasks got;
+      scalar(block, want);
+      fn(block, got);
+      ASSERT_EQ(want.ws, got.ws) << scan_mode_name(mode) << " iter " << iter;
+      ASSERT_EQ(want.nl, got.nl) << scan_mode_name(mode) << " iter " << iter;
+    }
+  }
+}
+
+TEST(SimdScan, PropertyIdenticalAcrossModesOnRandomInputs) {
+  // Seeded random inputs stressing the scanner's state machine: embedded
+  // '\n' runs, trailing bytes, empty lines, tokens straddling 64-byte
+  // windows.
+  Rng rng(42);
+  const auto modes = testable_modes();
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    const int pieces = rng.uniform_int(0, 40);
+    for (int p = 0; p < pieces; ++p) {
+      switch (rng.uniform_int(0, 5)) {
+        case 0:
+          text.append(static_cast<std::size_t>(rng.uniform_int(1, 9)), '\n');
+          break;
+        case 1:
+          text.append(static_cast<std::size_t>(rng.uniform_int(1, 5)),
+                      rng.uniform_int(0, 1) ? ' ' : '\t');
+          break;
+        case 2: {  // short token
+          const int len = rng.uniform_int(1, 6);
+          for (int i = 0; i < len; ++i) {
+            text += static_cast<char>('a' + rng.uniform_int(0, 25));
+          }
+          break;
+        }
+        case 3: {  // token wider than a scan window
+          text.append(static_cast<std::size_t>(rng.uniform_int(65, 200)),
+                      'Q');
+          break;
+        }
+        case 4: {  // digits (record-line shaped)
+          const int len = rng.uniform_int(1, 12);
+          for (int i = 0; i < len; ++i) {
+            text += static_cast<char>('0' + rng.uniform_int(0, 9));
+          }
+          break;
+        }
+        default:  // arbitrary non-delimiter noise, including '\r' and NUL
+          text += static_cast<char>(rng.uniform_int(0, 255));
+          break;
+      }
+    }
+    const auto expected = reference_scan(text);
+    for (const ScanMode mode : modes) {
+      ASSERT_EQ(scan_all(text, mode), expected)
+          << "mode " << scan_mode_name(mode) << " iter " << iter;
+    }
+  }
+}
+
+TEST(SimdScan, ScratchVectorIsReusedWithoutAllocating) {
+  // Steady-state contract: once `fields` has grown, further lines of the
+  // same or smaller width never reallocate it.
+  const std::string text = "aa bb cc dd\nee ff gg hh\nii jj kk ll\n";
+  SimdScanner scanner(text);
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(scanner.next_line(fields));
+  const auto cap = fields.capacity();
+  const auto* data = fields.data();
+  while (scanner.next_line(fields)) {
+    EXPECT_EQ(fields.capacity(), cap);
+    EXPECT_EQ(fields.data(), data);
+  }
+}
+
+}  // namespace
+}  // namespace tacc::util
