@@ -1,6 +1,7 @@
 #include "collect/rawfile.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <charconv>
 #include <stdexcept>
 
@@ -88,6 +89,16 @@ struct MaterializeSink {
 
 const Schema* HostLog::schema_for(std::string_view type) const noexcept {
   if (schema_index_.size() == schemas.size() && !schema_index_.empty()) {
+    // Contract (see header): a same-size index is current, i.e. sorted
+    // over today's schemas. Size-changing mutations of `schemas` are
+    // tolerated (the index is ignored as stale); in-place edits without
+    // reindex_schemas() are unsupported — lower_bound over an unsorted
+    // range would be UB. Enforced here in debug builds.
+    assert(std::is_sorted(schema_index_.begin(), schema_index_.end(),
+                          [this](std::uint32_t a, std::uint32_t b) noexcept {
+                            return schemas[a].type() < schemas[b].type();
+                          }) &&
+           "schemas edited in place without reindex_schemas()");
     const auto it = std::lower_bound(
         schema_index_.begin(), schema_index_.end(), type,
         [this](std::uint32_t i, std::string_view t) noexcept {
@@ -96,9 +107,7 @@ const Schema* HostLog::schema_for(std::string_view type) const noexcept {
     if (it != schema_index_.end() && schemas[*it].type() == type) {
       return &schemas[*it];
     }
-    // A miss under a current index is authoritative only if the index is
-    // actually sorted over today's schemas; fall through to the scan so a
-    // stale same-size index can never hide a schema.
+    return nullptr;
   }
   for (const auto& s : schemas) {
     if (s.type() == type) return &s;

@@ -66,14 +66,18 @@ struct HostLog {
   std::vector<Record> records;
 
   /// Returns the schema for a type, or nullptr. Uses the sorted index
-  /// from reindex_schemas() when it is current (parse() and the archive
-  /// keep it so); otherwise falls back to a linear scan, so a stale index
-  /// can cost a scan but never returns a wrong or missing schema.
+  /// from reindex_schemas() when its size matches `schemas` (parse() and
+  /// the archive keep it so); a size-mismatched index is ignored and the
+  /// lookup falls back to a linear scan.
   const Schema* schema_for(std::string_view type) const noexcept;
 
   /// Rebuilds the type -> schema lookup index. Call after mutating
   /// `schemas` directly; parse()/parse_header() do it themselves. Must not
   /// race with schema_for() on the same log (build before sharing).
+  /// Appending/removing schemas without reindexing merely staleness-drops
+  /// the index (size mismatch -> linear scan); editing a schema's type in
+  /// place without reindexing is unsupported — schema_for asserts index
+  /// sortedness in debug builds.
   void reindex_schemas();
 
   /// Serializes header (format/hostname/arch/schema lines).
@@ -98,7 +102,8 @@ struct HostLog {
 
  private:
   // Indices into `schemas`, sorted by type; used by schema_for when its
-  // size matches schemas.size(), ignored (stale) otherwise.
+  // size matches schemas.size() (the contract guarantees a same-size
+  // index is sorted), ignored (stale) otherwise.
   std::vector<std::uint32_t> schema_index_;
 };
 

@@ -117,8 +117,10 @@ TsdbIngestStats ingest_archive_tsdb(tsdb::Store& store,
 /// stage_threads value.
 ///
 /// Throws std::invalid_argument on malformed input (same messages as
-/// HostLog::parse); points parsed before the bad line are already in the
-/// store.
+/// HostLog::parse). Points flushed before the bad line are already in the
+/// store; points staged since the last batch_points flush (the stage only
+/// flushes at record boundaries once the threshold is crossed) are
+/// dropped, not stored.
 TsdbIngestStats ingest_text_tsdb(tsdb::Store& store, std::string_view text,
                                  const TsdbIngestOptions& options = {});
 

@@ -34,8 +34,32 @@ class Arena {
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
-  Arena(Arena&&) = default;
-  Arena& operator=(Arena&&) = default;
+
+  // Hand-written moves: the defaults would copy top_/end_/next_ while
+  // moving chunks_ away, leaving the source pointing into slabs now owned
+  // by the destination — a later allocate() on it would alias live memory.
+  // The source is left empty but usable (next allocate grows fresh slabs).
+  Arena(Arena&& other) noexcept
+      : chunk_bytes_(other.chunk_bytes_),
+        chunks_(std::move(other.chunks_)),
+        next_(other.next_),
+        top_(other.top_),
+        end_(other.end_),
+        stats_(other.stats_) {
+    other.disown();
+  }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      chunk_bytes_ = other.chunk_bytes_;
+      chunks_ = std::move(other.chunks_);
+      next_ = other.next_;
+      top_ = other.top_;
+      end_ = other.end_;
+      stats_ = other.stats_;
+      other.disown();
+    }
+    return *this;
+  }
 
   /// Uninitialized storage for `n` objects of T. Returns an empty span
   /// for n == 0 without touching the arena.
@@ -73,6 +97,15 @@ class Arena {
   /// Makes chunk `next_` (growing if needed) current with at least
   /// `bytes` of room, and returns the allocation base.
   std::byte* refill(std::size_t bytes);
+
+  /// Post-move source state: no slabs, no current chunk, zeroed stats.
+  void disown() noexcept {
+    chunks_.clear();
+    next_ = 0;
+    top_ = nullptr;
+    end_ = nullptr;
+    stats_ = Stats{};
+  }
 
   std::size_t chunk_bytes_;
   std::vector<Chunk> chunks_;

@@ -80,11 +80,11 @@ class RingQueue {
     int spins = 0;
     while (true) {
       if (try_pop(out)) return true;
-      if (closed_.load(std::memory_order_acquire) && !try_pop(out)) {
-        // Re-check after observing closed: the producer closes only
-        // after its final push, so a drained queue here is final.
-        if (try_pop(out)) return true;
-        return false;
+      if (closed_.load(std::memory_order_acquire)) {
+        // close() happens-after the producer's final push, so one more
+        // try_pop after observing closed is authoritative: success is the
+        // final item, failure means drained-for-good.
+        return try_pop(out);
       }
       if (++spins < 64) {
         // spin

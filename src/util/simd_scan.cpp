@@ -89,10 +89,11 @@ int mode_rank(ScanMode m) noexcept {
 ScanMode detect() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
   if (__builtin_cpu_supports("avx2")) return ScanMode::Avx2;
-  return ScanMode::Sse2;
-#else
-  return ScanMode::Scalar;
+  // Guaranteed on x86_64, but __i386__ also lands here and pre-SSE2 CPUs
+  // exist there — check rather than assume.
+  if (__builtin_cpu_supports("sse2")) return ScanMode::Sse2;
 #endif
+  return ScanMode::Scalar;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // mode: byte-identical query results.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -79,6 +80,26 @@ TEST(Arena, OversizedRequestGetsItsOwnSlab) {
   EXPECT_EQ(arena.stats().chunk_allocs, grown);
 }
 
+TEST(Arena, MoveLeavesSourceDetached) {
+  // Regression: defaulted moves used to copy top_/end_ while moving the
+  // slabs away, so an allocation from the moved-from arena aliased the
+  // destination's live storage.
+  util::Arena src(128);
+  const auto kept = src.alloc_array<std::uint64_t>(4);
+  kept[0] = 42;
+  util::Arena dst(std::move(src));
+  EXPECT_EQ(dst.stats().chunks, 1u);
+  EXPECT_EQ(src.stats().chunks, 0u);  // source owns nothing post-move
+  const auto fresh = src.alloc_array<std::uint64_t>(4);  // usable, detached
+  fresh[0] = 7;
+  EXPECT_EQ(kept[0], 42u);  // dst's storage untouched by the source write
+  src = std::move(dst);     // move-assign: same contract
+  EXPECT_EQ(dst.stats().chunks, 0u);
+  const auto other = dst.alloc_array<std::uint64_t>(4);
+  other[0] = 9;
+  EXPECT_EQ(kept[0], 42u);
+}
+
 // ------------------------------------------------------------ RingQueue --
 
 TEST(RingQueue, FifoAndCloseSemantics) {
@@ -126,6 +147,36 @@ TEST(RingQueue, SpscThreadsDeliverEverythingInOrder) {
   consumer.join();
   ASSERT_EQ(got.size(), kN);
   for (std::uint64_t i = 0; i < kN; ++i) ASSERT_EQ(got[i], i);
+}
+
+TEST(RingQueue, CloseRaceNeverDropsFinalItem) {
+  // Regression: pop() once consumed the final item inside its
+  // closed-check condition, looped, and reported the queue drained —
+  // silently dropping the value. Pin the contract under the racy
+  // scenario (consumer already blocked in pop() on an empty queue,
+  // producer pushes the last item and closes immediately): the final
+  // item must always be delivered. The vulnerable window was a few
+  // instructions wide, so this is a probabilistic repro; the structural
+  // guarantee is that pop() has no path that consumes without returning.
+  for (int round = 0; round < 1000; ++round) {
+    util::RingQueue<int> q(2);
+    std::atomic<bool> waiting{false};
+    std::thread consumer([&] {
+      int v = -1;
+      waiting.store(true, std::memory_order_release);
+      const bool got = q.pop(v);
+      EXPECT_TRUE(got) << "final item dropped at close, round " << round;
+      if (got) EXPECT_EQ(v, round);
+      EXPECT_FALSE(q.pop(v));
+    });
+    while (!waiting.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    q.push(int{round});
+    q.close();
+    consumer.join();
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 // ----------------------------------------------- parser equivalence -----
