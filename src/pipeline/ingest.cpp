@@ -389,6 +389,7 @@ TsdbIngestStats ingest_archive_tsdb(tsdb::Store& store,
     put.finish();
   }
   if (options.seal) store.seal_all();
+  if (options.flush) store.flush();
 
   TsdbIngestStats stats;
   stats.hosts = hosts.size();
@@ -442,6 +443,7 @@ TsdbIngestStats ingest_text_tsdb(tsdb::Store& store, std::string_view text,
   const std::uint64_t emit_ns = put.emit_ns() - emit_ns0;
   put.finish();
   if (options.seal) store.seal_all();
+  if (options.flush) store.flush();
 
   if (metrics != nullptr) {
     metrics->add_bytes_read(body.bytes);

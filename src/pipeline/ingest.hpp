@@ -58,6 +58,11 @@ struct TsdbIngestOptions {
   /// fast paths on the read side. Disable only when more appends to the
   /// same series follow immediately (sealing then just cuts blocks short).
   bool seal = true;
+  /// After a bulk load into a durable store, call Store::flush(): the
+  /// sealed blocks move into a segment file and the WALs rotate down to
+  /// small checkpoints, so the load is served from mmap-backed blocks and
+  /// survives a crash without replay. No effect on in-memory stores.
+  bool flush = false;
   /// Put-stage threads for the serial (pool == nullptr) pipeline: 0 calls
   /// Store::put_batches inline with batch building; N >= 1 hands flushed
   /// batch groups to N consumer threads over bounded ring queues, so

@@ -1,91 +1,119 @@
 #include "tsdb/block.hpp"
 
-#include <bit>
 #include <cstring>
 
+#include "tsdb/coding.hpp"
 #include "tsdb/store.hpp"
 
 namespace tacc::tsdb {
 
 namespace {
 
-constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
+using coding::BitWriter;
+using coding::read_bits;
 
-constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
+/// Appends one timestamp delta-of-delta in its prefix-coded class:
+/// '0' | '10'+7b | '110'+12b | '1110'+20b | '11110'+32b | '11111'+64b,
+/// the payload being zigzag(dod). At a fixed cadence every point after
+/// the second hits the 1-bit class.
+void put_time_dod(BitWriter& w, std::int64_t dod) {
+  const std::uint64_t u = coding::zigzag(dod);
+  if (u == 0) {
+    w.bit(false);
+  } else if (u < (1ull << 7)) {
+    w.bits(0b10, 2);
+    w.bits(u, 7);
+  } else if (u < (1ull << 12)) {
+    w.bits(0b110, 3);
+    w.bits(u, 12);
+  } else if (u < (1ull << 20)) {
+    w.bits(0b1110, 4);
+    w.bits(u, 20);
+  } else if (u < (1ull << 32)) {
+    w.bits(0b11110, 5);
+    w.bits(u, 32);
+  } else {
+    w.bits(0b11111, 5);
+    w.bits(u, 64);
   }
-  out.push_back(static_cast<std::uint8_t>(v));
 }
 
-std::uint64_t get_varint(const std::uint8_t* data, std::size_t& pos) noexcept {
-  std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    const std::uint8_t b = data[pos++];
-    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) return v;
-    shift += 7;
+std::int64_t get_time_dod(const std::uint8_t* data, std::size_t& pos) noexcept {
+  if (read_bits(data, pos, 1) == 0) return 0;
+  if (read_bits(data, pos, 1) == 0) {
+    return coding::unzigzag(read_bits(data, pos, 7));
   }
+  if (read_bits(data, pos, 1) == 0) {
+    return coding::unzigzag(read_bits(data, pos, 12));
+  }
+  if (read_bits(data, pos, 1) == 0) {
+    return coding::unzigzag(read_bits(data, pos, 20));
+  }
+  if (read_bits(data, pos, 1) == 0) {
+    return coding::unzigzag(read_bits(data, pos, 32));
+  }
+  return coding::unzigzag(read_bits(data, pos, 64));
 }
 
-/// MSB-first bit appender over a byte vector.
-class BitWriter {
- public:
-  explicit BitWriter(std::vector<std::uint8_t>& out) noexcept : out_(out) {}
-
-  void bit(bool b) { bits(b ? 1 : 0, 1); }
-
-  /// Appends the low `n` bits of `v`, most significant first. n in [0, 64].
-  void bits(std::uint64_t v, int n) {
-    for (int i = n - 1; i >= 0; --i) {
-      if (fill_ == 0) {
-        out_.push_back(0);
-        fill_ = 8;
-      }
-      --fill_;
-      if ((v >> i) & 1) out_.back() |= static_cast<std::uint8_t>(1u << fill_);
+/// Encodes one downsample tier over time-sorted points: a varint entry
+/// count, a NaN flag byte, then per entry the bucket (first absolute in
+/// interval units, zigzag; then delta in units), the point count, and the
+/// min/max doubles XOR'd against the previous entry's bit patterns. The
+/// folds are aggregate()'s, so tier answers join query folds bit-exactly.
+std::vector<std::uint8_t> encode_tier(std::span<const DataPoint> points,
+                                      util::SimTime interval,
+                                      std::uint32_t& entries, bool& has_nan) {
+  std::vector<std::uint8_t> body;
+  std::uint32_t n = 0;
+  std::uint64_t prev_min = 0;
+  std::uint64_t prev_max = 0;
+  util::SimTime prev_bucket = 0;
+  has_nan = false;
+  std::vector<double> vals;
+  std::size_t i = 0;
+  while (i < points.size()) {
+    const util::SimTime b = points[i].time - points[i].time % interval;
+    std::size_t j = i;
+    vals.clear();
+    while (j < points.size() &&
+           points[j].time - points[j].time % interval == b) {
+      vals.push_back(points[j].value);
+      ++j;
     }
+    const double mn = aggregate(Aggregator::Min, vals);
+    const double mx = aggregate(Aggregator::Max, vals);
+    if (mn != mn || mx != mx) has_nan = true;
+    if (n == 0) {
+      coding::put_varint(body, coding::zigzag(b / interval));
+    } else {
+      coding::put_varint(
+          body, static_cast<std::uint64_t>((b - prev_bucket) / interval));
+    }
+    coding::put_varint(body, j - i);
+    const std::uint64_t mnb = coding::double_bits(mn);
+    const std::uint64_t mxb = coding::double_bits(mx);
+    coding::put_varint(body, mnb ^ prev_min);
+    coding::put_varint(body, mxb ^ prev_max);
+    prev_min = mnb;
+    prev_max = mxb;
+    prev_bucket = b;
+    ++n;
+    i = j;
   }
-
- private:
-  std::vector<std::uint8_t>& out_;
-  int fill_ = 0;  // unused low bits remaining in out_.back()
-};
-
-/// Reads `n` bits starting at absolute bit offset `pos` (MSB-first),
-/// advancing `pos`.
-std::uint64_t read_bits(const std::uint8_t* data, std::size_t& pos,
-                        int n) noexcept {
-  std::uint64_t v = 0;
-  for (int i = 0; i < n; ++i, ++pos) {
-    v = (v << 1) |
-        ((data[pos >> 3] >> (7 - (pos & 7))) & 1u);
-  }
-  return v;
-}
-
-std::uint64_t double_bits(double d) noexcept {
-  return std::bit_cast<std::uint64_t>(d);
-}
-
-double bits_double(std::uint64_t b) noexcept {
-  return std::bit_cast<double>(b);
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 4);
+  coding::put_varint(out, n);
+  out.push_back(has_nan ? 1 : 0);
+  out.insert(out.end(), body.begin(), body.end());
+  entries = n;
+  return out;
 }
 
 }  // namespace
 
 std::shared_ptr<const SealedBlock> SealedBlock::seal(
-    std::span<const DataPoint> points) {
+    std::span<const DataPoint> points,
+    std::span<const util::SimTime> tier_intervals) {
   auto block = std::shared_ptr<SealedBlock>(new SealedBlock());
 
   // Summary, with the exact folds tsdb::aggregate() applies so a bucket
@@ -101,34 +129,30 @@ std::shared_ptr<const SealedBlock> SealedBlock::seal(
   s.min = aggregate(Aggregator::Min, values);
   s.max = aggregate(Aggregator::Max, values);
 
-  // Timestamps: zigzag varints of t0, then delta, then delta-of-delta.
-  auto& ts = block->times_;
-  ts.reserve(points.size() + 16);
+  // Timestamps: t0 as 64 raw bits, then bit-packed delta-of-delta.
+  BitWriter tw(block->own_times_);
   util::SimTime prev_t = 0;
   util::SimTime prev_delta = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const util::SimTime t = points[i].time;
     if (i == 0) {
-      put_varint(ts, zigzag(t));
-    } else if (i == 1) {
-      prev_delta = t - prev_t;
-      put_varint(ts, zigzag(prev_delta));
+      tw.bits(static_cast<std::uint64_t>(t), 64);
     } else {
       const util::SimTime delta = t - prev_t;
-      put_varint(ts, zigzag(delta - prev_delta));
+      put_time_dod(tw, delta - prev_delta);
       prev_delta = delta;
     }
     prev_t = t;
   }
 
   // Values: Gorilla XOR with a leading/meaningful-bit window.
-  BitWriter w(block->values_);
+  BitWriter w(block->own_values_);
   std::uint64_t prev_bits = 0;
   int win_lead = 0;
   int win_bits = 0;
   bool have_window = false;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::uint64_t bits = double_bits(points[i].value);
+    const std::uint64_t bits = coding::double_bits(points[i].value);
     if (i == 0) {
       w.bits(bits, 64);
     } else {
@@ -159,25 +183,60 @@ std::shared_ptr<const SealedBlock> SealedBlock::seal(
     prev_bits = bits;
   }
 
-  block->times_.shrink_to_fit();
-  block->values_.shrink_to_fit();
+  block->own_times_.shrink_to_fit();
+  block->own_values_.shrink_to_fit();
+  block->times_ = block->own_times_;
+  block->values_ = block->own_values_;
+
+  block->own_tiers_.reserve(tier_intervals.size());
+  block->tiers_.reserve(tier_intervals.size());
+  for (const util::SimTime interval : tier_intervals) {
+    if (interval <= 0) continue;
+    TierLevel level;
+    level.interval = interval;
+    block->own_tiers_.push_back(
+        encode_tier(points, interval, level.entries, level.has_nan));
+    level.data = block->own_tiers_.back();
+    block->tiers_.push_back(level);
+  }
+  return block;
+}
+
+std::shared_ptr<const SealedBlock> SealedBlock::from_parts(
+    const BlockSummary& summary, std::span<const std::uint8_t> times,
+    std::span<const std::uint8_t> values, std::vector<TierLevel> tiers,
+    std::shared_ptr<const void> backing) {
+  auto block = std::shared_ptr<SealedBlock>(new SealedBlock());
+  block->summary_ = summary;
+  block->times_ = times;
+  block->values_ = values;
+  for (auto& t : tiers) {
+    // The caller validated the enclosing checksum; parse the tier header.
+    if (t.data.empty()) {
+      t.entries = 0;
+      t.has_nan = false;
+      continue;
+    }
+    std::size_t pos = 0;
+    t.entries =
+        static_cast<std::uint32_t>(coding::get_varint(t.data.data(), pos));
+    t.has_nan = pos < t.data.size() && t.data[pos] != 0;
+  }
+  block->tiers_ = std::move(tiers);
+  block->backing_ = std::move(backing);
   return block;
 }
 
 bool SealedBlock::Cursor::next(DataPoint& out) noexcept {
-  if (index_ >= block_->summary_.count) return false;
+  if (index_ >= block_->summary_.count || !block_->has_raw()) return false;
   const std::uint8_t* ts = block_->times_.data();
   const std::uint8_t* vs = block_->values_.data();
 
   if (index_ == 0) {
-    prev_time_ = unzigzag(get_varint(ts, time_pos_));
+    prev_time_ = static_cast<util::SimTime>(read_bits(ts, time_bit_, 64));
     prev_bits_ = read_bits(vs, value_bit_, 64);
   } else {
-    if (index_ == 1) {
-      prev_delta_ = unzigzag(get_varint(ts, time_pos_));
-    } else {
-      prev_delta_ += unzigzag(get_varint(ts, time_pos_));
-    }
+    prev_delta_ += get_time_dod(ts, time_bit_);
     prev_time_ += prev_delta_;
 
     if (read_bits(vs, value_bit_, 1) != 0) {
@@ -194,11 +253,40 @@ bool SealedBlock::Cursor::next(DataPoint& out) noexcept {
 
   ++index_;
   out.time = prev_time_;
-  out.value = bits_double(prev_bits_);
+  out.value = coding::bits_double(prev_bits_);
+  return true;
+}
+
+SealedBlock::TierCursor::TierCursor(const TierLevel& level) noexcept
+    : level_(&level) {
+  if (!level.data.empty()) {
+    (void)coding::get_varint(level.data.data(), pos_);  // entry count
+    ++pos_;                                             // NaN flag byte
+  }
+}
+
+bool SealedBlock::TierCursor::next(TierEntry& out) noexcept {
+  if (index_ >= level_->entries) return false;
+  const std::uint8_t* d = level_->data.data();
+  if (index_ == 0) {
+    prev_bucket_ = coding::unzigzag(coding::get_varint(d, pos_)) *
+                   level_->interval;
+  } else {
+    prev_bucket_ += static_cast<util::SimTime>(coding::get_varint(d, pos_)) *
+                    level_->interval;
+  }
+  out.bucket = prev_bucket_;
+  out.count = static_cast<std::uint32_t>(coding::get_varint(d, pos_));
+  prev_min_bits_ ^= coding::get_varint(d, pos_);
+  prev_max_bits_ ^= coding::get_varint(d, pos_);
+  out.min = coding::bits_double(prev_min_bits_);
+  out.max = coding::bits_double(prev_max_bits_);
+  ++index_;
   return true;
 }
 
 void SealedBlock::decode_append(std::vector<DataPoint>& out) const {
+  if (!has_raw()) return;
   out.reserve(out.size() + summary_.count);
   Cursor c(*this);
   DataPoint p;

@@ -1,0 +1,153 @@
+// The TSDB's checksummed, versioned on-disk segment format plus the
+// manifest that names which segments are live. See docs/ARCHITECTURE.md,
+// "On-disk format & recovery", for the layout diagram and the recovery
+// algorithm that consumes these files.
+//
+// A *segment* (`seg-<seq>.blk`) is an immutable batch of sealed blocks
+// for many series, written once by Store::flush()/compact() and then only
+// ever memory-mapped. Every structural unit (header, per-series record,
+// per-block record) carries its own CRC32C, so a damaged file reports the
+// offset of the broken unit, and a footer acts as the commit marker — a
+// torn write is detected as "no footer", not as garbage data. Files not
+// named by the manifest are dead (a crash between segment write and
+// manifest commit leaves one behind); recovery deletes them.
+//
+// The *manifest* (`MANIFEST`) is the atom of durability: a tiny
+// checksummed file naming the live segment sequence numbers, replaced via
+// write-tmp + rename + dir-fsync. Recovery trusts only the manifest; the
+// crash-safety argument of flush/compact reduces to "the manifest rename
+// is atomic".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsdb/block.hpp"
+#include "util/fault.hpp"
+#include "util/file.hpp"
+
+namespace tacc::tsdb {
+
+// TACC_FORMAT_BEGIN(segment, 1)
+// Segment file layout (all integers little-endian; varint = LEB128):
+//
+//   header   magic "TSG1" | u32 version | u64 file_seq | u32 crc(header)
+//   body     n_series x series record, sorted by (metric, canonical tags):
+//     series   'S' | varint metric_len, metric | varint n_tags,
+//              n_tags x (varint key_len, key, varint val_len, val) |
+//              varint cum_sealed | varint n_blocks | u32 crc(record)
+//     block    'B' | zigzag varint t_min | varint (t_max - t_min) |
+//              varint count | f64 sum | f64 min | f64 max |
+//              varint times_len | varint values_len | varint n_tiers,
+//              n_tiers x (varint interval_us, varint tier_len) |
+//              times bytes | values bytes | tier streams | u32 crc(block)
+//   footer   'F' | u64 n_series | u32 crc(footer) | magic "TSGE"
+//
+// `cum_sealed` is the series' cumulative count of points ever persisted
+// to segments (monotonic across compaction and retention); WAL replay
+// uses it to skip points already covered by segments. A block with
+// times_len == values_len == 0 but count > 0 is a retention ghost.
+// Any layout change here requires bumping kSegmentFormatVersion and
+// updating tools/lint/format_fingerprint.txt (lint TS050).
+inline constexpr std::uint32_t kSegmentMagic = 0x31475354u;   // "TSG1"
+inline constexpr std::uint32_t kSegmentFooterMagic = 0x45475354u;  // "TSGE"
+inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+inline constexpr std::uint8_t kSegmentSeriesTag = 'S';
+inline constexpr std::uint8_t kSegmentBlockTag = 'B';
+inline constexpr std::uint8_t kSegmentFooterTag = 'F';
+// TACC_FORMAT_END(segment)
+
+// TACC_FORMAT_BEGIN(manifest, 1)
+// Manifest layout: magic "TSMF" | u32 version | u64 next_seq |
+// u32 n_segments | n_segments x u64 seq | u32 crc(everything before).
+// Replaced atomically (tmp + rename + dir fsync); never appended.
+inline constexpr std::uint32_t kManifestMagic = 0x464D5354u;  // "TSMF"
+inline constexpr std::uint32_t kManifestFormatVersion = 1;
+// TACC_FORMAT_END(manifest)
+
+/// Thrown by the segment/WAL/manifest readers when a checksum, magic
+/// number, or structural bound fails. `offset()` is the byte offset of
+/// the damaged unit inside the file — the corruption property tests
+/// assert it is always populated and within the file.
+class CorruptionError : public std::runtime_error {
+ public:
+  CorruptionError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Thrown by a write path when the fault plan injects a crash
+/// (util::kFaultWalAppend / kFaultWalSync / kFaultBlockFileWrite /
+/// kFaultCompactCommit): a deterministic torn prefix of the pending bytes
+/// is on disk and the store must be treated as dead, exactly like a
+/// killed process. Recovery is Store::open() on the same directory.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& site)
+      : std::runtime_error("injected crash at " + site) {}
+};
+
+/// One series' worth of persisted state: the unit the segment writer
+/// consumes and the reader produces.
+struct SeriesPayload {
+  std::string metric;
+  TagSet tags;
+  /// Cumulative points ever persisted for this series (see format note).
+  std::uint64_t cum_sealed = 0;
+  std::vector<std::shared_ptr<const SealedBlock>> blocks;
+};
+
+/// A successfully validated, memory-mapped segment. `series[i].blocks`
+/// view the mapping and pin it via their backing pointer, so the
+/// LoadedSegment itself may be discarded once the blocks are adopted.
+struct LoadedSegment {
+  std::uint64_t file_seq = 0;
+  std::shared_ptr<const util::MmapFile> file;
+  std::vector<SeriesPayload> series;
+};
+
+/// Writes a complete segment file at `path` (final name; the file is
+/// inert until a manifest names it). `series` must be sorted by
+/// (metric, canonical tags). When `faults` injects an error at
+/// util::kFaultBlockFileWrite (key `fault_key`, salt `file_seq`), a
+/// deterministic prefix of the file is written and InjectedCrash thrown.
+void write_segment(const std::string& path, std::uint64_t file_seq,
+                   std::span<const SeriesPayload> series,
+                   const util::FaultPlan* faults, std::string_view fault_key);
+
+/// Maps and fully validates a segment (every CRC, every structural
+/// bound). Throws CorruptionError on any damage.
+LoadedSegment load_segment(const std::string& path);
+
+struct Manifest {
+  std::uint64_t next_seq = 1;
+  std::vector<std::uint64_t> segments;  // live segment seqs, oldest first
+};
+
+/// Reads `<dir>/MANIFEST`. A missing file returns an empty default (a
+/// fresh store); a damaged file throws CorruptionError.
+Manifest read_manifest(const std::string& dir);
+
+/// Atomically replaces `<dir>/MANIFEST` (tmp + rename + dir fsync).
+/// `fault_site` is consulted with key "manifest" and salt `salt`
+/// (util::kFaultBlockFileWrite from flush, kFaultCompactCommit from
+/// compaction); an injected error leaves a torn tmp file — the live
+/// manifest is untouched — and throws InjectedCrash.
+void write_manifest(const std::string& dir, const Manifest& manifest,
+                    const util::FaultPlan* faults, std::string_view fault_site,
+                    std::uint64_t salt);
+
+/// `<dir>/seg-<seq>.blk`, zero-padded for lexicographic == numeric order.
+std::string segment_path(const std::string& dir, std::uint64_t seq);
+
+}  // namespace tacc::tsdb

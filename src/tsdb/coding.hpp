@@ -1,0 +1,128 @@
+// Shared primitive codecs for the TSDB storage formats: zigzag, LEB128
+// varints (vector append + bounds-checked read), MSB-first bit streams,
+// and little-endian fixed-width loads/stores. Used by the sealed-block
+// codec (block.cpp), the segment file format (blockfile.cpp), and the
+// write-ahead log (wal.cpp) so all three agree byte-for-byte on the
+// primitives the golden-file tests pin.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace tacc::tsdb::coding {
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Unchecked varint read for writer-produced (checksum-validated) streams.
+inline std::uint64_t get_varint(const std::uint8_t* data,
+                                std::size_t& pos) noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = data[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Bounds-checked varint read for untrusted bytes (segment/WAL parsing
+/// before checksums are verified). Returns false on truncation or a
+/// varint longer than 10 bytes, leaving `pos` unspecified.
+inline bool get_varint_checked(const std::uint8_t* data, std::size_t size,
+                               std::size_t& pos, std::uint64_t& out) noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos < size && shift < 64) {
+    const std::uint8_t b = data[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint64_t double_bits(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+inline double bits_double(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+/// MSB-first bit appender over a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) noexcept : out_(out) {}
+
+  void bit(bool b) { bits(b ? 1 : 0, 1); }
+
+  /// Appends the low `n` bits of `v`, most significant first. n in [0, 64].
+  void bits(std::uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) {
+      if (fill_ == 0) {
+        out_.push_back(0);
+        fill_ = 8;
+      }
+      --fill_;
+      if ((v >> i) & 1) out_.back() |= static_cast<std::uint8_t>(1u << fill_);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  int fill_ = 0;  // unused low bits remaining in out_.back()
+};
+
+/// Reads `n` bits starting at absolute bit offset `pos` (MSB-first),
+/// advancing `pos`.
+inline std::uint64_t read_bits(const std::uint8_t* data, std::size_t& pos,
+                               int n) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i, ++pos) {
+    v = (v << 1) | ((data[pos >> 3] >> (7 - (pos & 7))) & 1u);
+  }
+  return v;
+}
+
+}  // namespace tacc::tsdb::coding

@@ -1,0 +1,53 @@
+#include "tsdb/compactor.hpp"
+
+#include "tsdb/blockfile.hpp"
+#include "tsdb/store.hpp"
+
+namespace tacc::tsdb {
+
+Compactor::Compactor(Store& store, CompactorOptions options)
+    : store_(store), options_(options) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Compactor::~Compactor() { stop(); }
+
+void Compactor::stop() {
+  {
+    util::MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Compactor::run_once(bool with_compact) {
+  if (dead_.load(std::memory_order_acquire)) return;
+  try {
+    store_.flush();
+    if (with_compact && store_.compact()) {
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const InjectedCrash&) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    dead_.store(true, std::memory_order_release);
+  }
+}
+
+void Compactor::loop() {
+  std::size_t cycle = 0;
+  for (;;) {
+    {
+      util::MutexLock lock(mu_);
+      if (!stopping_) cv_.wait_for(mu_, options_.period);
+      if (stopping_) return;
+    }
+    ++cycle;
+    run_once(options_.compact_every != 0 &&
+             cycle % options_.compact_every == 0);
+  }
+}
+
+}  // namespace tacc::tsdb

@@ -1,0 +1,77 @@
+// Background compaction driver for a durable tsdb::Store.
+//
+// A real thread that periodically calls Store::flush() and, every
+// `compact_every` cycles, Store::compact(). It reads no clock — the period
+// is a pure CondVar timeout, so nothing here can feed timing back into
+// results (flush and compact are query-neutral by construction) and the
+// determinism auditor (DT001) stays clean. Injected crashes from the
+// store's fault plan are swallowed into an error counter: a dead store is
+// the *test's* business; the thread just stops touching it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+#include "util/thread_annotations.hpp"
+
+namespace tacc::tsdb {
+
+class Store;
+
+/// Tuning knobs for the background compactor.
+struct CompactorOptions {
+  /// Real-time pause between maintenance cycles.
+  std::chrono::milliseconds period{200};
+  /// Every Nth cycle runs Store::compact() after the flush; the others
+  /// flush only. 0 disables compaction (flush-only maintenance).
+  std::size_t compact_every = 5;
+};
+
+/// Owns the maintenance thread. Construction starts it; stop() (or the
+/// destructor) joins it. The store must outlive the compactor.
+class Compactor {
+ public:
+  explicit Compactor(Store& store, CompactorOptions options = {});
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Signals the thread and joins it. Idempotent.
+  void stop();
+
+  /// Runs one maintenance cycle on the caller's thread (flush, plus
+  /// compact when `with_compact`). Counts like a background cycle.
+  void run_once(bool with_compact);
+
+  std::size_t cycles() const noexcept {
+    return cycles_.load(std::memory_order_relaxed);
+  }
+  std::size_t compactions() const noexcept {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+  /// Cycles that died with InjectedCrash (the store is then left alone).
+  std::size_t errors() const noexcept {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  Store& store_;
+  CompactorOptions options_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stopping_ TACC_GUARDED_BY(mu_) = false;
+  /// Set after an injected crash: the store must be reopened, so the
+  /// thread idles until stop().
+  std::atomic<bool> dead_{false};
+  std::atomic<std::size_t> cycles_{0};
+  std::atomic<std::size_t> compactions_{0};
+  std::atomic<std::size_t> errors_{0};
+  std::thread thread_;
+};
+
+}  // namespace tacc::tsdb

@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
 namespace tacc::tsdb {
 
 namespace {
+
+namespace fs = std::filesystem;
 
 /// FNV-1a over metric + '\0' + canonical tags: a stable series->shard map
 /// that does not depend on std::hash (so shard assignment, and therefore
@@ -165,6 +173,37 @@ class BucketStager {
   bool has_last_ = false;
 };
 
+/// Longest retention key that is a prefix of `metric`, or null. The map is
+/// small (a handful of metric families), so a linear scan is fine.
+const RetentionPolicy* find_retention(
+    const std::map<std::string, RetentionPolicy>& retention,
+    std::string_view metric) noexcept {
+  const RetentionPolicy* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [family, policy] : retention) {
+    if (family.size() >= best_len && metric.starts_with(family)) {
+      best = &policy;
+      best_len = family.size();
+    }
+  }
+  return best;
+}
+
+/// Parses "wal-<shard>-<gen>.log"; returns false for any other name.
+bool parse_wal_name(const std::string& name, std::uint32_t& shard,
+                    std::uint64_t& gen) {
+  unsigned s = 0;
+  unsigned long long g = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "wal-%u-%llu.log%n", &s, &g, &consumed) != 2 ||
+      static_cast<std::size_t>(consumed) != name.size()) {
+    return false;
+  }
+  shard = s;
+  gen = g;
+  return true;
+}
+
 /// Bucket answer straight from a block summary. Summary fields were
 /// computed with aggregate()'s folds over the same value order a decode
 /// would feed it, so this is bit-identical to the decoded answer.
@@ -228,6 +267,17 @@ Store::Store(const StoreOptions& options)
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (!options.data_dir.empty()) {
+    durable_ = std::make_unique<DurableState>();
+    durable_->dir = options.data_dir;
+    durable_->wal_sync = options.wal_sync;
+    durable_->tier_intervals = options.tier_intervals;
+    std::sort(durable_->tier_intervals.begin(), durable_->tier_intervals.end());
+    durable_->compact_block_points = options.compact_block_points;
+    durable_->retention = options.retention;
+    durable_->faults = options.faults;
+    recover();
+  }
 }
 
 Store::Shard& Store::shard_for(std::string_view metric,
@@ -258,15 +308,20 @@ Store::Series& Store::resolve_series(Shard& shard, const std::string& metric,
   return sit->second;
 }
 
-void Store::seal_prefix(Series& series, std::size_t n) {
+void Store::seal_prefix(Series& series, std::size_t n) const {
   // Seal the oldest `n` points of the append sequence. The chunk is
   // stable-sorted by time, so together with the stable cross-source merge
   // at query time the decoded order reproduces the stable sort of the full
-  // append sequence — the order the never-sealed store uses.
+  // append sequence — the order the never-sealed store uses. Durable
+  // stores attach downsample tiers (queries are byte-identical with or
+  // without them, so this cannot break the determinism invariant).
   std::vector<DataPoint> chunk(series.head.begin(),
                                series.head.begin() + static_cast<long>(n));
   std::stable_sort(chunk.begin(), chunk.end(), time_less);
-  series.blocks.push_back(SealedBlock::seal(chunk));
+  series.blocks.push_back(SealedBlock::seal(
+      chunk, durable_ != nullptr
+                 ? std::span<const util::SimTime>(durable_->tier_intervals)
+                 : std::span<const util::SimTime>{}));
   series.head.erase(series.head.begin(),
                     series.head.begin() + static_cast<long>(n));
   series.head_sorted = true;
@@ -301,19 +356,36 @@ void Store::put(const std::string& metric, const TagSet& tags,
   put_batch(metric, tags, std::span<const DataPoint>(&p, 1));
 }
 
+void Store::wal_append(Shard& shard, const std::string& metric,
+                       const TagSet& tags, std::span<const DataPoint> points) {
+  if (durable_ == nullptr) return;
+  if (shard.wal == nullptr) {
+    throw std::logic_error("tsdb::Store: put on closed store");
+  }
+  WalRecord rec;
+  rec.type = WalRecordType::Batch;
+  rec.metric = metric;
+  rec.tags = tags;
+  rec.points.assign(points.begin(), points.end());
+  shard.wal->append(rec);
+}
+
 void Store::put_batch(const std::string& metric, const TagSet& tags,
                       std::span<const DataPoint> points) {
   if (points.empty()) return;
+  check_open();
   const std::string canon = canonical(tags);
   Shard& shard = shard_for(metric, canon);
   {
     util::MutexLock lock(shard.mu);
+    wal_append(shard, metric, tags, points);
     append_run(shard, resolve_series(shard, metric, tags, canon), points);
   }
   bump_epoch();
 }
 
 void Store::put_batches(std::span<const SeriesBatch> batches) {
+  check_open();
   // Group batch indices by destination shard, then visit each shard once:
   // one lock acquisition covers every series bound for it.
   std::vector<std::vector<std::size_t>> by_shard(shards_.size());
@@ -333,6 +405,7 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
     util::MutexLock lock(shard.mu);
     for (const std::size_t i : by_shard[s]) {
       const auto& b = batches[i];
+      wal_append(shard, b.metric, b.tags, b.points);
       append_run(shard, resolve_series(shard, b.metric, b.tags, canons[i]),
                  b.points);
     }
@@ -341,6 +414,7 @@ void Store::put_batches(std::span<const SeriesBatch> batches) {
 }
 
 void Store::seal_all() {
+  check_open();
   for (const auto& shard : shards_) {
     util::MutexLock lock(shard->mu);
     for (auto& [metric, by_tags] : shard->metrics) {
@@ -385,6 +459,508 @@ StorageStats Store::storage_stats() const {
     }
   }
   return s;
+}
+
+void Store::check_open() const {
+  if (durable_ != nullptr &&
+      durable_->closed.load(std::memory_order_acquire)) {
+    throw std::logic_error("tsdb::Store: mutation on closed store");
+  }
+}
+
+void Store::adopt_segment(const LoadedSegment& seg) {
+  for (const SeriesPayload& payload : seg.series) {
+    const std::string canon = canonical(payload.tags);
+    Shard& shard = shard_for(payload.metric, canon);
+    util::MutexLock lock(shard.mu);
+    Series& series =
+        resolve_series(shard, payload.metric, payload.tags, canon);
+    std::size_t pts = 0;
+    for (const auto& b : payload.blocks) pts += b->count();
+    // Manifest order is oldest-first and recovery loads segments before
+    // replaying any WAL, so blocks land in seal order and the persisted
+    // prefix is the whole vector.
+    series.blocks.insert(series.blocks.end(), payload.blocks.begin(),
+                         payload.blocks.end());
+    series.persisted_blocks = series.blocks.size();
+    series.cum_persisted = std::max(series.cum_persisted, payload.cum_sealed);
+    shard.points.fetch_add(pts, std::memory_order_relaxed);
+  }
+}
+
+void Store::rotate_wal(std::uint32_t index, Shard& shard, std::uint64_t gen) {
+  auto& d = *durable_;
+  auto w = std::make_unique<WalWriter>(wal_path(d.dir, index, gen), index,
+                                       gen, d.wal_sync, d.faults);
+  WalRecord rec;
+  for (const auto& [metric, by_tags] : shard.metrics) {
+    for (const auto& [key, series] : by_tags) {
+      rec.type = WalRecordType::Checkpoint;
+      rec.metric = metric;
+      rec.tags.clear();
+      for (const auto& [k, v] : series.tags) {
+        rec.tags.emplace(std::string(k), std::string(v));
+      }
+      rec.cum_sealed = series.cum_persisted;
+      // The checkpoint must carry every point no segment covers: sealed
+      // blocks past the persisted prefix (blocks sealed during replay, or
+      // sealed by concurrent ingest after flush's snapshot) decode back
+      // into it ahead of the head. Decoding is exact, and the chunks are
+      // append-order slices, so replay's stable re-sort reproduces the
+      // original sequence — seal timing never leaks into query bytes.
+      rec.points.clear();
+      for (std::size_t i = series.persisted_blocks; i < series.blocks.size();
+           ++i) {
+        series.blocks[i]->decode_append(rec.points);
+      }
+      rec.points.insert(rec.points.end(), series.head.begin(),
+                        series.head.end());
+      w->append(rec);
+    }
+  }
+  rec = WalRecord{};
+  rec.type = WalRecordType::CheckpointEnd;
+  w->append(rec);
+  w->sync();
+  // The new generation is durable: the old one (if any) is garbage. On an
+  // injected crash above, `w`'s torn file stays on disk but shard.wal is
+  // untouched — recovery sees an incomplete checkpoint in the new
+  // generation and falls back to the old one.
+  std::string old_path;
+  if (shard.wal != nullptr) old_path = shard.wal->path();
+  shard.wal = std::move(w);
+  if (!old_path.empty()) {
+    std::error_code ec;
+    fs::remove(old_path, ec);  // best-effort; recovery sweeps leftovers
+  }
+}
+
+void Store::recover() {
+  auto& d = *durable_;
+  fs::create_directories(d.dir);
+  const bool had_manifest = fs::exists(d.dir + "/MANIFEST");
+  Manifest manifest = read_manifest(d.dir);
+
+  std::set<std::string> live;  // files recovery keeps
+  live.insert("MANIFEST");
+  for (const std::uint64_t seq : manifest.segments) {
+    const std::string path = segment_path(d.dir, seq);
+    adopt_segment(load_segment(path));
+    ++recovery_.segments_loaded;
+    live.insert(fs::path(path).filename().string());
+  }
+
+  // WAL files are keyed by the *writing* store's shard index, which need
+  // not match this store's shard count. A series' records all live in one
+  // file (its owner shard when written), in order — so replaying file by
+  // file, resolving every record's series by hash, preserves per-series
+  // apply order under any resharding.
+  std::map<std::uint32_t, std::vector<std::uint64_t>> wal_gens;
+  for (const auto& entry : fs::directory_iterator(d.dir)) {
+    std::uint32_t shard_idx = 0;
+    std::uint64_t gen = 0;
+    if (parse_wal_name(entry.path().filename().string(), shard_idx, gen)) {
+      wal_gens[shard_idx].push_back(gen);
+    }
+  }
+
+  for (auto& [wi, gv] : wal_gens) {
+    std::sort(gv.begin(), gv.end(), std::greater<>());
+    for (const std::uint64_t gen : gv) {
+      WalReplay r;
+      try {
+        r = replay_wal(wal_path(d.dir, wi, gen));
+      } catch (const CorruptionError&) {
+        continue;  // header torn at creation: use the previous generation
+      }
+      // A generation without its checkpoint-end marker died mid-rotation;
+      // the previous generation still holds the full history since *its*
+      // checkpoint, so fall back.
+      if (!r.checkpoint_complete) continue;
+      if (r.torn_offset.has_value()) ++recovery_.torn_tails;
+      ++recovery_.wal_generations_replayed;
+      // Per-series skip budget: the records replay the append sequence
+      // since the generation started (checkpoint head, then batches), and
+      // sealing always persists its oldest prefix first — so dropping
+      // (cum_persisted - checkpoint cum) points off the front removes
+      // exactly the ones a completed flush already moved into segments.
+      std::map<std::pair<std::string, std::string>, std::uint64_t> budget;
+      for (const WalRecord& rec : r.records) {
+        ++recovery_.wal_records;
+        const std::string canon = canonical(rec.tags);
+        Shard& shard = shard_for(rec.metric, canon);
+        util::MutexLock lock(shard.mu);
+        Series& series = resolve_series(shard, rec.metric, rec.tags, canon);
+        auto [it, inserted] = budget.try_emplace({rec.metric, canon}, 0);
+        if (inserted) {
+          const std::uint64_t ckpt =
+              rec.type == WalRecordType::Checkpoint ? rec.cum_sealed : 0;
+          it->second =
+              series.cum_persisted > ckpt ? series.cum_persisted - ckpt : 0;
+        }
+        const std::uint64_t skip =
+            std::min<std::uint64_t>(it->second, rec.points.size());
+        it->second -= skip;
+        recovery_.points_skipped += static_cast<std::size_t>(skip);
+        const std::span<const DataPoint> rest(
+            rec.points.data() + skip,
+            rec.points.size() - static_cast<std::size_t>(skip));
+        if (!rest.empty()) append_run(shard, series, rest);
+        recovery_.points_replayed += rest.size();
+      }
+      break;
+    }
+  }
+
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& shard = *shards_[si];
+    const auto it = wal_gens.find(static_cast<std::uint32_t>(si));
+    const std::uint64_t max_gen =
+        it == wal_gens.end() || it->second.empty() ? 0 : it->second.front();
+    util::MutexLock lock(shard.mu);
+    rotate_wal(static_cast<std::uint32_t>(si), shard, max_gen + 1);
+    live.insert(fs::path(shard.wal->path()).filename().string());
+  }
+
+  // Everything else in the directory is dead: segments a crash left
+  // unreferenced by the manifest, superseded WAL generations, tmp files.
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(d.dir)) {
+    if (live.count(entry.path().filename().string()) == 0) {
+      stale.push_back(entry.path());
+    }
+  }
+  for (const auto& path : stale) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (!ec) ++recovery_.stale_files_removed;
+  }
+
+  if (!had_manifest) {
+    write_manifest(d.dir, manifest, d.faults.get(), util::kFaultBlockFileWrite,
+                   0);
+  }
+  util::MutexLock lock(d.mu);
+  d.manifest = manifest;
+}
+
+void Store::swap_persisted(const LoadedSegment& seg) {
+  for (const SeriesPayload& payload : seg.series) {
+    const std::string canon = canonical(payload.tags);
+    Shard& shard = shard_for(payload.metric, canon);
+    util::MutexLock lock(shard.mu);
+    Series& series = shard.metrics.find(payload.metric)
+                         ->second.find(canon)
+                         ->second;
+    // The payload's blocks are the mmap-backed copies of exactly
+    // blocks[persisted_blocks .. persisted_blocks + n): ingest only
+    // appends, and the persisted prefix only moves under DurableState::mu,
+    // which flush holds.
+    for (std::size_t i = 0; i < payload.blocks.size(); ++i) {
+      series.blocks[series.persisted_blocks + i] = payload.blocks[i];
+    }
+    series.persisted_blocks += payload.blocks.size();
+    series.cum_persisted = payload.cum_sealed;
+  }
+}
+
+void Store::flush() {
+  if (durable_ == nullptr) return;
+  check_open();
+  auto& d = *durable_;
+  util::MutexLock dlock(d.mu);
+
+  // 1. Snapshot every sealed-but-unpersisted block. The snapshot stays
+  // valid while the segment is written outside the shard locks: ingest
+  // only appends, and the persisted prefix moves only under d.mu.
+  std::vector<SeriesPayload> payloads;
+  std::vector<std::string> canons;  // parallel to payloads
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    for (const auto& [metric, by_tags] : shard->metrics) {
+      for (const auto& [key, series] : by_tags) {
+        if (series.blocks.size() <= series.persisted_blocks) continue;
+        SeriesPayload p;
+        p.metric = metric;
+        for (const auto& [k, v] : series.tags) {
+          p.tags.emplace(std::string(k), std::string(v));
+        }
+        p.blocks.assign(
+            series.blocks.begin() +
+                static_cast<long>(series.persisted_blocks),
+            series.blocks.end());
+        std::uint64_t pts = 0;
+        for (const auto& b : p.blocks) pts += b->count();
+        p.cum_sealed = series.cum_persisted + pts;
+        canons.push_back(key);
+        payloads.push_back(std::move(p));
+      }
+    }
+  }
+
+  if (!payloads.empty()) {
+    // The format wants series sorted by (metric, canonical tags) so the
+    // same logical state always produces the same file bytes.
+    std::vector<std::size_t> order(payloads.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::tie(payloads[a].metric, canons[a]) <
+                       std::tie(payloads[b].metric, canons[b]);
+              });
+    std::vector<SeriesPayload> sorted;
+    sorted.reserve(payloads.size());
+    for (const std::size_t i : order) sorted.push_back(std::move(payloads[i]));
+
+    // Segment first (inert until named), then the manifest commit point,
+    // then swap the in-memory blocks for the mmap-backed copies.
+    const std::uint64_t seq = d.manifest.next_seq;
+    const std::string path = segment_path(d.dir, seq);
+    write_segment(path, seq, sorted, d.faults.get(), "segment");
+    Manifest m = d.manifest;
+    m.segments.push_back(seq);
+    m.next_seq = seq + 1;
+    write_manifest(d.dir, m, d.faults.get(), util::kFaultBlockFileWrite, seq);
+    d.manifest = m;
+    swap_persisted(load_segment(path));
+  }
+
+  // 2. Rotate every shard's WAL. The fresh checkpoint re-bases each series
+  // on its new cum_persisted, so the old generation's batch history —
+  // including everything the segment just absorbed — is dead.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& shard = *shards_[si];
+    util::MutexLock lock(shard.mu);
+    if (shard.wal != nullptr) {
+      rotate_wal(static_cast<std::uint32_t>(si), shard,
+                 shard.wal->gen() + 1);
+    }
+  }
+}
+
+bool Store::compact() {
+  if (durable_ == nullptr) return false;
+  check_open();
+  auto& d = *durable_;
+  util::MutexLock dlock(d.mu);
+
+  // Snapshot every persisted prefix, and find the newest timestamp in the
+  // store — retention horizons are measured from data time (the store has
+  // no clock; see the determinism audit).
+  struct Snap {
+    std::string metric;
+    TagSet tags;
+    std::string canon;
+    std::uint64_t cum = 0;
+    std::vector<std::shared_ptr<const SealedBlock>> blocks;
+  };
+  std::vector<Snap> snaps;
+  util::SimTime data_max = 0;
+  bool have_data = false;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    for (const auto& [metric, by_tags] : shard->metrics) {
+      for (const auto& [key, series] : by_tags) {
+        for (const auto& b : series.blocks) {
+          if (!have_data || b->t_max() > data_max) data_max = b->t_max();
+          have_data = true;
+        }
+        for (const auto& p : series.head) {
+          if (!have_data || p.time > data_max) data_max = p.time;
+          have_data = true;
+        }
+        if (series.persisted_blocks == 0) continue;
+        Snap s;
+        s.metric = metric;
+        s.canon = key;
+        s.cum = series.cum_persisted;
+        for (const auto& [k, v] : series.tags) {
+          s.tags.emplace(std::string(k), std::string(v));
+        }
+        s.blocks.assign(
+            series.blocks.begin(),
+            series.blocks.begin() + static_cast<long>(series.persisted_blocks));
+        snaps.push_back(std::move(s));
+      }
+    }
+  }
+  if (snaps.empty()) return false;
+
+  // Plan the rewrite: apply retention, then merge runs of consecutive
+  // non-overlapping raw blocks up to compact_block_points. Re-sealing the
+  // concatenated decode is exact: each block decodes to a sorted run and
+  // next.t_min >= prev.t_max, so the concatenation is the same stable
+  // time-sorted append sequence the original seal saw.
+  bool changed = d.manifest.segments.size() > 1;
+  const std::span<const util::SimTime> tiers(d.tier_intervals);
+  std::vector<SeriesPayload> payloads;
+  payloads.reserve(snaps.size());
+  std::vector<const Snap*> payload_snaps;
+  for (const Snap& s : snaps) {
+    const RetentionPolicy* policy = find_retention(d.retention, s.metric);
+    SeriesPayload p;
+    p.metric = s.metric;
+    p.tags = s.tags;
+    p.cum_sealed = s.cum;
+    std::vector<std::shared_ptr<const SealedBlock>> run;
+    std::size_t run_points = 0;
+    const auto emit_run = [&] {
+      if (run.empty()) return;
+      if (run.size() == 1) {
+        p.blocks.push_back(std::move(run.front()));
+      } else {
+        std::vector<DataPoint> pts;
+        pts.reserve(run_points);
+        for (const auto& b : run) b->decode_append(pts);
+        p.blocks.push_back(SealedBlock::seal(pts, tiers));
+        changed = true;
+      }
+      run.clear();
+      run_points = 0;
+    };
+    for (const auto& b : s.blocks) {
+      const bool tier_expired = policy != nullptr && policy->tiers > 0 &&
+                                b->t_max() < data_max - policy->tiers;
+      const bool raw_expired = policy != nullptr && policy->raw > 0 &&
+                               b->t_max() < data_max - policy->raw;
+      if (tier_expired) {  // dropped entirely (cum_sealed keeps counting it)
+        emit_run();
+        changed = true;
+        continue;
+      }
+      if (!b->has_raw() || raw_expired) {
+        emit_run();
+        if (b->has_raw()) {
+          // Raw expired: keep a ghost (summary + tiers). The tier spans
+          // still view the old block's buffers, so pin it as backing until
+          // the segment write copies the bytes out.
+          std::vector<TierLevel> tl(b->tiers().begin(), b->tiers().end());
+          p.blocks.push_back(
+              SealedBlock::from_parts(b->summary(), {}, {}, std::move(tl), b));
+          changed = true;
+        } else {
+          p.blocks.push_back(b);
+        }
+        continue;
+      }
+      if (!run.empty() && (run_points + b->count() > d.compact_block_points ||
+                           b->t_min() < run.back()->t_max())) {
+        emit_run();
+      }
+      run_points += b->count();
+      run.push_back(b);
+    }
+    emit_run();
+    if (!p.blocks.empty()) {
+      payloads.push_back(std::move(p));
+      payload_snaps.push_back(&s);
+    }
+  }
+  if (!changed) return false;
+
+  std::vector<std::size_t> order(payloads.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(payloads[a].metric, payload_snaps[a]->canon) <
+           std::tie(payloads[b].metric, payload_snaps[b]->canon);
+  });
+  std::vector<SeriesPayload> sorted;
+  sorted.reserve(payloads.size());
+  for (const std::size_t i : order) sorted.push_back(std::move(payloads[i]));
+
+  const std::uint64_t seq = d.manifest.next_seq;
+  const std::string path = segment_path(d.dir, seq);
+  write_segment(path, seq, sorted, d.faults.get(), "compact");
+  Manifest m;
+  m.next_seq = seq + 1;
+  m.segments = {seq};
+  write_manifest(d.dir, m, d.faults.get(), util::kFaultCompactCommit, seq);
+  const std::vector<std::uint64_t> old_segments = d.manifest.segments;
+  d.manifest = m;
+
+  // Swap each snapshot's persisted prefix for the segment-backed blocks
+  // (or nothing, when retention dropped the whole series).
+  const LoadedSegment seg = load_segment(path);
+  std::map<std::pair<std::string, std::string>, const SeriesPayload*> by_key;
+  for (const SeriesPayload& payload : seg.series) {
+    by_key[{payload.metric, canonical(payload.tags)}] = &payload;
+  }
+  for (const Snap& s : snaps) {
+    Shard& shard = shard_for(s.metric, s.canon);
+    util::MutexLock lock(shard.mu);
+    Series& series =
+        shard.metrics.find(s.metric)->second.find(s.canon)->second;
+    const auto it = by_key.find({s.metric, s.canon});
+    std::size_t old_pts = 0;
+    for (std::size_t i = 0; i < series.persisted_blocks; ++i) {
+      old_pts += series.blocks[i]->count();
+    }
+    std::vector<std::shared_ptr<const SealedBlock>> nb;
+    if (it != by_key.end()) nb = it->second->blocks;
+    std::size_t new_pts = 0;
+    for (const auto& b : nb) new_pts += b->count();
+    series.blocks.erase(
+        series.blocks.begin(),
+        series.blocks.begin() + static_cast<long>(series.persisted_blocks));
+    series.blocks.insert(series.blocks.begin(), nb.begin(), nb.end());
+    series.persisted_blocks = nb.size();
+    shard.points.fetch_sub(old_pts - new_pts, std::memory_order_relaxed);
+  }
+
+  // Unlink the superseded segments; query snapshots still holding their
+  // blocks keep the mappings alive (POSIX allows unlink-while-mapped).
+  for (const std::uint64_t old_seq : old_segments) {
+    std::error_code ec;
+    fs::remove(segment_path(d.dir, old_seq), ec);
+  }
+  return true;
+}
+
+void Store::close() {
+  if (durable_ == nullptr) return;
+  if (durable_->closed.load(std::memory_order_acquire)) return;
+  flush();  // rotates every WAL to a synced checkpoint-only generation
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    shard->wal.reset();
+  }
+  durable_->closed.store(true, std::memory_order_release);
+}
+
+DiskStats Store::disk_stats() const {
+  DiskStats out;
+  if (durable_ == nullptr) return out;
+  auto& d = *durable_;
+  util::MutexLock dlock(d.mu);
+  for (const std::uint64_t seq : d.manifest.segments) {
+    std::error_code ec;
+    const auto sz = fs::file_size(segment_path(d.dir, seq), ec);
+    if (!ec) {
+      ++out.segment_files;
+      out.segment_bytes += static_cast<std::size_t>(sz);
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(d.dir)) {
+    std::uint32_t shard_idx = 0;
+    std::uint64_t gen = 0;
+    if (parse_wal_name(entry.path().filename().string(), shard_idx, gen)) {
+      std::error_code ec;
+      const auto sz = entry.file_size(ec);
+      if (!ec) out.wal_bytes += static_cast<std::size_t>(sz);
+    }
+  }
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    for (const auto& [metric, by_tags] : shard->metrics) {
+      for (const auto& [key, series] : by_tags) {
+        for (std::size_t i = 0; i < series.persisted_blocks; ++i) {
+          out.tier_bytes += series.blocks[i]->tier_bytes();
+          out.persisted_points += series.blocks[i]->count();
+        }
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<SeriesResult> Store::query(const Query& q) const {
@@ -502,6 +1078,40 @@ void Store::process_series(const Query& q, Partial& p) {
           stager.emit_summary(bb, rollup_value(b.summary(), agg));
           continue;
         }
+      }
+    }
+    // Tier fast path: a foldable downsample whose bucket is a multiple of
+    // a tier interval folds the block's tier entries instead of decoding
+    // raw points — each entry covers one interval-aligned run, so all its
+    // points share one query bucket, and by associativity of the
+    // Min/Max/Count folds (tier entries were folded with aggregate()'s
+    // folds in stored order) the result is bit-identical to decoding.
+    // Bucket boundaries shared with neighbouring sources join the running
+    // fold exactly like block summaries do. An entry whose fold went NaN
+    // would absorb a join the decode fold would skip, so has_nan tiers
+    // fall back to decode (Count is exempt: counts are exact regardless).
+    // This is also the only read path for retention ghosts.
+    if (q.downsample > 0 && stager.foldable() && !b.tiers().empty() &&
+        in_range(q, b.t_min()) && in_range(q, b.t_max())) {
+      const Aggregator agg = q.downsample_aggregator;
+      const TierLevel* best = nullptr;
+      for (const auto& t : b.tiers()) {  // ascending: last match = coarsest
+        if (t.interval > 0 && q.downsample % t.interval == 0 &&
+            (agg == Aggregator::Count || !t.has_nan)) {
+          best = &t;
+        }
+      }
+      if (best != nullptr) {
+        SealedBlock::TierCursor tc(*best);
+        TierEntry e;
+        while (tc.next(e)) {
+          const double v = agg == Aggregator::Min   ? e.min
+                           : agg == Aggregator::Max ? e.max
+                                                    : static_cast<double>(
+                                                          e.count);
+          stager.add_summary(bucket_of(q, e.bucket), v, e.count);
+        }
+        continue;
       }
     }
     auto c = b.cursor();

@@ -57,7 +57,9 @@
 #include <vector>
 
 #include "tsdb/block.hpp"
+#include "tsdb/wal.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace tacc::util {
@@ -66,9 +68,8 @@ class ThreadPool;
 
 namespace tacc::tsdb {
 
-/// Sorted key=value tag pairs identifying one series (plus the metric
-/// name kept separately).
-using TagSet = std::map<std::string, std::string>;
+// TagSet (the sorted key=value tag map identifying one series) lives in
+// block.hpp so the on-disk format headers can use it too.
 
 enum class Aggregator { Sum, Avg, Min, Max, Count };
 
@@ -98,6 +99,19 @@ struct SeriesResult {
   std::vector<DataPoint> points;  // sorted by time
 };
 
+/// How long one metric family's persisted data survives compaction.
+/// Horizons are measured backwards from the newest timestamp stored
+/// anywhere in the store (data time, never wall time — the store has no
+/// clock), and a block expires only when *all* of it is past the horizon.
+struct RetentionPolicy {
+  /// Raw compressed streams older than this are dropped at compaction,
+  /// leaving a "ghost" block (summary + downsample tiers only) that keeps
+  /// serving rollup and tier queries. 0 = keep raw forever.
+  util::SimTime raw = 0;
+  /// Ghosts older than this are dropped entirely. 0 = keep forever.
+  util::SimTime tiers = 0;
+};
+
 /// Tuning knobs for the store. Defaults are sized for tens of concurrent
 /// writers on a few hundred thousand series.
 struct StoreOptions {
@@ -110,6 +124,29 @@ struct StoreOptions {
   /// better and give coarser rollups; smaller blocks give finer block
   /// skipping.
   std::size_t block_points = 1024;
+  /// Directory for durable state (segments, WALs, MANIFEST); created if
+  /// missing. Empty = in-memory store: no files, no WAL, no tiers, and
+  /// flush()/compact()/close() are no-ops.
+  std::string data_dir;
+  /// When WAL appends are fsync'd (durable stores only). See tsdb::WalSync.
+  WalSync wal_sync = WalSync::OnFlush;
+  /// Downsample tiers attached to every block sealed by a durable store,
+  /// ascending. Month-scale foldable queries whose bucket is a multiple of
+  /// a tier interval are answered from tier entries without decoding raw
+  /// points. Ignored (no tiers) for in-memory stores.
+  std::vector<util::SimTime> tier_intervals = {5 * util::kMinute, util::kHour};
+  /// Compaction merges consecutive non-overlapping persisted blocks of a
+  /// series until a merged block would exceed this many points.
+  std::size_t compact_block_points = 16384;
+  /// Retention by metric family: longest matching key that is a prefix of
+  /// the metric name wins; unmatched metrics are kept forever. Applied at
+  /// compaction time only.
+  std::map<std::string, RetentionPolicy> retention;
+  /// Fault plan driving the persistence crash sites (util::kFaultWalAppend,
+  /// kFaultWalSync, kFaultBlockFileWrite, kFaultCompactCommit). An injected
+  /// error leaves a deterministic torn prefix on disk and throws
+  /// InjectedCrash; the store must then be abandoned and reopened.
+  std::shared_ptr<const util::FaultPlan> faults;
 };
 
 /// One series' worth of points staged for bulk insertion; the unit
@@ -129,10 +166,62 @@ struct StorageStats {
   std::size_t sealed_bytes = 0;
 };
 
+/// On-disk accounting for a durable store, for the bytes/point gate.
+struct DiskStats {
+  std::size_t segment_files = 0;
+  /// Total bytes of the live segment files (headers, CRCs, tiers, all).
+  std::size_t segment_bytes = 0;
+  /// Downsample-tier stream bytes inside those segments — an acceleration
+  /// structure, accounted separately from the primary copy.
+  std::size_t tier_bytes = 0;
+  /// Bytes of the live WAL generations (points not yet in a segment).
+  std::size_t wal_bytes = 0;
+  /// Points stored in segments (ghost summaries included).
+  std::size_t persisted_points = 0;
+  /// The primary on-disk copy of the data: everything except tier streams.
+  std::size_t primary_bytes() const noexcept {
+    return segment_bytes - tier_bytes + wal_bytes;
+  }
+};
+
+/// What Store::open() found and did; for recovery tests and logs.
+struct RecoveryInfo {
+  std::size_t segments_loaded = 0;
+  std::size_t wal_generations_replayed = 0;
+  std::size_t wal_records = 0;
+  /// WAL points applied to heads vs. skipped as already segment-covered.
+  std::size_t points_replayed = 0;
+  std::size_t points_skipped = 0;
+  /// WAL files that ended in a torn record (the normal post-crash case).
+  std::size_t torn_tails = 0;
+  /// Unreferenced files deleted: torn segments, stale WAL gens, tmp files.
+  std::size_t stale_files_removed = 0;
+};
+
 class Store {
  public:
   Store() : Store(StoreOptions{}) {}
+  /// In-memory store when options.data_dir is empty; otherwise opens (or
+  /// creates) the durable store in that directory, running full recovery:
+  /// load manifest-named segments, replay each shard's newest complete WAL
+  /// generation (skipping segment-covered points), rotate WALs, and delete
+  /// stale files. Query results after recovery are byte-identical to the
+  /// pre-crash store restricted to acknowledged writes. Throws
+  /// CorruptionError if the manifest or a manifest-named segment is
+  /// damaged (torn *unreferenced* files are cleaned up, not errors).
   explicit Store(const StoreOptions& options);
+
+  /// Opens `dir` with default options — the one-liner for recovery.
+  static Store open(const std::string& dir) {
+    StoreOptions o;
+    o.data_dir = dir;
+    return Store(o);
+  }
+
+  /// Destruction does NOT flush: it is deliberately crash-equivalent (the
+  /// WAL already holds every acknowledged put). Call close() for a clean
+  /// shutdown that persists sealed blocks and truncates the WALs.
+  ~Store() = default;
 
   Store(Store&&) noexcept = default;
   Store& operator=(Store&&) noexcept = default;
@@ -172,6 +261,41 @@ class Store {
   /// Per-tier storage accounting. Thread-safe.
   StorageStats storage_stats() const;
 
+  /// True when the store was opened with a data_dir.
+  bool durable() const noexcept { return durable_ != nullptr; }
+
+  /// Persists every sealed-but-unpersisted block into a new segment,
+  /// commits the manifest, swaps the in-memory copies for the segment's
+  /// memory-mapped ones, and rotates each shard's WAL (checkpointing the
+  /// current heads, then deleting the old generation). No-op for in-memory
+  /// stores. Thread-safe against concurrent ingest and queries; flush and
+  /// compact serialize against each other. On InjectedCrash the store must
+  /// be abandoned and reopened (disk state is consistent at every kill
+  /// point — that is the crash-recovery test matrix).
+  void flush();
+
+  /// Rewrites all persisted state into one segment: merges consecutive
+  /// non-overlapping blocks up to compact_block_points, applies retention
+  /// (raw-expired blocks become ghosts, tier-expired ghosts are dropped),
+  /// commits the manifest, swaps in the new mapping, and deletes the old
+  /// segments. Query results are byte-identical before and after, except
+  /// for points removed by retention. Returns false if there was nothing
+  /// to do. No-op (false) for in-memory stores. Thread-safe like flush().
+  bool compact();
+
+  /// flush() + fsync + release the WAL writers. After close() every
+  /// mutation (put/seal/flush/compact) throws std::logic_error; queries
+  /// and stats remain valid. Idempotent. No-op for in-memory stores.
+  void close();
+
+  /// Sizes of the live on-disk files. Thread-safe. Zeroes for in-memory
+  /// stores.
+  DiskStats disk_stats() const;
+
+  /// What recovery found when this store was opened (zeroes for a fresh
+  /// directory or an in-memory store).
+  const RecoveryInfo& recovery_info() const noexcept { return recovery_; }
+
   /// Store-wide ingest epoch: a monotonic counter bumped by every mutation
   /// (put / put_batch / put_batches / seal_all), so a cache layered above
   /// the store (portal::QueryEngine) can key results by epoch and drop
@@ -196,11 +320,19 @@ class Store {
   struct Series {
     /// Sorted (key, value) views into the owning shard's intern pool.
     std::vector<std::pair<std::string_view, std::string_view>> tags;
-    /// Immutable sealed tier, in seal (append-chunk) order.
+    /// Immutable sealed tier, in seal (append-chunk) order. The first
+    /// `persisted_blocks` entries are segment-backed (their byte streams
+    /// view a segment mapping); the rest are memory-only, awaiting flush.
     std::vector<std::shared_ptr<const SealedBlock>> blocks;
     /// Mutable tail of the append sequence.
     std::vector<DataPoint> head;
     bool head_sorted = true;
+    /// Length of the segment-backed prefix of `blocks`. Only flush() and
+    /// compact() (serialized by DurableState::mu) change it.
+    std::size_t persisted_blocks = 0;
+    /// Points ever persisted into segments, monotonic across compaction
+    /// and retention; WAL replay uses it to skip segment-covered points.
+    std::uint64_t cum_persisted = 0;
   };
   struct Shard {
     mutable util::Mutex mu;
@@ -214,6 +346,24 @@ class Store {
         metrics TACC_GUARDED_BY(mu);
     /// Lock-free read path for num_points(); not guarded on purpose.
     std::atomic<std::size_t> points{0};
+    /// Live WAL generation; null for in-memory stores and after close().
+    /// Appends happen under `mu`, *before* the points are applied, so WAL
+    /// order equals memory order.
+    std::unique_ptr<WalWriter> wal TACC_GUARDED_BY(mu);
+  };
+  /// Everything a durable store adds. `mu` serializes flush/compact and
+  /// orders strictly before any Shard::mu (one-way; shard locks are never
+  /// nested with each other).
+  struct DurableState {
+    std::string dir;
+    WalSync wal_sync = WalSync::OnFlush;
+    std::vector<util::SimTime> tier_intervals;
+    std::size_t compact_block_points = 16384;
+    std::map<std::string, RetentionPolicy> retention;
+    std::shared_ptr<const util::FaultPlan> faults;
+    util::Mutex mu;
+    Manifest manifest TACC_GUARDED_BY(mu);
+    std::atomic<bool> closed{false};
   };
   /// A matched series snapshot plus its per-series query result; the
   /// snapshot (block refs + head copy) is taken under the shard lock and
@@ -236,9 +386,31 @@ class Store {
       TACC_REQUIRES(shard.mu);
   void append_run(Shard& shard, Series& series,
                   std::span<const DataPoint> points) TACC_REQUIRES(shard.mu);
+  /// Durable stores: logs the batch to the shard's WAL before it is
+  /// applied. Throws InjectedCrash (batch not applied, not acknowledged)
+  /// or std::logic_error if the store was closed underneath the caller.
+  void wal_append(Shard& shard, const std::string& metric, const TagSet& tags,
+                  std::span<const DataPoint> points) TACC_REQUIRES(shard.mu);
   /// Seals the first `n` head points (append order, stable-sorted by time)
-  /// into a new block.
-  static void seal_prefix(Series& series, std::size_t n);
+  /// into a new block (with downsample tiers when the store is durable).
+  void seal_prefix(Series& series, std::size_t n) const;
+  /// Throws std::logic_error after close(), InjectedCrash semantics aside.
+  void check_open() const;
+
+  // --- durable internals (all require durable_ != nullptr) ---
+  /// Recovery: manifest -> segments -> WAL replay -> rotation -> cleanup.
+  void recover();
+  /// Adopts one validated segment's series into the shards (recovery).
+  void adopt_segment(const LoadedSegment& seg);
+  /// Writes a fresh WAL generation for `shard`: a checkpoint of every
+  /// series (cum_persisted + head points) closed by the end marker, synced,
+  /// swapped in, and the previous generation's file deleted.
+  void rotate_wal(std::uint32_t index, Shard& shard, std::uint64_t gen)
+      TACC_REQUIRES(shard.mu);
+  /// Flush step: swaps each series' freshly persisted blocks for the
+  /// segment-backed copies loaded from `seg` and extends the persisted
+  /// prefix. (Compaction swaps whole prefixes inline in compact().)
+  void swap_persisted(const LoadedSegment& seg);
   /// Computes one matched series' downsampled buckets from its snapshot.
   static void process_series(const Query& q, Partial& p);
   std::vector<SeriesResult> query_impl(const Query& q,
@@ -254,6 +426,9 @@ class Store {
   /// Heap-allocated so the store stays movable (atomics are not).
   std::unique_ptr<std::atomic<std::uint64_t>> epoch_;
   std::size_t block_points_ = 1024;
+  /// Null for in-memory stores.
+  std::unique_ptr<DurableState> durable_;
+  RecoveryInfo recovery_;
 };
 
 /// Applies an aggregator to a run of values (empty -> 0, except Count).

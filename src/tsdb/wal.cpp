@@ -1,0 +1,260 @@
+#include "tsdb/wal.hpp"
+
+#include <cstdio>
+
+#include "tsdb/coding.hpp"
+
+namespace tacc::tsdb {
+
+namespace {
+
+constexpr std::size_t kWalHeaderSize = 4 + 4 + 4 + 8 + 4;
+constexpr std::size_t kFrameOverhead = 8;  // u32 len + u32 crc
+constexpr std::uint64_t kMaxRecordBytes = 1ull << 30;
+
+void append_string(std::vector<std::uint8_t>& out, std::string_view s) {
+  coding::put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> encode_payload(const WalRecord& rec) {
+  std::vector<std::uint8_t> p;
+  switch (rec.type) {
+    case WalRecordType::CheckpointEnd:
+      p.push_back(kWalCheckpointEndTag);
+      return p;
+    case WalRecordType::Checkpoint:
+      p.push_back(kWalCheckpointTag);
+      break;
+    case WalRecordType::Batch:
+      p.push_back(kWalBatchTag);
+      break;
+  }
+  append_string(p, rec.metric);
+  coding::put_varint(p, rec.tags.size());
+  for (const auto& [k, v] : rec.tags) {
+    append_string(p, k);
+    append_string(p, v);
+  }
+  if (rec.type == WalRecordType::Checkpoint) {
+    coding::put_varint(p, rec.cum_sealed);
+  }
+  coding::put_varint(p, rec.points.size());
+  util::SimTime prev = 0;
+  for (std::size_t i = 0; i < rec.points.size(); ++i) {
+    const util::SimTime t = rec.points[i].time;
+    coding::put_varint(p, coding::zigzag(i == 0 ? t : t - prev));
+    coding::put_u64(p, coding::double_bits(rec.points[i].value));
+    prev = t;
+  }
+  return p;
+}
+
+/// Parses one payload; returns false on any structural problem (the
+/// caller treats the frame as torn — the writer never produces this).
+bool decode_payload(std::span<const std::uint8_t> p, WalRecord& out) {
+  const std::uint8_t* d = p.data();
+  const std::size_t size = p.size();
+  std::size_t pos = 0;
+  if (size == 0) return false;
+  const std::uint8_t type = d[pos++];
+  if (type == kWalCheckpointEndTag) {
+    out.type = WalRecordType::CheckpointEnd;
+    return pos == size;
+  }
+  if (type == kWalCheckpointTag) {
+    out.type = WalRecordType::Checkpoint;
+  } else if (type == kWalBatchTag) {
+    out.type = WalRecordType::Batch;
+  } else {
+    return false;
+  }
+
+  const auto read_string = [&](std::string& s) {
+    std::uint64_t len = 0;
+    if (!coding::get_varint_checked(d, size, pos, len)) return false;
+    if (size - pos < len) return false;
+    s.assign(reinterpret_cast<const char*>(d) + pos,
+             static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    return true;
+  };
+
+  if (!read_string(out.metric)) return false;
+  std::uint64_t n_tags = 0;
+  if (!coding::get_varint_checked(d, size, pos, n_tags)) return false;
+  for (std::uint64_t i = 0; i < n_tags; ++i) {
+    std::string k;
+    std::string v;
+    if (!read_string(k) || !read_string(v)) return false;
+    out.tags.emplace(std::move(k), std::move(v));
+  }
+  if (out.type == WalRecordType::Checkpoint &&
+      !coding::get_varint_checked(d, size, pos, out.cum_sealed)) {
+    return false;
+  }
+  std::uint64_t n_points = 0;
+  if (!coding::get_varint_checked(d, size, pos, n_points)) return false;
+  if ((size - pos) / 9 + 1 < n_points) return false;  // cheap bound: >=9B/pt
+  out.points.reserve(static_cast<std::size_t>(n_points));
+  util::SimTime prev = 0;
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    std::uint64_t zz = 0;
+    if (!coding::get_varint_checked(d, size, pos, zz)) return false;
+    if (size - pos < 8) return false;
+    const util::SimTime t =
+        i == 0 ? coding::unzigzag(zz) : prev + coding::unzigzag(zz);
+    out.points.push_back({t, coding::bits_double(coding::get_u64(d + pos))});
+    pos += 8;
+    prev = t;
+  }
+  return pos == size;
+}
+
+}  // namespace
+
+std::string wal_path(const std::string& dir, std::uint32_t shard,
+                     std::uint64_t gen) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%03u-%06llu.log", shard,
+                static_cast<unsigned long long>(gen));
+  return dir + "/" + name;
+}
+
+WalReplay replay_wal(const std::string& path) {
+  const std::vector<std::uint8_t> data = util::read_file(path);
+  if (data.size() < kWalHeaderSize) {
+    throw CorruptionError("wal header too short", 0);
+  }
+  if (coding::get_u32(data.data()) != kWalMagic) {
+    throw CorruptionError("bad wal magic", 0);
+  }
+  if (coding::get_u32(data.data() + 4) != kWalFormatVersion) {
+    throw CorruptionError("unsupported wal version", 4);
+  }
+  if (util::crc32c(data.data(), kWalHeaderSize - 4) !=
+      coding::get_u32(data.data() + kWalHeaderSize - 4)) {
+    throw CorruptionError("wal header checksum mismatch", 0);
+  }
+
+  WalReplay out;
+  out.shard = coding::get_u32(data.data() + 8);
+  out.gen = coding::get_u64(data.data() + 12);
+
+  std::size_t pos = kWalHeaderSize;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameOverhead) {
+      out.torn_offset = pos;
+      break;
+    }
+    const std::uint64_t len = coding::get_u32(data.data() + pos);
+    if (len == 0 || len > kMaxRecordBytes ||
+        len > data.size() - pos - kFrameOverhead) {
+      out.torn_offset = pos;
+      break;
+    }
+    const std::uint32_t crc = coding::get_u32(data.data() + pos + 4);
+    const std::uint8_t* payload = data.data() + pos + kFrameOverhead;
+    if (util::crc32c(payload, static_cast<std::size_t>(len)) != crc) {
+      out.torn_offset = pos;
+      break;
+    }
+    WalRecord rec;
+    if (!decode_payload({payload, static_cast<std::size_t>(len)}, rec)) {
+      out.torn_offset = pos;
+      break;
+    }
+    if (rec.type == WalRecordType::CheckpointEnd) {
+      out.checkpoint_complete = true;
+    } else {
+      out.records.push_back(std::move(rec));
+    }
+    pos += kFrameOverhead + static_cast<std::size_t>(len);
+  }
+  return out;
+}
+
+WalWriter::WalWriter(const std::string& path, std::uint32_t shard,
+                     std::uint64_t gen, WalSync sync_mode,
+                     std::shared_ptr<const util::FaultPlan> faults)
+    : path_(path),
+      fault_key_("shard-" + std::to_string(shard)),
+      gen_(gen),
+      sync_mode_(sync_mode),
+      faults_(std::move(faults)),
+      file_(path, /*truncate=*/true) {
+  std::vector<std::uint8_t> h;
+  coding::put_u32(h, kWalMagic);
+  coding::put_u32(h, kWalFormatVersion);
+  coding::put_u32(h, shard);
+  coding::put_u64(h, gen);
+  coding::put_u32(h, util::crc32c(h.data(), h.size()));
+  file_.append(h);
+}
+
+void WalWriter::check_poisoned() const {
+  if (poisoned_) throw InjectedCrash(std::string(util::kFaultWalAppend));
+}
+
+void WalWriter::append(const WalRecord& record) {
+  check_poisoned();
+  const std::vector<std::uint8_t> payload = encode_payload(record);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + kFrameOverhead);
+  coding::put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  coding::put_u32(frame, util::crc32c(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  if (faults_ != nullptr && !faults_->empty()) {
+    const std::uint64_t salt = ops_++;
+    // Both sites tear the frame *before* it completes: a record must never
+    // be durable while its put reported failure, or recovery would replay
+    // a point the caller was told did not land. (wal.sync is consulted
+    // here too because in Always mode the sync is part of the append op.)
+    std::string_view site;
+    if (faults_->decide(util::kFaultWalAppend, fault_key_, salt, 0).error) {
+      site = util::kFaultWalAppend;
+    } else if (sync_mode_ == WalSync::Always &&
+               faults_->decide(util::kFaultWalSync, fault_key_, salt, 0)
+                   .error) {
+      site = util::kFaultWalSync;
+    }
+    if (!site.empty()) {
+      // Torn write: a deterministic prefix of the frame reaches the file,
+      // like a process killed mid-write. The record's CRC can no longer
+      // match, so replay stops exactly here.
+      const auto torn = static_cast<std::size_t>(
+          faults_->uniform(site, fault_key_, salt) *
+          static_cast<double>(frame.size()));
+      file_.append(std::span<const std::uint8_t>(frame).subspan(0, torn));
+      file_.flush();
+      poisoned_ = true;
+      throw InjectedCrash(std::string(site));
+    }
+  }
+  file_.append(frame);
+  if (sync_mode_ == WalSync::Always) {
+    file_.sync();
+  } else {
+    file_.flush();  // keep the kernel's view current for torn-tail realism
+  }
+}
+
+void WalWriter::sync() {
+  check_poisoned();
+  if (sync_mode_ == WalSync::Never) {
+    file_.flush();
+    return;
+  }
+  if (faults_ != nullptr && !faults_->empty()) {
+    const std::uint64_t salt = ops_++;
+    if (faults_->decide(util::kFaultWalSync, fault_key_, salt, 0).error) {
+      file_.flush();
+      poisoned_ = true;
+      throw InjectedCrash(std::string(util::kFaultWalSync));
+    }
+  }
+  file_.sync();
+}
+
+}  // namespace tacc::tsdb

@@ -1,0 +1,143 @@
+// Crash-safe write-ahead log for the TSDB's head buffers.
+//
+// Each shard owns one WAL file per generation (`wal-<shard>-<gen>.log`).
+// Every put acquires the shard lock, appends a CRC-framed record to the
+// shard's live WAL, *then* applies the points to memory — so per-series
+// record order equals in-memory apply order, and a record that never
+// finished (a torn tail) corresponds to a put that never returned.
+// Recovery replays records until the first bad frame and stops: the torn
+// tail is exactly the unacknowledged suffix, which is what makes
+// post-crash query results byte-identical to an uncrashed store holding
+// the acknowledged puts.
+//
+// A generation starts with a *checkpoint*: one record per series carrying
+// its cumulative persisted-point counter and current head points, closed
+// by a checkpoint-end marker. Rotation (during flush/open) writes the new
+// generation, syncs it, then deletes the old ones; recovery picks the
+// newest generation whose checkpoint is complete, so a crash mid-rotation
+// falls back to the previous generation, which still holds the full
+// history since *its* checkpoint. Points that a completed flush moved
+// into segments are skipped at replay via the cumulative counters (see
+// store.cpp, recover_shard_wal).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsdb/block.hpp"
+#include "tsdb/blockfile.hpp"
+#include "util/fault.hpp"
+#include "util/file.hpp"
+
+namespace tacc::tsdb {
+
+// TACC_FORMAT_BEGIN(wal, 1)
+// WAL file layout (all integers little-endian; varint = LEB128):
+//
+//   header   magic "TSWL" | u32 version | u32 shard | u64 gen |
+//            u32 crc(header)
+//   records  u32 payload_len | u32 crc(payload) | payload
+//   payload  u8 type:
+//     'C' checkpoint series: varint metric_len, metric | varint n_tags,
+//         n_tags x (varint key_len, key, varint val_len, val) |
+//         varint cum_sealed | varint n_points | points
+//     'E' checkpoint end (type byte only)
+//     'B' batch append: as 'C' without cum_sealed
+//   points   first: zigzag varint time; then zigzag varint delta to the
+//            previous time; each followed by f64 value bits (8 bytes LE)
+//
+// Any layout change here requires bumping kWalFormatVersion and updating
+// tools/lint/format_fingerprint.txt (lint TS050).
+inline constexpr std::uint32_t kWalMagic = 0x4C575354u;  // "TSWL"
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+inline constexpr std::uint8_t kWalCheckpointTag = 'C';
+inline constexpr std::uint8_t kWalCheckpointEndTag = 'E';
+inline constexpr std::uint8_t kWalBatchTag = 'B';
+// TACC_FORMAT_END(wal)
+
+/// When WAL appends reach the kernel vs. stable storage. The in-process
+/// crash model (an exception unwinding the store) cannot distinguish
+/// these — every completed write() survives — but the modes drive real
+/// fdatasync() calls and the wal.sync fault site, and govern durability
+/// against whole-machine crashes.
+enum class WalSync {
+  Never,    // never fsync; durability is best-effort (OS page cache)
+  OnFlush,  // fsync at flush/rotation boundaries (the default)
+  Always,   // fsync after every appended record
+};
+
+enum class WalRecordType { Checkpoint, CheckpointEnd, Batch };
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::Batch;
+  std::string metric;
+  TagSet tags;
+  std::uint64_t cum_sealed = 0;  // Checkpoint records only
+  std::vector<DataPoint> points;
+};
+
+/// The readable content of one WAL file. `records` holds the checkpoint
+/// series records (in write order) followed by batch records; the
+/// checkpoint-end marker is folded into `checkpoint_complete`.
+struct WalReplay {
+  std::uint32_t shard = 0;
+  std::uint64_t gen = 0;
+  bool checkpoint_complete = false;
+  std::vector<WalRecord> records;
+  /// Offset of the first unreadable byte (torn tail or damaged frame);
+  /// everything before it replayed cleanly. Unset for a clean file.
+  std::optional<std::size_t> torn_offset;
+};
+
+/// Reads and validates one WAL file. A damaged or truncated *record*
+/// stops replay and sets `torn_offset` (the normal post-crash case); a
+/// damaged header throws CorruptionError. Never returns partial records.
+WalReplay replay_wal(const std::string& path);
+
+/// Append handle for one shard's live WAL generation. Not thread-safe:
+/// the owning shard's mutex serializes all calls (which is what makes
+/// WAL record order match memory apply order).
+class WalWriter {
+ public:
+  /// Creates (truncates) `path` and writes the header. `faults` drives
+  /// the wal.append / wal.sync crash sites with key "shard-<shard>".
+  WalWriter(const std::string& path, std::uint32_t shard, std::uint64_t gen,
+            WalSync sync_mode, std::shared_ptr<const util::FaultPlan> faults);
+
+  /// Appends one framed record; fsyncs when the mode is Always. On an
+  /// injected crash a deterministic torn prefix of the frame reaches the
+  /// file, the writer is poisoned (all later calls rethrow), and
+  /// InjectedCrash propagates — the caller must not apply the points.
+  void append(const WalRecord& record);
+
+  /// Explicit fsync point (flush/rotation); honors the wal.sync site.
+  /// No-op when the mode is Never.
+  void sync();
+
+  std::uint64_t gen() const noexcept { return gen_; }
+  const std::string& path() const noexcept { return path_; }
+  /// Bytes appended so far, header included.
+  std::size_t bytes() const noexcept { return file_.offset(); }
+
+ private:
+  void check_poisoned() const;
+
+  std::string path_;
+  std::string fault_key_;
+  std::uint64_t gen_ = 0;
+  WalSync sync_mode_ = WalSync::OnFlush;
+  std::shared_ptr<const util::FaultPlan> faults_;
+  util::FileWriter file_;
+  std::uint64_t ops_ = 0;
+  bool poisoned_ = false;
+};
+
+/// `<dir>/wal-<shard>-<gen>.log`, zero-padded for lexicographic order.
+std::string wal_path(const std::string& dir, std::uint32_t shard,
+                     std::uint64_t gen);
+
+}  // namespace tacc::tsdb

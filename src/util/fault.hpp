@@ -33,6 +33,15 @@ inline constexpr std::string_view kFaultDaemonPublish = "daemon.publish";
 inline constexpr std::string_view kFaultConsumerCrash = "consumer.crash";
 inline constexpr std::string_view kFaultCronRsync = "cron.rsync";
 inline constexpr std::string_view kFaultCronDisk = "cron.disk";
+// TSDB persistence sites (src/tsdb): `error` at any of them simulates a
+// process kill mid-write — a deterministic torn prefix is left on disk and
+// tsdb::InjectedCrash is thrown, so the crash-recovery matrix can replay
+// the exact same kill from a seed. See docs/ARCHITECTURE.md, "On-disk
+// format & recovery".
+inline constexpr std::string_view kFaultWalAppend = "wal.append";
+inline constexpr std::string_view kFaultWalSync = "wal.sync";
+inline constexpr std::string_view kFaultBlockFileWrite = "blockfile.write";
+inline constexpr std::string_view kFaultCompactCommit = "compact.commit";
 
 /// Fault rates and scheduled outages for one injection site. Which kinds a
 /// site honors is up to the site: the broker applies drop/duplicate/delay,

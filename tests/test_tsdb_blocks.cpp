@@ -21,6 +21,14 @@ namespace {
 
 constexpr util::SimTime kT0 = 1451606400LL * util::kSecond;
 
+/// The pre-block-tier layout: points stay raw in the head forever.
+StoreOptions never_sealed_opts() {
+  StoreOptions o;
+  o.shards = 16;
+  o.block_points = 0;
+  return o;
+}
+
 /// Exact equality of query outputs (tags, times, and bit-equal values).
 void expect_identical(const std::vector<SeriesResult>& a,
                       const std::vector<SeriesResult>& b) {
@@ -226,7 +234,7 @@ TEST(TsdbBlocks, EmptyTimeRangeOverSealedBlocks) {
   StoreOptions opts;
   opts.block_points = 16;
   Store sealed(opts);
-  Store raw(StoreOptions{.shards = 16, .block_points = 0});
+  Store raw(never_sealed_opts());
   for (int i = 0; i < 100; ++i) {
     sealed.put("m", {{"host", "h"}}, kT0 + i * util::kMinute, i * 2.0);
     raw.put("m", {{"host", "h"}}, kT0 + i * util::kMinute, i * 2.0);
@@ -244,7 +252,7 @@ TEST(TsdbBlocks, RangeInsideOneBlock) {
   StoreOptions opts;
   opts.block_points = 64;
   Store sealed(opts);
-  Store raw(StoreOptions{.shards = 16, .block_points = 0});
+  Store raw(never_sealed_opts());
   for (int i = 0; i < 256; ++i) {
     sealed.put("m", {}, kT0 + i * util::kMinute, std::sin(i * 0.1));
     raw.put("m", {}, kT0 + i * util::kMinute, std::sin(i * 0.1));
@@ -267,7 +275,7 @@ TEST(TsdbBlocks, RangeStraddlingHeadAndSealed) {
   StoreOptions opts;
   opts.block_points = 100;
   Store sealed(opts);
-  Store raw(StoreOptions{.shards = 16, .block_points = 0});
+  Store raw(never_sealed_opts());
   // 130 points: one sealed block of 100 + a 30-point head.
   for (int i = 0; i < 130; ++i) {
     sealed.put("m", {}, kT0 + i * util::kMinute, 3.0 * i);
@@ -328,7 +336,7 @@ TEST(TsdbBlocks, CounterResetOnSealBoundaryClampsToZero) {
   StoreOptions opts;
   opts.block_points = 4;
   Store sealed(opts);
-  Store raw(StoreOptions{.shards = 16, .block_points = 0});
+  Store raw(never_sealed_opts());
   for (std::size_t i = 0; i < counter.size(); ++i) {
     const util::SimTime t = kT0 + static_cast<util::SimTime>(i) * util::kMinute;
     sealed.put("ctr", {}, t, counter[i]);

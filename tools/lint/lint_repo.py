@@ -31,6 +31,13 @@ Enforces the correctness invariants no off-the-shelf tool knows about
          `Struct::field` knob reference naming a field the knob struct
          no longer has. Docs are the operator interface, so a dead link
          or a renamed-away knob is a broken control panel.
+  TS050  on-disk format drift: the text of a TACC_FORMAT_BEGIN(name, v) /
+         TACC_FORMAT_END(name) region no longer matches the fingerprint
+         pinned in tools/lint/format_fingerprint.txt. Files already on
+         disk were written by the pinned layout, so changing the region
+         without bumping its version constant silently breaks readers.
+         After a deliberate change + version bump, re-pin with
+         `lint_repo.py --update-fingerprints`.
 
 Exit codes: 0 = clean, 1 = violations found, 2 = usage/setup error.
 """
@@ -38,6 +45,7 @@ Exit codes: 0 = clean, 1 = violations found, 2 = usage/setup error.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import re
 import sys
 from pathlib import Path
@@ -55,9 +63,11 @@ CHECKS = {
     "TS020": "options knob not documented in docs/ARCHITECTURE.md",
     "TS030": "test file not registered in tests/CMakeLists.txt",
     "TS040": "doc drift: dead relative link or unresolved knob reference",
+    "TS050": "on-disk format region changed without a version bump",
 }
 
 ALLOWLIST_PATH = Path("tools/lint/concurrency_allowlist.txt")
+FINGERPRINT_PATH = Path("tools/lint/format_fingerprint.txt")
 
 # Declarations of raw primitives: a type token followed by an identifier
 # (member or namespace-scope variable). Deliberately naive — flagging the
@@ -200,6 +210,8 @@ class Linter:
     # -- TS020 --------------------------------------------------------------
     KNOB_STRUCTS = (
         ("src/tsdb/store.hpp", "StoreOptions"),
+        ("src/tsdb/store.hpp", "RetentionPolicy"),
+        ("src/tsdb/compactor.hpp", "CompactorOptions"),
         ("src/pipeline/ingest.hpp", "TsdbIngestOptions"),
         ("src/util/fault.hpp", "FaultSpec"),
         ("src/transport/daemon.hpp", "RetryPolicy"),
@@ -224,7 +236,8 @@ class Linter:
         fields = []
         for i, line in enumerate(body.splitlines()):
             code = line.split("//", 1)[0]
-            fm = re.search(r"\b(\w+)\s*(?:=[^;]*)?;\s*$", code.strip())
+            fm = re.search(r"\b(\w+)\s*(?:\{[^;{}]*\}|=[^;]*)?;\s*$",
+                           code.strip())
             if fm and not code.strip().startswith(("struct", "using")):
                 fields.append((base_line + i, fm.group(1)))
         return fields
@@ -304,6 +317,135 @@ class Linter:
                             "drifted from the code",
                         )
 
+    # -- TS050 --------------------------------------------------------------
+    # Pinned on-disk format regions. A region is the comment/constant block
+    # between TACC_FORMAT_BEGIN(name, version) and TACC_FORMAT_END(name);
+    # its normalized text is hashed and pinned in FINGERPRINT_PATH as
+    # "<name> <version> <sha256>". Editing the region without bumping the
+    # version fails; after a deliberate bump, --update-fingerprints re-pins.
+    FORMAT_BEGIN_RE = re.compile(r"TACC_FORMAT_BEGIN\(\s*(\w+)\s*,\s*(\d+)\s*\)")
+    FORMAT_END_RE = re.compile(r"TACC_FORMAT_END\(\s*(\w+)\s*\)")
+
+    def format_regions(self) -> dict[str, tuple[Path, int, int, str]]:
+        """name -> (file, begin line, version, sha256 of normalized text)."""
+        regions: dict[str, tuple[Path, int, int, str]] = {}
+        src = self.root / "src"
+        if not src.is_dir():
+            return regions
+        for path in sorted(src.rglob("*.[hc]pp")):
+            rel = path.relative_to(self.root)
+            open_name = None
+            open_line = 0
+            open_version = 0
+            buf: list[str] = []
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                begin = self.FORMAT_BEGIN_RE.search(line)
+                end = self.FORMAT_END_RE.search(line)
+                if begin:
+                    if open_name is not None:
+                        self.report(
+                            rel, lineno, "TS050",
+                            f"TACC_FORMAT_BEGIN('{begin.group(1)}') opens "
+                            f"inside unterminated region '{open_name}'",
+                        )
+                    open_name = begin.group(1)
+                    open_version = int(begin.group(2))
+                    open_line = lineno
+                    buf = []
+                elif end:
+                    if end.group(1) != open_name:
+                        self.report(
+                            rel, lineno, "TS050",
+                            f"TACC_FORMAT_END('{end.group(1)}') does not "
+                            f"close an open region (open: {open_name!r})",
+                        )
+                        continue
+                    if open_name in regions:
+                        self.report(
+                            rel, open_line, "TS050",
+                            f"duplicate format region name '{open_name}' "
+                            f"(first in {regions[open_name][0].as_posix()})",
+                        )
+                    normalized = "\n".join(
+                        s for s in (" ".join(l.split()) for l in buf) if s
+                    )
+                    digest = hashlib.sha256(normalized.encode()).hexdigest()
+                    regions[open_name] = (rel, open_line, open_version, digest)
+                    open_name = None
+                elif open_name is not None:
+                    buf.append(line)
+            if open_name is not None:
+                self.report(
+                    rel, open_line, "TS050",
+                    f"format region '{open_name}' has no "
+                    f"TACC_FORMAT_END({open_name})",
+                )
+        return regions
+
+    def load_fingerprints(self) -> dict[str, tuple[int, str]]:
+        pinned: dict[str, tuple[int, str]] = {}
+        path = self.root / FINGERPRINT_PATH
+        if not path.is_file():
+            return pinned
+        for raw in path.read_text().splitlines():
+            entry = raw.split("#", 1)[0].split()
+            if len(entry) == 3 and entry[1].isdigit():
+                pinned[entry[0]] = (int(entry[1]), entry[2])
+        return pinned
+
+    def check_formats(self) -> None:
+        regions = self.format_regions()
+        pinned = self.load_fingerprints()
+        fp = FINGERPRINT_PATH.as_posix()
+        for name, (rel, line, version, digest) in sorted(regions.items()):
+            if name not in pinned:
+                self.report(
+                    rel, line, "TS050",
+                    f"format region '{name}' has no pinned fingerprint in "
+                    f"{fp} — run lint_repo.py --update-fingerprints",
+                )
+            elif version == pinned[name][0] and digest != pinned[name][1]:
+                self.report(
+                    rel, line, "TS050",
+                    f"format region '{name}' changed without a version bump "
+                    f"(still v{version}) — files already written with the "
+                    "pinned layout would be misread; bump the version in "
+                    "TACC_FORMAT_BEGIN and run --update-fingerprints",
+                )
+            elif version != pinned[name][0]:
+                self.report(
+                    rel, line, "TS050",
+                    f"format region '{name}' is v{version} but {fp} pins "
+                    f"v{pinned[name][0]} — after a deliberate bump, re-pin "
+                    "with lint_repo.py --update-fingerprints",
+                )
+        for name in sorted(set(pinned) - set(regions)):
+            self.report(
+                FINGERPRINT_PATH, 1, "TS050",
+                f"fingerprint pins format region '{name}' that no longer "
+                "exists in src/ — run lint_repo.py --update-fingerprints",
+            )
+
+    def update_fingerprints(self) -> int:
+        """Re-pin every region; returns 1 if regions are malformed."""
+        regions = self.format_regions()
+        if self.findings:
+            return 1
+        path = self.root / FINGERPRINT_PATH
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            "# Pinned on-disk format fingerprints (lint_repo.py rule TS050).",
+            "# \"<name> <version> <sha256-of-normalized-region-text>\" per",
+            "# line. Regenerate with: tools/lint/lint_repo.py "
+            "--update-fingerprints",
+        ]
+        for name, (_, _, version, digest) in sorted(regions.items()):
+            lines.append(f"{name} {version} {digest}")
+        path.write_text("\n".join(lines) + "\n")
+        print(f"lint_repo: pinned {len(regions)} format region(s) in "
+              f"{FINGERPRINT_PATH.as_posix()}")
+        return 0
+
     # -- TS030 --------------------------------------------------------------
     def check_tests(self) -> None:
         tests_dir = self.root / "tests"
@@ -324,6 +466,7 @@ class Linter:
         self.check_collectors()
         self.check_fault_sites()
         self.check_knobs()
+        self.check_formats()
         self.check_tests()
         self.check_docs()
         return self.findings
@@ -337,6 +480,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--list-checks", action="store_true", help="print check codes and exit"
+    )
+    parser.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="re-pin every TACC_FORMAT_* region hash in "
+             "tools/lint/format_fingerprint.txt and exit",
     )
     fmt = parser.add_mutually_exclusive_group()
     fmt.add_argument(
@@ -357,6 +505,12 @@ def main(argv: list[str] | None = None) -> int:
     if not (root / "src").is_dir():
         print(f"lint_repo: {root} has no src/ directory", file=sys.stderr)
         return 2
+    if args.update_fingerprints:
+        linter = Linter(root)
+        code = linter.update_fingerprints()
+        return code if not linter.findings else emit(
+            linter.findings, tool="lint_repo", checks=CHECKS, fmt="plain"
+        )
     findings = Linter(root).run()
     return emit(
         findings, tool="lint_repo", checks=CHECKS,

@@ -239,6 +239,83 @@ class LintRepoTest(unittest.TestCase):
         code, out = run_linter(self.tree.root)
         self.assertEqual(code, 0, out)
 
+    # -- TS050 --------------------------------------------------------------
+    FORMAT_HPP = (
+        "// TACC_FORMAT_BEGIN(demo, 1)\n"
+        "// header: magic | version | crc\n"
+        "inline constexpr std::uint32_t kDemoVersion = 1;\n"
+        "// TACC_FORMAT_END(demo)\n"
+    )
+
+    def pin_formats(self):
+        code, out = run_linter(self.tree.root, "--update-fingerprints")
+        assert code == 0, out
+
+    def test_unpinned_format_region_flagged(self):
+        self.tree.write("src/tsdb/demo.hpp", self.FORMAT_HPP)
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS050", out)
+        self.assertIn("no pinned fingerprint", out)
+
+    def test_pinned_format_region_passes(self):
+        self.tree.write("src/tsdb/demo.hpp", self.FORMAT_HPP)
+        self.pin_formats()
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    def test_format_change_without_version_bump_flagged(self):
+        self.tree.write("src/tsdb/demo.hpp", self.FORMAT_HPP)
+        self.pin_formats()
+        self.tree.write(
+            "src/tsdb/demo.hpp",
+            self.FORMAT_HPP.replace("magic | version", "magic | shard"),
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS050", out)
+        self.assertIn("without a version bump", out)
+
+    def test_format_change_with_bump_asks_for_repin(self):
+        self.tree.write("src/tsdb/demo.hpp", self.FORMAT_HPP)
+        self.pin_formats()
+        bumped = self.FORMAT_HPP.replace("demo, 1", "demo, 2").replace(
+            "kDemoVersion = 1", "kDemoVersion = 2"
+        )
+        self.tree.write("src/tsdb/demo.hpp", bumped)
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("re-pin", out)
+        self.pin_formats()
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    def test_whitespace_only_format_edit_passes(self):
+        self.tree.write("src/tsdb/demo.hpp", self.FORMAT_HPP)
+        self.pin_formats()
+        self.tree.write(
+            "src/tsdb/demo.hpp", self.FORMAT_HPP.replace("// header", "//  header")
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 0, out)
+
+    def test_deleted_format_region_flagged(self):
+        self.tree.write("src/tsdb/demo.hpp", self.FORMAT_HPP)
+        self.pin_formats()
+        self.tree.write("src/tsdb/demo.hpp", "// region removed\n")
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("no longer exists", out)
+
+    def test_unterminated_format_region_flagged(self):
+        self.tree.write(
+            "src/tsdb/demo.hpp", "// TACC_FORMAT_BEGIN(demo, 1)\n// no end\n"
+        )
+        code, out = run_linter(self.tree.root)
+        self.assertEqual(code, 1, out)
+        self.assertIn("TS050", out)
+        self.assertIn("has no", out)
+
     # -- TS030 --------------------------------------------------------------
     def test_orphaned_test_flagged(self):
         self.tree.write("tests/CMakeLists.txt", "ts_test(test_known)\n")
