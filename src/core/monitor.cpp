@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/table.hpp"
+
 namespace tacc::core {
 
 namespace {
@@ -13,12 +15,17 @@ ClusterMonitor::ClusterMonitor(simhw::Cluster& cluster, MonitorConfig config)
       config_(config),
       engine_(cluster, config.start),
       now_(config.start) {
+  // The tree builds every broker (declared/bound/fault-planned); the flat
+  // default is a one-broker tree with no aggregators — the exact Fig. 2
+  // pipeline. Cron mode keeps a flat tree so broker() stays valid.
+  tree_ = std::make_unique<transport::AggregationTree>(
+      kQueue,
+      config_.mode == TransportMode::Daemon ? config_.topology
+                                            : transport::TreeOptions{},
+      config_.fault_plan);
   if (config_.mode == TransportMode::Daemon) {
-    broker_.declare_queue(kQueue);
-    broker_.bind(kQueue, "stats.*");
-    broker_.set_fault_plan(config_.fault_plan);
     if (config_.queue_limit > 0) {
-      broker_.set_queue_limit(kQueue, config_.queue_limit);
+      tree_->root().set_queue_limit(kQueue, config_.queue_limit);
     }
     if (config_.online_analysis) {
       online_ = std::make_unique<OnlineAnalyzer>(config_.online_thresholds);
@@ -31,7 +38,7 @@ ClusterMonitor::ClusterMonitor(simhw::Cluster& cluster, MonitorConfig config)
       dc.retry = config_.retry;
       dc.faults = config_.fault_plan;
       daemons_.push_back(std::make_unique<transport::StatsDaemon>(
-          cluster.node(i), broker_, dc,
+          cluster.node(i), tree_->leaf_for(cluster.node(i).hostname()), dc,
           [this, i] { return jobs_on(i); }));
     }
   } else {
@@ -54,7 +61,7 @@ void ClusterMonitor::start_consumer() {
     };
   }
   consumer_ = std::make_unique<transport::Consumer>(
-      broker_, archive_, kQueue, callback, config_.consumer_options,
+      tree_->root(), archive_, kQueue, callback, config_.consumer_options,
       config_.fault_plan);
 }
 
@@ -71,6 +78,7 @@ void ClusterMonitor::restart_consumer() {
 }
 
 ClusterMonitor::~ClusterMonitor() {
+  tree_->stop();
   if (consumer_) consumer_->stop();
 }
 
@@ -123,8 +131,20 @@ void ClusterMonitor::fail_node(std::size_t index) {
 }
 
 void ClusterMonitor::drain() {
-  for (auto& d : daemons_) d->flush_spool(now_);
-  if (consumer_) consumer_->drain();
+  // With aggregator tiers (and watermark backpressure) between daemons and
+  // root, one spool pass is not enough: quiesce the tree so Paused queues
+  // resume, flush the daemon spools, and repeat until nothing moved. A
+  // dead consumer degrades to the old single flush (the tree cannot
+  // quiesce into a root nobody drains).
+  for (;;) {
+    if (consumer_) {
+      tree_->quiesce();   // every in-flight record reaches the root queue
+      consumer_->drain(); // ... and the root queue reaches the archive
+    }
+    std::size_t flushed = 0;
+    for (auto& d : daemons_) flushed += d->flush_spool(now_);
+    if (flushed == 0 || !consumer_) break;
+  }
 }
 
 transport::CronStats ClusterMonitor::cron_stats() const {
@@ -155,7 +175,7 @@ std::size_t ClusterMonitor::cron_backlog() const {
 }
 
 std::size_t ClusterMonitor::spool_depth() const {
-  std::size_t n = 0;
+  std::size_t n = tree_->spool_records();
   for (const auto& d : daemons_) n += d->spool_depth();
   return n;
 }
@@ -166,11 +186,47 @@ util::ResilienceStats ClusterMonitor::resilience_stats() const {
     total.merge(cron_->stats().resilience);
     return total;
   }
-  total.merge(broker_.stats().resilience);
+  total.merge(tree_->resilience());
   for (const auto& d : daemons_) total.merge(d->stats().resilience);
   total.merge(dead_consumer_resilience_);
   if (consumer_) total.merge(consumer_->resilience());
   return total;
+}
+
+std::vector<transport::TierStats> ClusterMonitor::tier_stats() const {
+  if (config_.mode != TransportMode::Daemon) return {};
+  auto rows = tree_->tier_stats();
+  if (rows.empty()) return rows;
+  // Fold the endpoints in: the daemons publish into the leaf tier, the
+  // consumer drains the root tier. With the flat topology both land on the
+  // same single row.
+  transport::TierStats& leaf = rows.front();
+  for (const auto& d : daemons_) {
+    leaf.spool_records += d->spool_depth();
+    leaf.resilience.merge(d->stats().resilience);
+  }
+  transport::TierStats& root = rows.back();
+  root.resilience.merge(dead_consumer_resilience_);
+  if (consumer_) root.resilience.merge(consumer_->resilience());
+  return rows;
+}
+
+std::string ClusterMonitor::topology_stats() const {
+  util::TextTable table;
+  table.header({"tier", "brokers", "aggs", "depth", "unacked", "dead",
+                "pending", "spooled", "paused", "resumed", "deduped"});
+  for (const auto& row : tier_stats()) {
+    table.row({std::to_string(row.tier), std::to_string(row.brokers),
+               std::to_string(row.aggregators),
+               std::to_string(row.queue_depth), std::to_string(row.unacked),
+               std::to_string(row.dead_letters),
+               std::to_string(row.pending_records),
+               std::to_string(row.spool_records),
+               std::to_string(row.resilience.paused_windows),
+               std::to_string(row.resilience.resumed_windows),
+               std::to_string(row.resilience.deduped)});
+  }
+  return table.render();
 }
 
 }  // namespace tacc::core

@@ -15,6 +15,7 @@
 #include "transport/consumer.hpp"
 #include "transport/cron.hpp"
 #include "transport/daemon.hpp"
+#include "transport/topology.hpp"
 #include "workload/engine.hpp"
 
 namespace tacc::core {
@@ -36,6 +37,9 @@ struct MonitorConfig {
   std::size_t queue_limit = 0;
   transport::RetryPolicy retry{};
   transport::ConsumerOptions consumer_options{};
+  /// Daemon-mode transport topology: defaults to the flat single broker;
+  /// leaf_brokers > 1 builds the sharded broker + aggregator tree.
+  transport::TreeOptions topology{};
 };
 
 class ClusterMonitor {
@@ -48,7 +52,10 @@ class ClusterMonitor {
 
   workload::Engine& engine() noexcept { return engine_; }
   transport::RawArchive& archive() noexcept { return archive_; }
-  transport::Broker& broker() noexcept { return broker_; }
+  /// The root broker (the one the consumer drains). With the default flat
+  /// topology this is the only broker, as before.
+  transport::Broker& broker() noexcept { return tree_->root(); }
+  transport::AggregationTree& topology() noexcept { return *tree_; }
   OnlineAnalyzer* online() noexcept { return online_.get(); }
   util::SimTime now() const noexcept { return now_; }
 
@@ -96,9 +103,21 @@ class ClusterMonitor {
   /// successful rsync). 0 in daemon mode.
   std::size_t cron_backlog() const;
 
-  /// Merged fault counters from broker + daemons + consumer (daemon mode)
-  /// or cron (cron mode).
+  /// Merged fault counters from every broker tier + aggregators + daemons
+  /// + consumer (daemon mode) or cron (cron mode).
   util::ResilienceStats resilience_stats() const;
+
+  /// Per-tier rollup: the tree's broker/aggregator rows with the endpoints
+  /// folded in — daemon spools + resilience into the leaf tier, consumer
+  /// dedup/requeue counters into the root tier. Summing every row
+  /// field-by-field reproduces resilience_stats() exactly (asserted by
+  /// test_resilience_rollup). Empty in cron mode.
+  std::vector<transport::TierStats> tier_stats() const;
+
+  /// tier_stats() rendered as one table: queue depth, unacked, dead
+  /// letters, pending/spooled records, and pause/resume transitions per
+  /// tier, so callers stop polling brokers individually.
+  std::string topology_stats() const;
 
  private:
   std::vector<long> jobs_on(std::size_t node_index) const;
@@ -108,7 +127,9 @@ class ClusterMonitor {
   MonitorConfig config_;
   workload::Engine engine_;
   transport::RawArchive archive_;
-  transport::Broker broker_;
+  /// Broker topology (flat or tree); outlives the consumer, which drains
+  /// its root.
+  std::unique_ptr<transport::AggregationTree> tree_;
   std::unique_ptr<OnlineAnalyzer> online_;
   std::unique_ptr<transport::Consumer> consumer_;
   /// Counters inherited from crashed consumer incarnations.

@@ -43,6 +43,38 @@ bool RawArchive::append_unique(const std::string& producer, std::uint64_t seq,
   return true;
 }
 
+std::size_t RawArchive::append_unique_batch(
+    const std::string& producer, const std::vector<std::uint64_t>& seqs,
+    const collect::HostLog& chunk, const std::vector<util::SimTime>& delays,
+    std::size_t dedup_window, std::vector<char>* fresh) {
+  util::MutexLock lock(mu_);
+  if (fresh) fresh->assign(seqs.size(), 0);
+  auto& dedup = dedup_[producer];
+  std::size_t appended = 0;
+  bool header_done = false;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    if (!dedup.seen.insert(seqs[i]).second) continue;
+    dedup.order.push_back(seqs[i]);
+    while (dedup_window > 0 && dedup.order.size() > dedup_window) {
+      dedup.seen.erase(dedup.order.front());
+      dedup.order.pop_front();
+    }
+    if (fresh) (*fresh)[i] = 1;
+    ++appended;
+    if (i >= chunk.records.size()) continue;
+    if (!header_done) {
+      add_header_locked(chunk.hostname, chunk.arch, chunk.schemas);
+      header_done = true;
+    }
+    auto& host = hosts_[chunk.hostname];
+    const auto& record = chunk.records[i];
+    host.ingest_times.push_back(record.time +
+                                (i < delays.size() ? delays[i] : 0));
+    host.log.records.push_back(record);
+  }
+  return appended;
+}
+
 bool RawArchive::was_seen(const std::string& producer,
                           std::uint64_t seq) const {
   util::MutexLock lock(mu_);

@@ -45,6 +45,22 @@ class RawArchive {
                      const collect::HostLog& chunk, util::SimTime delay,
                      std::size_t dedup_window) TACC_EXCLUDES(mu_);
 
+  /// Batch form of append_unique() for coalesced aggregation frames: one
+  /// lock acquisition appends every record of `chunk` whose parallel
+  /// (producer, seqs[i]) identity is fresh, ingested at record.time +
+  /// delays[i]. Exactly equivalent to calling append_unique() per record in
+  /// order — a frame that was partially delivered before (a duplicated
+  /// sub-range) appends only its fresh suffix. `fresh` (optional out) is
+  /// resized parallel to seqs with 1 = appended. Returns the number of
+  /// records appended.
+  std::size_t append_unique_batch(const std::string& producer,
+                                  const std::vector<std::uint64_t>& seqs,
+                                  const collect::HostLog& chunk,
+                                  const std::vector<util::SimTime>& delays,
+                                  std::size_t dedup_window,
+                                  std::vector<char>* fresh = nullptr)
+      TACC_EXCLUDES(mu_);
+
   /// Whether (producer, seq) is inside the dedup window (bench/test
   /// accounting: distinguishing delivered from dead-lettered sequences).
   bool was_seen(const std::string& producer, std::uint64_t seq) const

@@ -29,6 +29,45 @@ void Broker::set_queue_limit(const std::string& queue,
   queues_[queue].limit = max_depth;
 }
 
+void Broker::set_watermarks(const std::string& queue, std::size_t high,
+                            std::size_t low) {
+  util::MutexLock lock(mu_);
+  QueueState& q = queues_[queue];
+  q.high_wm = high;
+  q.low_wm = (high > 0 && low == 0) ? high / 2 : low;
+  update_pause(q);
+}
+
+void Broker::update_pause(QueueState& q) {
+  if (q.high_wm == 0) {
+    q.paused = false;
+    return;
+  }
+  if (!q.paused && q.messages.size() >= q.high_wm) {
+    q.paused = true;
+    ++stats_.resilience.paused_windows;
+  } else if (q.paused && q.messages.size() <= q.low_wm) {
+    q.paused = false;
+    ++stats_.resilience.resumed_windows;
+  }
+}
+
+bool Broker::publish_paused(const std::string& routing_key) const {
+  util::MutexLock lock(mu_);
+  for (const auto& [queue, pattern] : bindings_) {
+    if (!key_matches(pattern, routing_key)) continue;
+    const auto it = queues_.find(queue);
+    if (it != queues_.end() && it->second.paused) return true;
+  }
+  return false;
+}
+
+bool Broker::queue_paused(const std::string& queue) const {
+  util::MutexLock lock(mu_);
+  const auto it = queues_.find(queue);
+  return it != queues_.end() && it->second.paused;
+}
+
 bool Broker::key_matches(const std::string& pattern,
                          const std::string& key) noexcept {
   if (pattern == "#") return true;
@@ -76,6 +115,7 @@ std::size_t Broker::publish(const std::string& routing_key, std::string body,
         msg.producer = info.producer;
         msg.seq = info.seq;
         msg.delay = fault.delay;
+        msg.sim_time = info.now;
         if (q.limit > 0 && q.messages.size() >= q.limit) {
           q.dead_letters.push_back(std::move(msg));
           ++stats_.resilience.dead_lettered;
@@ -83,6 +123,7 @@ std::size_t Broker::publish(const std::string& routing_key, std::string body,
           q.messages.push_back(std::move(msg));
         }
       }
+      update_pause(q);
       if (fault.duplicate) ++stats_.resilience.injected_duplicates;
       if (fault.delay > 0) ++stats_.resilience.injected_delays;
       ++routed;
@@ -117,6 +158,7 @@ std::optional<Message> Broker::consume(const std::string& queue,
   ++msg.attempt;
   q.unacked.emplace(msg.delivery_tag, msg);
   ++stats_.delivered;
+  update_pause(q);
   return msg;
 }
 
@@ -137,6 +179,7 @@ void Broker::requeue(const std::string& queue, std::uint64_t delivery_tag) {
     it->second.messages.push_front(std::move(uit->second));
     it->second.unacked.erase(uit);
     ++stats_.redelivered;
+    update_pause(it->second);
   }
   cv_.notify_all();
 }
@@ -156,6 +199,7 @@ void Broker::recover(const std::string& queue) {
       moved = true;
     }
     q.unacked.clear();
+    update_pause(q);
   }
   if (moved) cv_.notify_all();
 }
@@ -164,6 +208,12 @@ std::size_t Broker::depth(const std::string& queue) const {
   util::MutexLock lock(mu_);
   const auto it = queues_.find(queue);
   return it == queues_.end() ? 0 : it->second.messages.size();
+}
+
+std::size_t Broker::unacked_depth(const std::string& queue) const {
+  util::MutexLock lock(mu_);
+  const auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.unacked.size();
 }
 
 std::size_t Broker::dead_letter_depth(const std::string& queue) const {

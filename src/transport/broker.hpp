@@ -38,6 +38,9 @@ struct Message {
   std::uint32_t attempt = 0;
   /// Injected transport latency, applied by the consumer to ingest time.
   util::SimTime delay = 0;
+  /// Simulated publish time (PublishInfo::now), carried so aggregator tiers
+  /// can window same-host batches without parsing the body.
+  util::SimTime sim_time = 0;
 };
 
 /// Publisher-side metadata for publish(); defaults reproduce the plain
@@ -80,6 +83,23 @@ class Broker {
   void set_queue_limit(const std::string& queue, std::size_t max_depth)
       TACC_EXCLUDES(mu_);
 
+  /// Backpressure watermarks: when the queue depth reaches `high` the queue
+  /// enters Paused (counted once per crossing in
+  /// ResilienceStats::paused_windows); when it drains to `low` or below it
+  /// resumes (resumed_windows). Publishers poll publish_paused() and spool
+  /// locally while paused. high == 0 disables watermarks; low defaults to
+  /// high / 2 when passed as 0.
+  void set_watermarks(const std::string& queue, std::size_t high,
+                      std::size_t low = 0) TACC_EXCLUDES(mu_);
+
+  /// True if any queue bound to `routing_key` is currently Paused. Cheap;
+  /// publishers call it before every publish.
+  bool publish_paused(const std::string& routing_key) const
+      TACC_EXCLUDES(mu_);
+
+  /// True if the named queue is currently Paused.
+  bool queue_paused(const std::string& queue) const TACC_EXCLUDES(mu_);
+
   /// Publishes to the direct exchange; the message is copied into every
   /// matching queue. Returns the number of queues it reached (0 =
   /// unroutable or an injected in-flight drop — the publisher sees the
@@ -112,6 +132,10 @@ class Broker {
   /// Messages waiting in a queue (excluding unacked in-flight ones).
   std::size_t depth(const std::string& queue) const TACC_EXCLUDES(mu_);
 
+  /// Messages delivered but not yet acked.
+  std::size_t unacked_depth(const std::string& queue) const
+      TACC_EXCLUDES(mu_);
+
   /// Messages parked in a queue's dead-letter store.
   std::size_t dead_letter_depth(const std::string& queue) const
       TACC_EXCLUDES(mu_);
@@ -133,11 +157,18 @@ class Broker {
     std::deque<Message> messages;
     std::map<std::uint64_t, Message> unacked;
     std::deque<Message> dead_letters;
-    std::size_t limit = 0;  // 0 = unlimited
+    std::size_t limit = 0;     // 0 = unlimited
+    std::size_t high_wm = 0;   // 0 = watermarks disabled
+    std::size_t low_wm = 0;
+    bool paused = false;
   };
   /// Pure pattern match; touches no broker state.
   static bool key_matches(const std::string& pattern,
                           const std::string& key) noexcept;
+
+  /// Re-evaluates a queue's Paused state after a depth change, counting
+  /// each transition exactly once.
+  void update_pause(QueueState& q) TACC_REQUIRES(mu_);
 
   mutable util::Mutex mu_;
   util::CondVar cv_;

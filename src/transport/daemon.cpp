@@ -16,6 +16,7 @@ StatsDaemon::StatsDaemon(simhw::Node& node, Broker& broker,
       jobs_provider_(std::move(jobs_provider)),
       sampler_(node, config_.build_options) {
   header_ = sampler_.make_log().serialize_header();
+  routing_key_ = config_.routing_prefix + node_->hostname();
 }
 
 const std::string& StatsDaemon::hostname() const noexcept {
@@ -63,8 +64,7 @@ bool StatsDaemon::try_publish(const collect::Record& record,
     info.seq = seq;
     info.attempt = static_cast<std::uint32_t>(attempt);
     info.now = now;
-    if (broker_->publish(config_.routing_prefix + node_->hostname(), body,
-                         info) > 0) {
+    if (broker_->publish(routing_key_, body, info) > 0) {
       return true;
     }
   }
@@ -72,6 +72,9 @@ bool StatsDaemon::try_publish(const collect::Record& record,
 }
 
 std::size_t StatsDaemon::flush_spool(util::SimTime now) {
+  // Backpressure: while the assigned broker's queue is Paused, hold the
+  // backlog locally rather than overrunning a slow tier above.
+  if (!spool_.empty() && broker_->publish_paused(routing_key_)) return 0;
   std::size_t replayed = 0;
   while (!spool_.empty()) {
     const SpooledRecord& front = spool_.front();
@@ -95,11 +98,23 @@ bool StatsDaemon::publish_record(util::SimTime now, const std::string& mark) {
   stats_.total_collect_wall_s += timer.elapsed_s();
   ++stats_.collections;
   const std::uint64_t seq = ++next_seq_;
+  // Backpressure: a Paused queue diverts the record straight to the local
+  // spool — no publish attempts, no failure accounting; the record replays
+  // via flush_spool() once the tier above resumes.
+  const bool paused = broker_->publish_paused(routing_key_);
   // Replay any backlog first so the stream stays in order, then publish
   // the fresh record — or spool it behind the backlog if the broker is
   // still unreachable.
-  flush_spool(now);
-  if (!spool_.empty() || !try_publish(record, seq, now)) {
+  if (!paused) flush_spool(now);
+  if (paused) {
+    spool_.push_back(SpooledRecord{seq, std::move(record)});
+    ++stats_.resilience.spooled;
+    if (config_.retry.spool_limit > 0 &&
+        spool_.size() > config_.retry.spool_limit) {
+      spool_.pop_front();
+      ++stats_.resilience.spool_dropped;
+    }
+  } else if (!spool_.empty() || !try_publish(record, seq, now)) {
     ++stats_.publish_failures;
     spool_.push_back(SpooledRecord{seq, std::move(record)});
     ++stats_.resilience.spooled;

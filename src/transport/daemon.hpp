@@ -101,6 +101,7 @@ class StatsDaemon {
   simhw::Node* node_;
   Broker* broker_;
   DaemonConfig config_;
+  std::string routing_key_;
   std::function<std::vector<long>()> jobs_provider_;
   collect::HostSampler sampler_;
   std::string header_;

@@ -16,6 +16,8 @@ void ResilienceStats::merge(const ResilienceStats& other) noexcept {
   dead_lettered += other.dead_lettered;
   requeued += other.requeued;
   deduped += other.deduped;
+  paused_windows += other.paused_windows;
+  resumed_windows += other.resumed_windows;
 }
 
 void FaultPlan::set(std::string_view site, FaultSpec spec) {

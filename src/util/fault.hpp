@@ -31,6 +31,15 @@ namespace tacc::util {
 inline constexpr std::string_view kFaultBrokerPublish = "broker.publish";
 inline constexpr std::string_view kFaultDaemonPublish = "daemon.publish";
 inline constexpr std::string_view kFaultConsumerCrash = "consumer.crash";
+// Aggregator-tier sites (src/transport/aggregator.cpp): `error` at
+// aggregator.publish fails one upward frame publish (the aggregator retries,
+// then spools the frame); `error` at aggregator.crash simulates the
+// aggregator process dying after publishing but before acking its child
+// deliveries — the children redeliver and the root's dedup absorbs the
+// duplicates.
+inline constexpr std::string_view kFaultAggregatorPublish =
+    "aggregator.publish";
+inline constexpr std::string_view kFaultAggregatorCrash = "aggregator.crash";
 inline constexpr std::string_view kFaultCronRsync = "cron.rsync";
 inline constexpr std::string_view kFaultCronDisk = "cron.disk";
 // TSDB persistence sites (src/tsdb): `error` at any of them simulates a
@@ -83,6 +92,8 @@ struct ResilienceStats {
   std::uint64_t dead_lettered = 0;        // messages parked in a DLQ
   std::uint64_t requeued = 0;             // crash-before-ack redeliveries
   std::uint64_t deduped = 0;              // duplicate deliveries suppressed
+  std::uint64_t paused_windows = 0;       // queue crossed its high watermark
+  std::uint64_t resumed_windows = 0;      // queue drained below its low mark
 
   void merge(const ResilienceStats& other) noexcept;
   bool operator==(const ResilienceStats&) const noexcept = default;

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "core/monitor.hpp"
+#include "transport/frame.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
 
@@ -132,6 +133,96 @@ TEST(ChaosSoak, DaemonModeConservesEveryRecord) {
   const auto r = monitor.resilience_stats();
   EXPECT_EQ(r.spooled,
             r.replayed + r.spool_dropped + monitor.spool_depth());
+}
+
+TEST(ChaosSoak, TreeTopologyConservesEveryRecord) {
+  const auto seed = chaos_seed(20160104);
+  SCOPED_TRACE("TACC_CHAOS_SEED=" + std::to_string(seed));
+  util::Rng rng("chaos.tree", seed);
+
+  auto cluster = [&] {
+    simhw::ClusterConfig cc;
+    cc.num_nodes = static_cast<std::size_t>(rng.uniform_int(3, 8));
+    cc.topology = simhw::Topology{2, 4, false};
+    cc.phi_fraction = 0.0;
+    return simhw::Cluster(cc);
+  }();
+
+  // The flat plan plus the aggregator-tier sites. No outage windows on
+  // aggregator.publish: a frame's fault time is content-stable, so an
+  // outage there would never clear.
+  auto plan = random_plan(rng, seed);
+  util::FaultSpec agg_publish;
+  agg_publish.error_rate = rng.uniform(0.0, 0.4);
+  plan->set(std::string(util::kFaultAggregatorPublish), agg_publish);
+  util::FaultSpec agg_crash;
+  // Strictly < 1.0: at rate 1.0 every rebuilt frame re-crashes forever.
+  agg_crash.error_rate = rng.uniform(0.0, 0.3);
+  plan->set(std::string(util::kFaultAggregatorCrash), agg_crash);
+
+  core::MonitorConfig mc;
+  mc.mode = core::TransportMode::Daemon;
+  mc.start = kStart;
+  mc.interval = 10 * util::kMinute;
+  mc.online_analysis = false;
+  mc.fault_plan = plan;
+  mc.retry.max_attempts = static_cast<int>(rng.uniform_int(2, 6));
+  mc.consumer_options.dedup_window = 0;
+  // Seed-derived tree shape and tuning.
+  mc.topology.leaf_brokers = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  mc.topology.fanout = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  mc.topology.batch_records = static_cast<std::size_t>(rng.uniform_int(2, 16));
+  mc.topology.window =
+      rng.bernoulli(0.5) ? util::kHour : 30 * util::kMinute;
+  if (rng.bernoulli(0.5)) {
+    mc.topology.high_watermark =
+        static_cast<std::size_t>(rng.uniform_int(8, 64));
+  }
+  if (rng.bernoulli(0.4)) {
+    mc.queue_limit = static_cast<std::size_t>(rng.uniform_int(8, 32));
+  }
+  core::ClusterMonitor monitor(cluster, mc);
+
+  const auto hours = rng.uniform_int(3, 6);
+  const auto crashes = rng.uniform_int(0, 3);
+  for (std::int64_t h = 0; h < hours; ++h) {
+    monitor.advance_to(kStart + (h + 1) * util::kHour);
+    if (h < crashes) {
+      monitor.crash_consumer();
+      monitor.advance_to(monitor.now() + rng.uniform_int(1, 3) * 10 *
+                                             util::kMinute);
+      monitor.restart_consumer();
+    }
+  }
+  monitor.drain();
+
+  // --- Conservation, frame-aware -------------------------------------
+  // Dead letters can now be coalesced frames parked at any tier, so the
+  // accounting walks every tier's DLQ and expands frames into their
+  // per-record (producer, seq) identities.
+  std::size_t archived_unique = 0;
+  for (const auto& host : monitor.archive().hosts()) {
+    archived_unique += monitor.archive().seen_count(host);
+  }
+  std::set<std::pair<std::string, std::uint64_t>> dead_unique;
+  for (const auto& msg : monitor.topology().drain_all_dead_letters()) {
+    for (const auto& [producer, rec_seq] :
+         transport::AggFrame::message_seqs(msg)) {
+      if (!monitor.archive().was_seen(producer, rec_seq)) {
+        dead_unique.insert({producer, rec_seq});
+      }
+    }
+  }
+  EXPECT_EQ(archived_unique + dead_unique.size() + monitor.spool_depth(),
+            monitor.published_unique())
+      << "lost or double-counted records";
+  EXPECT_EQ(monitor.archive().total_records(), archived_unique);
+  EXPECT_EQ(monitor.broker().depth("raw_stats"), 0u);
+  const auto r = monitor.resilience_stats();
+  EXPECT_EQ(r.spooled,
+            r.replayed + r.spool_dropped + monitor.spool_depth());
+  // Pause/resume accounting balances once every queue has drained.
+  EXPECT_EQ(r.paused_windows, r.resumed_windows);
 }
 
 TEST(ChaosSoak, CronModeConservesEveryRecord) {

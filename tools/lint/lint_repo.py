@@ -216,6 +216,8 @@ class Linter:
         ("src/util/fault.hpp", "FaultSpec"),
         ("src/transport/daemon.hpp", "RetryPolicy"),
         ("src/transport/consumer.hpp", "ConsumerOptions"),
+        ("src/transport/topology.hpp", "TreeOptions"),
+        ("src/transport/aggregator.hpp", "AggregatorOptions"),
         ("src/portal/engine.hpp", "QueryEngineOptions"),
     )
 
